@@ -1,0 +1,129 @@
+"""Ablation — design choices called out in DESIGN.md §6.
+
+Two micro-benchmarks that justify the substrate choices:
+
+* the uniform grid index versus a linear scan for circular range queries
+  (DESIGN.md choice 2) — the grid should win clearly at dataset scale;
+* the array-based k-ĉore feasibility probe versus a naive dict-of-sets
+  implementation (stand-in for the "no networkx in the hot path" choice 1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.experiments.timing import Timer
+from repro.geometry.grid import GridIndex
+from repro.kcore.connected_core import connected_k_core_in_subset
+
+
+def _linear_scan(coords: np.ndarray, x: float, y: float, radius: float):
+    deltas = coords - np.array([x, y])
+    distances = np.hypot(deltas[:, 0], deltas[:, 1])
+    return np.nonzero(distances <= radius)[0]
+
+
+def _dict_based_k_core(adjacency, subset, query, k):
+    """Reference dict-of-sets peeling, mimicking a networkx-style implementation."""
+    alive = set(subset)
+    degree = {v: len(adjacency[v] & alive) for v in alive}
+    queue = deque(v for v, d in degree.items() if d < k)
+    while queue:
+        v = queue.popleft()
+        if v not in alive:
+            continue
+        alive.discard(v)
+        for w in adjacency[v]:
+            if w in alive:
+                degree[w] -= 1
+                if degree[w] < k:
+                    queue.append(w)
+    if query not in alive:
+        return None
+    seen = {query}
+    frontier = deque([query])
+    while frontier:
+        v = frontier.popleft()
+        for w in adjacency[v]:
+            if w in alive and w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return seen
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_grid_vs_linear_scan(benchmark, datasets):
+    graph = datasets["foursquare"]
+    coords = graph.coordinates
+    grid = GridIndex(coords)
+    rng = np.random.default_rng(3)
+    probes = [(float(x), float(y)) for x, y in rng.uniform(0.2, 0.8, size=(200, 2))]
+    radius = 0.02
+
+    def run():
+        with Timer() as grid_timer:
+            grid_hits = sum(len(grid.query_circle(x, y, radius)) for x, y in probes)
+        with Timer() as scan_timer:
+            scan_hits = sum(len(_linear_scan(coords, x, y, radius)) for x, y in probes)
+        return [
+            {
+                "method": "grid index",
+                "total_hits": grid_hits,
+                "time_s": grid_timer.elapsed,
+            },
+            {
+                "method": "linear scan (numpy)",
+                "total_hits": scan_hits,
+                "time_s": scan_timer.elapsed,
+            },
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_grid_index", "Ablation: grid index vs linear scan (200 range queries)", rows)
+    # Both must agree on the number of results; the grid should not be slower
+    # by more than a small factor (it is usually much faster per query once
+    # the numpy scan cost grows with n).
+    assert rows[0]["total_hits"] == rows[1]["total_hits"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_feasibility_probe(benchmark, datasets):
+    graph = datasets["brightkite"]
+    adjacency = [set(int(w) for w in graph.neighbors(v)) for v in range(graph.num_vertices)]
+    rng = np.random.default_rng(5)
+    subsets = []
+    for _ in range(30):
+        center = int(rng.integers(0, graph.num_vertices))
+        x, y = graph.position(center)
+        subsets.append((center, graph.vertices_within(x, y, 0.05)))
+
+    def run():
+        with Timer() as library_timer:
+            library_found = sum(
+                1
+                for query, subset in subsets
+                if connected_k_core_in_subset(graph, subset, query, 4) is not None
+            )
+        with Timer() as dict_timer:
+            dict_found = sum(
+                1
+                for query, subset in subsets
+                if _dict_based_k_core(adjacency, subset, query, 4) is not None
+            )
+        return [
+            {"method": "repro.kcore probe", "feasible": library_found, "time_s": library_timer.elapsed},
+            {"method": "dict-of-sets probe", "feasible": dict_found, "time_s": dict_timer.elapsed},
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_feasibility_probe",
+        "Ablation: k-core feasibility probe implementations (30 probes)",
+        rows,
+    )
+    assert rows[0]["feasible"] == rows[1]["feasible"]

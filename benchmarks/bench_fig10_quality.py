@@ -1,0 +1,101 @@
+"""Figure 10 — spatial cohesiveness of SAC search versus CS/CD baselines.
+
+Compares the average MCC radius and average pairwise member distance
+(``distPr``) of the communities returned by
+
+* the non-spatial community-search baselines ``Global`` and ``Local``,
+* the spatial community-detection baseline ``GeoModu`` with decay mu = 1, 2,
+* the SAC search algorithms (``Exact+``, ``AppInc``, ``AppFast``, ``AppAcc``).
+
+Expected shape (paper Figure 10): Global ≫ Local ≫ GeoModu > SAC methods,
+with Exact+ the tightest.  Absolute factors differ from the paper (different
+data), but the ordering must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import QUALITY_DATASETS, write_result
+from repro.baselines.geo_modularity import GeoModularityDetector, geo_modularity_community
+from repro.baselines.global_search import global_search
+from repro.baselines.local_search import local_search
+from repro.core.appacc import app_acc
+from repro.core.appfast import app_fast
+from repro.core.appinc import app_inc
+from repro.core.exact_plus import exact_plus
+from repro.exceptions import NoCommunityError
+from repro.metrics.spatial import average_pairwise_distance
+
+K_DEFAULT = 4
+
+
+def _evaluate(graph, queries, method):
+    radii, dists = [], []
+    for query in queries:
+        try:
+            result = method(graph, query)
+        except NoCommunityError:
+            continue
+        if result is None:
+            continue
+        radii.append(result.radius)
+        dists.append(average_pairwise_distance(graph, result.members))
+    if not radii:
+        return None
+    return sum(radii) / len(radii), sum(dists) / len(dists), len(radii)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_quality_comparison(benchmark, datasets, workloads):
+    def run():
+        rows = []
+        for name in QUALITY_DATASETS:
+            graph = datasets[name]
+            queries = workloads[name]
+            detectors = {
+                1: GeoModularityDetector(graph, mu=1.0, seed=0),
+                2: GeoModularityDetector(graph, mu=2.0, seed=0),
+            }
+            methods = {
+                "global": lambda g, q: global_search(g, q, K_DEFAULT),
+                "local": lambda g, q: local_search(g, q, K_DEFAULT),
+                "geomodu(1)": lambda g, q: geo_modularity_community(g, q, detector=detectors[1]),
+                "geomodu(2)": lambda g, q: geo_modularity_community(g, q, detector=detectors[2]),
+                "appinc": lambda g, q: app_inc(g, q, K_DEFAULT),
+                "appfast(0.5)": lambda g, q: app_fast(g, q, K_DEFAULT, 0.5),
+                "appacc(0.5)": lambda g, q: app_acc(g, q, K_DEFAULT, 0.5),
+                "exact+": lambda g, q: exact_plus(g, q, K_DEFAULT, epsilon_a=1e-2),
+            }
+            for method_name, method in methods.items():
+                stats = _evaluate(graph, queries, method)
+                if stats is None:
+                    continue
+                radius, dist_pr, answered = stats
+                rows.append(
+                    {
+                        "dataset": name,
+                        "method": method_name,
+                        "radius": radius,
+                        "distPr": dist_pr,
+                        "queries": answered,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig10_quality", "Figure 10: radius and distPr per retrieval method", rows)
+
+    # Shape assertions per dataset: SAC search is spatially tighter than the
+    # non-spatial CS baselines, and Exact+ is the tightest SAC variant.
+    for name in QUALITY_DATASETS:
+        by_method = {row["method"]: row for row in rows if row["dataset"] == name}
+        if not by_method:
+            continue
+        assert by_method["exact+"]["radius"] <= by_method["global"]["radius"]
+        assert by_method["exact+"]["radius"] <= by_method["local"]["radius"]
+        assert by_method["exact+"]["radius"] <= by_method["appinc"]["radius"] + 1e-12
+        assert by_method["exact+"]["radius"] <= by_method["appfast(0.5)"]["radius"] + 1e-12
+        assert by_method["exact+"]["radius"] <= by_method["appacc(0.5)"]["radius"] + 1e-12
+        # Global, which ignores locations entirely, sprawls the most among CS methods.
+        assert by_method["global"]["radius"] >= by_method["local"]["radius"] - 1e-12

@@ -1,0 +1,69 @@
+"""Figure 13 — adaptability of SAC search to location changes.
+
+Replays a synthetic check-in stream over the Brightkite stand-in, re-queries
+the SAC of the most mobile users at each of their check-ins, and reports the
+average community Jaccard similarity (CJS) and community area overlap (CAO)
+between snapshot pairs whose time gap is at least η days.
+
+Expected shape (paper Figure 13): both curves decrease as η grows — the
+longer the gap, the less the two communities overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.datasets.geosocial import CheckinGenerator, TravelProfile
+from repro.dynamic.evaluation import overlap_vs_time_gap, select_mobile_queries
+from repro.dynamic.stream import LocationStream
+from repro.dynamic.tracker import SACTracker
+
+ETA_DAYS = (0.25, 0.5, 1.0, 3.0, 5.0, 7.0, 10.0, 15.0)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_dynamic_overlap(benchmark, datasets):
+    def run():
+        graph = datasets["brightkite"]
+        generator = CheckinGenerator(
+            graph,
+            TravelProfile(local_std=0.01, move_probability=0.1, move_distance_mean=0.25),
+            seed=13,
+        )
+        candidate_users = list(range(min(graph.num_vertices, 600)))
+        checkins = generator.generate(candidate_users, checkins_per_user=8, duration_days=40.0)
+        travel = generator.total_travel_distance(checkins)
+        queries = select_mobile_queries(graph, checkins, travel, count=12, min_friends=8)
+
+        stream = LocationStream(graph, checkins)
+        tracker = SACTracker(
+            stream, k=4, algorithm="appfast", algorithm_params={"epsilon_f": 0.5}
+        )
+        timelines = tracker.track(queries)
+        points = overlap_vs_time_gap(timelines, list(ETA_DAYS))
+        return [
+            {
+                "eta_days": point.eta_days,
+                "avg_cjs": point.average_cjs,
+                "avg_cao": point.average_cao,
+                "pairs": point.num_pairs,
+            }
+            for point in points
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig13_dynamic", "Figure 13: CJS and CAO vs time gap eta", rows)
+
+    populated = [row for row in rows if row["pairs"] > 0]
+    assert len(populated) >= 3, "expected at least three populated eta buckets"
+    for row in populated:
+        assert 0.0 <= row["avg_cjs"] <= 1.0
+        assert 0.0 <= row["avg_cao"] <= 1.0
+    # Overall decreasing trend: overlap at the shortest populated gaps exceeds
+    # overlap at the longest populated gap (small slack absorbs sampling noise
+    # from the modest number of tracked users).
+    early_cjs = max(row["avg_cjs"] for row in populated[:2])
+    early_cao = max(row["avg_cao"] for row in populated[:2])
+    assert early_cjs >= populated[-1]["avg_cjs"] - 0.1
+    assert early_cao >= populated[-1]["avg_cao"] - 0.1

@@ -1,0 +1,87 @@
+"""Figure 14 — effect of εA on Exact+.
+
+Two panels:
+
+* (a) Exact+ query time as εA sweeps over {1e-6 ... 1e-3} (plus the larger
+  values used in the sensitivity discussion);
+* (b) the size of the candidate fixed-vertex set |F1| as a function of εA —
+  fewer vertices are pruned as εA grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.core.exact_plus import exact_plus
+from repro.exceptions import NoCommunityError
+
+#: The paper sweeps epsilon_A over {1e-6 ... 1e-3}.  The two smallest values
+#: make the pure-Python anchor traversal take minutes per query on unlucky
+#: queries (many co-optimal centres keep the surviving anchor region large),
+#: so the default harness sweep starts at 1e-4; set REPRO_BENCH_FULL_FIG14=1
+#: to run the paper's full range.
+import os
+
+if os.environ.get("REPRO_BENCH_FULL_FIG14"):
+    EPSILON_VALUES = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+else:
+    EPSILON_VALUES = (1e-4, 1e-3, 1e-2)
+K_DEFAULT = 4
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_exact_plus_epsilon_sweep(benchmark, datasets, workloads):
+    def run():
+        rows = []
+        for name in ("brightkite", "gowalla"):
+            graph = datasets[name]
+            queries = workloads[name][:4]
+            for epsilon_a in EPSILON_VALUES:
+                elapsed = 0.0
+                f1_sizes = []
+                radii = []
+                answered = 0
+                for query in queries:
+                    start = time.perf_counter()
+                    try:
+                        result = exact_plus(graph, query, K_DEFAULT, epsilon_a=epsilon_a)
+                    except NoCommunityError:
+                        continue
+                    elapsed += time.perf_counter() - start
+                    answered += 1
+                    f1_sizes.append(result.stats["fixed_vertex_candidates"])
+                    radii.append(result.radius)
+                if answered == 0:
+                    continue
+                rows.append(
+                    {
+                        "dataset": name,
+                        "epsilon_a": epsilon_a,
+                        "avg_time_s": elapsed / answered,
+                        "avg_f1_size": sum(f1_sizes) / len(f1_sizes),
+                        "avg_radius": sum(radii) / len(radii),
+                        "queries": answered,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig14_exact_plus", "Figure 14: Exact+ runtime and |F1| vs epsilon_A", rows)
+
+    assert rows
+    for name in ("brightkite", "gowalla"):
+        series = sorted(
+            (row for row in rows if row["dataset"] == name), key=lambda row: row["epsilon_a"]
+        )
+        if len(series) < 2:
+            continue
+        # |F1| grows (weakly) with epsilon_A: larger epsilon -> wider annulus
+        # -> fewer vertices pruned (paper Figure 14(b)).  Half-a-vertex slack
+        # absorbs per-query traversal differences.
+        assert series[0]["avg_f1_size"] <= series[-1]["avg_f1_size"] + 0.5
+        # The returned radius is the exact optimum regardless of epsilon_A.
+        radii = [row["avg_radius"] for row in series]
+        assert max(radii) - min(radii) <= 1e-6 * max(1.0, max(radii))

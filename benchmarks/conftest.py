@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on
+scaled-down stand-in datasets (see ``repro.datasets.registry``).  Datasets
+and query workloads are session-scoped so the generation cost is paid once,
+and every benchmark writes the table it produces to
+``benchmarks/results/<name>.txt`` so the numbers can be quoted in
+EXPERIMENTS.md.
+
+Scale knobs
+-----------
+The environment variable ``REPRO_BENCH_SCALE`` (default ``1.0``) multiplies
+the stand-in dataset sizes; ``REPRO_BENCH_QUERIES`` (default ``12``) sets the
+number of query vertices per measurement point.  Increase both to push the
+harness towards paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.queries import select_query_vertices
+from repro.experiments.tables import format_table
+from repro.graph.spatial_graph import SpatialGraph
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
+
+#: Datasets used by the quality and efficiency benchmarks.  The paper uses
+#: Brightkite/Gowalla for quality and all six for efficiency; here the two
+#: families (geo-social and power-law synthetic) are each represented by
+#: their smaller members so the whole harness runs in minutes.
+QUALITY_DATASETS = ("brightkite", "gowalla")
+EFFICIENCY_DATASETS = ("brightkite", "syn1")
+
+
+def write_result(name: str, title: str, rows: List[Dict[str, object]]) -> str:
+    """Render ``rows`` as a table, write it under ``benchmarks/results``, return it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    table = format_table(rows)
+    text = f"{title}\n{'=' * len(title)}\n{table}\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    print(f"\n{text}")
+    return text
+
+
+@pytest.fixture(scope="session")
+def datasets() -> Dict[str, SpatialGraph]:
+    """Scaled-down stand-ins for every dataset of Table 4."""
+    graphs: Dict[str, SpatialGraph] = {}
+    for name, scale in (
+        ("brightkite", 0.5),
+        ("gowalla", 0.35),
+        ("flickr", 0.35),
+        ("foursquare", 0.25),
+        ("syn1", 0.65),
+        ("syn2", 0.3),
+    ):
+        graphs[name] = load_dataset(name, scale=scale * BENCH_SCALE)
+    return graphs
+
+
+@pytest.fixture(scope="session")
+def workloads(datasets) -> Dict[str, List[int]]:
+    """Query vertices with core number >= 4 for every dataset (paper Section 5.1)."""
+    result: Dict[str, List[int]] = {}
+    for name, graph in datasets.items():
+        result[name] = select_query_vertices(graph, count=BENCH_QUERIES, min_core=4, seed=7)
+    return result

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: find a spatial-aware community (SAC) around a query user.
+
+This example builds a small geo-social network (a stand-in for Brightkite),
+picks a query user, and runs all five SAC search algorithms plus the two
+classic community-search baselines, printing the size and covering-circle
+radius of each result — a miniature version of the paper's Figure 10.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SACSearcher
+from repro.baselines import global_search, local_search
+from repro.datasets import brightkite_like
+from repro.experiments import format_table, select_query_vertices
+from repro.metrics import average_pairwise_distance
+
+
+def main() -> None:
+    print("Generating a Brightkite-like geo-social graph ...")
+    graph = brightkite_like(num_vertices=3000, average_degree=8.0, seed=7)
+    print(f"  {graph.num_vertices} users, {graph.num_edges} friendships")
+
+    # The paper queries vertices with core number >= 4 so that a meaningful
+    # community (at least a 4-ĉore) exists around the query.
+    query = select_query_vertices(graph, count=1, min_core=4, seed=3)[0]
+    k = 4
+    print(f"\nQuery user: {graph.label_of(query)}, minimum degree k = {k}\n")
+
+    searcher = SACSearcher(graph)
+    rows = []
+    for algorithm in ("exact+", "appinc", "appfast", "appacc"):
+        result = searcher.search(graph.label_of(query), k, algorithm=algorithm)
+        rows.append(
+            {
+                "method": algorithm,
+                "members": result.size,
+                "radius": result.radius,
+                "distPr": average_pairwise_distance(graph, result.members),
+            }
+        )
+
+    for name, baseline in (("global", global_search), ("local", local_search)):
+        result = baseline(graph, query, k)
+        rows.append(
+            {
+                "method": name,
+                "members": result.size,
+                "radius": result.radius,
+                "distPr": average_pairwise_distance(graph, result.members),
+            }
+        )
+
+    print(format_table(rows))
+    print(
+        "\nSAC search methods return spatially compact communities; the non-spatial\n"
+        "Global/Local baselines sprawl over much larger circles, as in the paper."
+    )
+
+    best = searcher.search(graph.label_of(query), k, algorithm="exact+")
+    print(f"\nMembers of the optimal SAC: {sorted(searcher.member_labels(best))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the wheel package (offline installs).
+
+`pip install -e .` requires the `wheel` package for PEP 660 editable builds;
+this shim lets `python setup.py develop` work as a fallback.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — Spatial-Aware Community (SAC) search over large spatial graphs.
+
+A from-scratch Python reproduction of
+
+    Fang, Cheng, Li, Luo, Hu.
+    "Effective Community Search over Large Spatial Graphs."
+    PVLDB 10(6): 709-720, 2017.
+
+Given a spatial graph (every vertex has a 2-D location), a query vertex ``q``
+and a degree threshold ``k``, SAC search returns the connected subgraph
+containing ``q`` whose minimum internal degree is at least ``k`` and whose
+minimum covering circle has the smallest possible radius.
+
+Quick start
+-----------
+>>> from repro import SACSearcher
+>>> from repro.datasets import brightkite_like
+>>> graph = brightkite_like(num_vertices=2000, seed=7)
+>>> searcher = SACSearcher(graph, default_algorithm="appfast")
+>>> result = searcher.search(query=graph.labels()[0], k=4)
+>>> result is None or result.radius >= 0.0
+True
+
+Public surface
+--------------
+* :class:`repro.SACSearcher` — facade dispatching to all five algorithms.
+* :mod:`repro.core` — ``exact``, ``exact_plus``, ``app_inc``, ``app_fast``,
+  ``app_acc``, ``theta_sac``.
+* :mod:`repro.graph` — the :class:`~repro.graph.SpatialGraph` substrate.
+* :mod:`repro.kcore` — k-core decomposition and k-ĉore extraction.
+* :mod:`repro.geometry` — minimum enclosing circles, grid index, quadtree.
+* :mod:`repro.baselines` — ``Global``, ``Local``, ``GeoModu`` comparison methods.
+* :mod:`repro.metrics` — radius, distPr, CJS, CAO, approximation ratios.
+* :mod:`repro.datasets` — synthetic spatial-graph and check-in generators.
+* :mod:`repro.dynamic` — dynamic location streams and SAC tracking.
+* :mod:`repro.experiments` — the harness behind the paper's figures.
+"""
+
+from repro.core import (
+    SACResult,
+    SACSearcher,
+    app_acc,
+    app_fast,
+    app_inc,
+    exact,
+    exact_plus,
+    theta_sac,
+)
+from repro.exceptions import (
+    DatasetError,
+    GraphConstructionError,
+    InvalidParameterError,
+    NoCommunityError,
+    ReproError,
+    VertexNotFoundError,
+)
+from repro.graph import GraphBuilder, SpatialGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SpatialGraph",
+    "GraphBuilder",
+    "SACSearcher",
+    "SACResult",
+    "exact",
+    "exact_plus",
+    "app_inc",
+    "app_fast",
+    "app_acc",
+    "theta_sac",
+    "ReproError",
+    "GraphConstructionError",
+    "VertexNotFoundError",
+    "InvalidParameterError",
+    "NoCommunityError",
+    "DatasetError",
+]

@@ -1,0 +1,30 @@
+"""Baseline community-retrieval methods compared against SAC search.
+
+Section 5.2.2 of the paper compares SAC search against two community-search
+(CS) methods for non-spatial graphs and one community-detection (CD) method
+for spatial graphs:
+
+* ``Global`` (Sozio & Gionis, KDD 2010) — the k-ĉore of the whole graph
+  containing the query vertex;
+* ``Local`` (Cui et al., SIGMOD 2014) — local expansion from the query until
+  a subgraph of minimum degree ``k`` emerges;
+* ``GeoModu`` (Chen et al., IJGIS 2015) — modularity maximisation on a graph
+  whose edge weights decay with distance (``1 / d^mu``), a community
+  *detection* method that partitions the whole graph;
+* ``radius_only`` — the strawman discussed in §5.2.2 item 3: take every
+  vertex inside ``O(q, theta)`` as the "community" with no structural
+  requirement.
+"""
+
+from repro.baselines.geo_modularity import GeoModularityDetector, geo_modularity_community
+from repro.baselines.global_search import global_search
+from repro.baselines.local_search import local_search
+from repro.baselines.radius_only import radius_only_community
+
+__all__ = [
+    "global_search",
+    "local_search",
+    "geo_modularity_community",
+    "GeoModularityDetector",
+    "radius_only_community",
+]

@@ -1,0 +1,44 @@
+"""``Global`` baseline (Sozio & Gionis, "cocktail party", KDD 2010).
+
+The paper describes Global as "find the k-ĉore containing q": the connected
+component of the graph's k-core that contains the query vertex.  It ignores
+vertex locations entirely, which is why its communities sprawl over circles
+roughly 50× larger than SAC search (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.result import SACResult
+from repro.core.base import validate_query
+from repro.exceptions import NoCommunityError
+from repro.geometry.mec import minimum_enclosing_circle
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.connected_core import connected_k_core
+
+
+def global_search(graph: SpatialGraph, query: int, k: int) -> SACResult:
+    """Return the k-ĉore of the whole graph containing ``query``.
+
+    Raises
+    ------
+    NoCommunityError
+        If the query vertex is not part of any k-core.
+    """
+    validate_query(graph, query, k)
+    community = connected_k_core(graph, query, k)
+    if not community:
+        raise NoCommunityError(query, k)
+    coords = graph.coordinates
+    circle = minimum_enclosing_circle(
+        [(float(coords[v, 0]), float(coords[v, 1])) for v in community]
+    )
+    return SACResult(
+        algorithm="global",
+        query=query,
+        k=k,
+        members=frozenset(community),
+        circle=circle,
+        stats={"community_size": len(community)},
+    )

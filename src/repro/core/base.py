@@ -1,0 +1,212 @@
+"""Shared machinery for the SAC search algorithms.
+
+Every algorithm in Section 4 repeats the same two ingredients:
+
+1. the **candidate set** ``X`` — the k-ĉore of the graph containing the query
+   vertex (any feasible solution is a subset of it), together with vertex
+   distances from the query and a spatial index over the candidates;
+2. the **feasibility probe** — given a circle ``O(p, r)``, restrict the
+   candidates to the circle and ask whether a connected k-core containing the
+   query survives.
+
+:class:`QueryContext` packages both so the individual algorithm modules stay
+small and focused on their search strategies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.result import SACResult
+from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
+from repro.geometry.circle import Circle
+from repro.geometry.grid import GridIndex
+from repro.geometry.mec import minimum_enclosing_circle
+from repro.geometry.point import Point
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.connected_core import connected_k_core, connected_k_core_in_subset
+
+
+def validate_query(graph: SpatialGraph, query: int, k: int) -> None:
+    """Validate the common ``(graph, query, k)`` arguments of SAC search."""
+    if not isinstance(k, int) or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    if not 0 <= query < graph.num_vertices:
+        raise VertexNotFoundError(query)
+
+
+def nearest_neighbor_community(graph: SpatialGraph, query: int) -> Set[int]:
+    """Return the k=1 community: the query vertex plus its nearest neighbour.
+
+    Section 4.1: "When the input k=1, we can simply return the subgraph
+    induced by q and its nearest neighbor."  The nearest neighbour is taken
+    among the query's graph neighbours (the subgraph must be connected).
+    """
+    neighbors = graph.neighbors(query)
+    if neighbors.shape[0] == 0:
+        raise NoCommunityError(query, 1, "query vertex has no neighbours")
+    best = min((graph.distance(query, int(v)), int(v)) for v in neighbors)
+    return {query, best[1]}
+
+
+class QueryContext:
+    """Candidate set and feasibility probes for one ``(graph, query, k)`` query.
+
+    Attributes
+    ----------
+    candidates:
+        The vertex set of the k-ĉore containing the query (set ``X`` in the
+        paper).  Empty queries raise :class:`NoCommunityError` at construction.
+    distances:
+        Mapping vertex -> Euclidean distance from the query vertex.
+    """
+
+    def __init__(self, graph: SpatialGraph, query: int, k: int) -> None:
+        validate_query(graph, query, k)
+        self.graph = graph
+        self.query = query
+        self.k = k
+        self.feasibility_checks = 0
+
+        candidates = connected_k_core(graph, query, k)
+        if not candidates:
+            raise NoCommunityError(query, k)
+        self.candidates: Set[int] = candidates
+
+        qx, qy = graph.position(query)
+        self.query_point = Point(qx, qy)
+        coords = graph.coordinates
+        self._candidate_list = sorted(candidates)
+        candidate_coords = coords[self._candidate_list]
+        deltas = candidate_coords - np.array([qx, qy])
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        self.distances: Dict[int, float] = {
+            v: float(d) for v, d in zip(self._candidate_list, dists)
+        }
+        self._grid = GridIndex(candidate_coords)
+        self._grid_to_vertex = self._candidate_list
+
+    # ------------------------------------------------------------ candidates
+    def sorted_by_distance(self) -> List[int]:
+        """Candidate vertices sorted by ascending distance from the query."""
+        return sorted(self.candidates, key=lambda v: (self.distances[v], v))
+
+    def max_candidate_distance(self) -> float:
+        """Largest distance from the query to any candidate vertex."""
+        return max(self.distances.values())
+
+    def knn_distance(self) -> float:
+        """Distance of the k-th nearest candidate *neighbour* of the query.
+
+        This is the lower bound ``l`` of Eq. (1): the query needs at least
+        ``k`` of its own neighbours inside any feasible circle centred at it.
+        """
+        neighbor_distances = sorted(
+            self.distances[int(v)]
+            for v in self.graph.neighbors(self.query)
+            if int(v) in self.candidates
+        )
+        if len(neighbor_distances) < self.k:
+            # Cannot happen for a valid k-ĉore, but keep a safe fallback.
+            return neighbor_distances[-1] if neighbor_distances else 0.0
+        return neighbor_distances[self.k - 1]
+
+    def vertices_in_circle(self, center_x: float, center_y: float, radius: float) -> List[int]:
+        """Candidate vertices located inside the circle ``O((x, y), radius)``.
+
+        A tiny relative inflation of the radius keeps vertices that lie
+        exactly on the circle boundary (the "fixed vertices" of an MCC)
+        inside the result despite floating-point rounding.
+        """
+        inflated = radius + 1e-9 * max(1.0, radius)
+        hits = self._grid.query_circle(center_x, center_y, inflated)
+        return [self._grid_to_vertex[i] for i in hits]
+
+    def vertices_in_annulus(
+        self, center_x: float, center_y: float, inner: float, outer: float
+    ) -> List[int]:
+        """Candidate vertices with distance to ``(x, y)`` in ``[inner, outer]``."""
+        hits = self._grid.query_annulus(center_x, center_y, inner, outer)
+        return [self._grid_to_vertex[i] for i in hits]
+
+    # -------------------------------------------------------------- probing
+    def community_in_circle(
+        self, center_x: float, center_y: float, radius: float
+    ) -> Optional[Set[int]]:
+        """Return the k-ĉore containing the query inside ``O((x, y), radius)``.
+
+        Returns ``None`` when no feasible community exists in the circle,
+        including when the query vertex itself falls outside the circle.
+        """
+        self.feasibility_checks += 1
+        if self.graph.distance_to_point(self.query, center_x, center_y) > radius + 1e-12:
+            return None
+        inside = self.vertices_in_circle(center_x, center_y, radius)
+        if len(inside) < self.k + 1:
+            return None
+        return connected_k_core_in_subset(self.graph, inside, self.query, self.k)
+
+    def community_in_subset(self, subset: Sequence[int]) -> Optional[Set[int]]:
+        """Return the k-ĉore containing the query inside an arbitrary vertex subset."""
+        self.feasibility_checks += 1
+        return connected_k_core_in_subset(self.graph, subset, self.query, self.k)
+
+    # --------------------------------------------------------------- results
+    def mcc_of(self, members: Set[int]) -> Circle:
+        """Minimum covering circle of the locations of ``members``."""
+        coords = self.graph.coordinates
+        points = [(float(coords[v, 0]), float(coords[v, 1])) for v in members]
+        return minimum_enclosing_circle(points)
+
+    def make_result(
+        self, algorithm: str, members: Set[int], stats: Optional[Dict[str, float]] = None
+    ) -> SACResult:
+        """Wrap a member set into an :class:`SACResult` with its MCC."""
+        stats = dict(stats or {})
+        stats.setdefault("feasibility_checks", self.feasibility_checks)
+        stats.setdefault("candidate_set_size", len(self.candidates))
+        return SACResult(
+            algorithm=algorithm,
+            query=self.query,
+            k=self.k,
+            members=frozenset(members),
+            circle=self.mcc_of(members),
+            stats=stats,
+        )
+
+
+def incremental_feasible_region(context: QueryContext) -> Tuple[Set[int], float]:
+    """Find the smallest query-centred circle containing a feasible solution.
+
+    Scans candidate vertices in ascending distance from the query, adding one
+    vertex at a time, and probes feasibility whenever the cheap necessary
+    condition (the query has at least ``k`` neighbours among the vertices
+    added so far) holds.  Returns the feasible community found and the radius
+    ``delta`` of the query-centred circle that contains it.
+
+    This realises the incremental strategy of ``AppInc`` (Algorithm 2) and is
+    also used by ``AppFast(0)`` as a reference in tests.
+    """
+    graph = context.graph
+    query = context.query
+    k = context.k
+    ordered = context.sorted_by_distance()
+    query_neighbors = {int(v) for v in graph.neighbors(query)}
+
+    included: Set[int] = set()
+    neighbor_count = 0
+    for index, vertex in enumerate(ordered):
+        included.add(vertex)
+        if vertex in query_neighbors:
+            neighbor_count += 1
+        if neighbor_count < k or len(included) < k + 1:
+            continue
+        community = context.community_in_subset(included)
+        if community is not None:
+            delta = context.distances[vertex]
+            return community, delta
+    raise NoCommunityError(query, k, "no feasible solution in any query-centred circle")

@@ -1,0 +1,67 @@
+"""Result object returned by every SAC search algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.geometry.circle import Circle
+
+
+@dataclass(frozen=True)
+class SACResult:
+    """A spatial-aware community together with its covering circle.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the result (``"exact"``,
+        ``"appinc"``, ...).
+    query:
+        Internal index of the query vertex.
+    k:
+        Minimum-degree threshold the community satisfies.
+    members:
+        Frozen set of internal vertex indices forming the community.  Always
+        contains ``query`` and induces a connected subgraph of minimum degree
+        at least ``k``.
+    circle:
+        The minimum covering circle (MCC) of the members' locations.
+    stats:
+        Algorithm-specific bookkeeping (number of feasibility checks, binary
+        search iterations, candidate-set sizes, ...), useful for the
+        efficiency experiments.
+    """
+
+    algorithm: str
+    query: int
+    k: int
+    members: FrozenSet[int]
+    circle: Circle
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def radius(self) -> float:
+        """Radius of the community's minimum covering circle."""
+        return self.circle.radius
+
+    @property
+    def size(self) -> int:
+        """Number of community members."""
+        return len(self.members)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def summary(self) -> Dict[str, float]:
+        """Return a flat summary row (algorithm, size, radius)."""
+        return {
+            "algorithm": self.algorithm,
+            "query": self.query,
+            "k": self.k,
+            "size": self.size,
+            "radius": self.radius,
+        }

@@ -1,0 +1,74 @@
+"""θ-SAC search (Section 3).
+
+θ-SAC search is a variant of ``Global`` with an explicit spatial constraint:
+the returned community must lie entirely inside the circle ``O(q, theta)``
+around the query vertex.  It is the baseline the paper uses to motivate SAC
+search proper — choosing a good ``theta`` is hard, and the resulting circles
+are 5–10× larger than those of ``Exact+`` (Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import QueryContext, validate_query
+from repro.core.result import SACResult
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.connected_core import connected_k_core_in_subset
+
+
+def theta_sac(
+    graph: SpatialGraph,
+    query: int,
+    k: int,
+    theta: float,
+    *,
+    raise_on_empty: bool = False,
+) -> Optional[SACResult]:
+    """Return the k-ĉore containing the query within ``O(q, theta)``.
+
+    Parameters
+    ----------
+    graph, query, k:
+        As in :func:`repro.core.appinc.app_inc`.
+    theta:
+        Radius of the query-centred circle the community must fit in.
+    raise_on_empty:
+        When ``True``, raise :class:`NoCommunityError` instead of returning
+        ``None`` if no community exists within the circle.
+
+    Returns
+    -------
+    SACResult or None
+        The community, or ``None`` when no feasible community fits inside
+        ``O(q, theta)`` (the common case for small ``theta``; Figure 11(a)
+        reports exactly this empty-answer rate).
+    """
+    validate_query(graph, query, k)
+    if theta < 0:
+        raise InvalidParameterError(f"theta must be non-negative, got {theta}")
+
+    qx, qy = graph.position(query)
+    inside = graph.vertices_within(qx, qy, theta)
+    community = connected_k_core_in_subset(graph, inside, query, k)
+    if community is None:
+        if raise_on_empty:
+            raise NoCommunityError(query, k, f"no community within theta={theta}")
+        return None
+
+    # Build a lightweight context only to reuse MCC/result packaging.
+    from repro.geometry.mec import minimum_enclosing_circle
+
+    coords = graph.coordinates
+    circle = minimum_enclosing_circle(
+        [(float(coords[v, 0]), float(coords[v, 1])) for v in community]
+    )
+    return SACResult(
+        algorithm="theta-sac",
+        query=query,
+        k=k,
+        members=frozenset(community),
+        circle=circle,
+        stats={"theta": theta, "vertices_in_theta_circle": len(inside)},
+    )

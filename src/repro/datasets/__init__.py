@@ -1,0 +1,37 @@
+"""Dataset substrate: synthetic spatial graphs and geo-social check-in data.
+
+The paper evaluates on four real geo-social datasets (Brightkite, Gowalla,
+Flickr, Foursquare) and two synthetic graphs (Syn1, Syn2).  The real datasets
+are not redistributable here, so this package provides:
+
+* :func:`~repro.datasets.synthetic.powerlaw_spatial_graph` — the paper's own
+  synthetic recipe (Section 5.1): a power-law degree sequence (GTGraph-like)
+  plus BFS spatial placement where neighbour distances follow
+  ``N(mu=0.09, sigma=0.16)``;
+* :func:`~repro.datasets.geosocial.brightkite_like` — a geo-social stand-in
+  with clustered "cities", power-law degrees, and spatially correlated
+  friendships, closer in spirit to the real check-in datasets;
+* :class:`~repro.datasets.geosocial.CheckinGenerator` — timestamped check-in
+  streams with occasional long-distance moves, feeding the dynamic
+  experiments of Section 5.2.3;
+* :mod:`~repro.datasets.registry` — named dataset configurations mirroring
+  Table 4 at laptop-friendly scales (plus loaders for the real SNAP files if
+  they are available locally);
+* :mod:`~repro.datasets.loaders` — SNAP-format loaders.
+"""
+
+from repro.datasets.geosocial import CheckinGenerator, brightkite_like
+from repro.datasets.loaders import load_snap_dataset
+from repro.datasets.registry import DATASETS, DatasetSpec, load_dataset
+from repro.datasets.synthetic import powerlaw_spatial_graph, random_geometric_graph
+
+__all__ = [
+    "powerlaw_spatial_graph",
+    "random_geometric_graph",
+    "brightkite_like",
+    "CheckinGenerator",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "load_snap_dataset",
+]

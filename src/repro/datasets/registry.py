@@ -1,0 +1,108 @@
+"""Named dataset configurations mirroring Table 4.
+
+The registry maps the paper's dataset names to generator configurations at
+laptop-friendly scales.  Average degrees match the paper (Table 4); vertex
+counts are scaled down so that the full benchmark suite runs in minutes in
+pure Python.  The ``scale`` argument of :func:`load_dataset` lets callers
+grow any dataset towards paper scale when they have the time budget.
+
+==============  ==========================  ================  ===========
+Name            Paper size (n, m)           Stand-in n        Avg. degree
+==============  ==========================  ================  ===========
+``brightkite``  51,406 / 197,167            4,000             7.67
+``gowalla``     107,092 / 456,830           6,000             8.53
+``flickr``      214,698 / 2,096,306         6,000             19.5
+``foursquare``  2,127,093 / 8,640,352       10,000            8.12
+``syn1``        30,000 / 300,000            3,000             20
+``syn2``        400,000 / 4,000,000         8,000             20
+==============  ==========================  ================  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.datasets.geosocial import brightkite_like
+from repro.datasets.synthetic import powerlaw_spatial_graph
+from repro.exceptions import DatasetError
+from repro.graph.spatial_graph import SpatialGraph
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Configuration for one named dataset stand-in.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower case).
+    kind:
+        ``"geosocial"`` (city-clustered generator) or ``"powerlaw"`` (the
+        paper's synthetic recipe).
+    num_vertices:
+        Default stand-in vertex count.
+    average_degree:
+        Target average degree, matching Table 4.
+    paper_vertices, paper_edges:
+        The sizes reported in Table 4 (for EXPERIMENTS.md reporting).
+    """
+
+    name: str
+    kind: str
+    num_vertices: int
+    average_degree: float
+    paper_vertices: int
+    paper_edges: int
+    seed: int = 0
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "brightkite": DatasetSpec("brightkite", "geosocial", 4000, 7.67, 51_406, 197_167, seed=11),
+    "gowalla": DatasetSpec("gowalla", "geosocial", 6000, 8.53, 107_092, 456_830, seed=13),
+    "flickr": DatasetSpec("flickr", "geosocial", 6000, 19.5, 214_698, 2_096_306, seed=17),
+    "foursquare": DatasetSpec("foursquare", "geosocial", 10000, 8.12, 2_127_093, 8_640_352, seed=19),
+    "syn1": DatasetSpec("syn1", "powerlaw", 3000, 20.0, 30_000, 300_000, seed=23),
+    "syn2": DatasetSpec("syn2", "powerlaw", 8000, 20.0, 400_000, 4_000_000, seed=29),
+}
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+) -> SpatialGraph:
+    """Instantiate a named dataset stand-in.
+
+    Parameters
+    ----------
+    name:
+        One of the keys in :data:`DATASETS` (case insensitive).
+    scale:
+        Multiplier applied to the stand-in vertex count (``scale=2`` doubles
+        the graph).  Must be positive.
+    seed:
+        Override the spec's default seed.
+    """
+    key = name.lower()
+    if key not in DATASETS:
+        raise DatasetError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale}")
+    spec = DATASETS[key]
+    num_vertices = max(100, int(round(spec.num_vertices * scale)))
+    use_seed = spec.seed if seed is None else seed
+    if spec.kind == "geosocial":
+        return brightkite_like(
+            num_vertices=num_vertices,
+            average_degree=spec.average_degree,
+            seed=use_seed,
+        )
+    if spec.kind == "powerlaw":
+        return powerlaw_spatial_graph(
+            num_vertices=num_vertices,
+            average_degree=spec.average_degree,
+            seed=use_seed,
+        )
+    raise DatasetError(f"unknown dataset kind {spec.kind!r}")

@@ -1,0 +1,90 @@
+"""Aggregating community overlap against time gaps (Figure 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.dynamic.tracker import CommunitySnapshot
+from repro.graph.io import Checkin
+from repro.graph.spatial_graph import SpatialGraph
+from repro.metrics.similarity import community_jaccard
+from repro.geometry.overlap import circle_area_jaccard
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapPoint:
+    """Average CJS/CAO over all snapshot pairs separated by at least ``eta`` days."""
+
+    eta_days: float
+    average_cjs: float
+    average_cao: float
+    num_pairs: int
+
+
+def overlap_vs_time_gap(
+    timelines: Dict[int, List[CommunitySnapshot]],
+    etas_days: Sequence[float],
+) -> List[OverlapPoint]:
+    """Compute average CJS and CAO for snapshot pairs separated by ≥ η.
+
+    For each η, every ordered pair of snapshots of the same user whose time
+    gap is at least η (and less than the next larger η, to keep the buckets
+    informative) contributes one CJS and one CAO sample; pairs where either
+    snapshot found no community are skipped, as in the paper.
+    """
+    points: List[OverlapPoint] = []
+    sorted_etas = sorted(etas_days)
+    for index, eta in enumerate(sorted_etas):
+        upper = sorted_etas[index + 1] if index + 1 < len(sorted_etas) else float("inf")
+        cjs_samples: List[float] = []
+        cao_samples: List[float] = []
+        for snapshots in timelines.values():
+            ordered = sorted(snapshots, key=lambda snap: snap.timestamp)
+            for i in range(len(ordered)):
+                for j in range(i + 1, len(ordered)):
+                    gap = ordered[j].timestamp - ordered[i].timestamp
+                    if gap < eta or gap >= upper:
+                        continue
+                    if not ordered[i].found or not ordered[j].found:
+                        continue
+                    cjs_samples.append(
+                        community_jaccard(ordered[i].members, ordered[j].members)
+                    )
+                    cao_samples.append(
+                        circle_area_jaccard(ordered[i].circle, ordered[j].circle)
+                    )
+        if cjs_samples:
+            points.append(
+                OverlapPoint(
+                    eta_days=eta,
+                    average_cjs=sum(cjs_samples) / len(cjs_samples),
+                    average_cao=sum(cao_samples) / len(cao_samples),
+                    num_pairs=len(cjs_samples),
+                )
+            )
+        else:
+            points.append(OverlapPoint(eta_days=eta, average_cjs=0.0, average_cao=0.0, num_pairs=0))
+    return points
+
+
+def select_mobile_queries(
+    graph: SpatialGraph,
+    checkins: Sequence[Checkin],
+    travel_distances: Dict[int, float],
+    *,
+    count: int = 100,
+    min_friends: int = 20,
+) -> List[int]:
+    """Select the dynamic-experiment query users following the paper's rule.
+
+    The paper picks the 100 users who travel the longest total distance and
+    have at least 20 friends.  Users that never check in are excluded.
+    """
+    eligible = [
+        (distance, user)
+        for user, distance in travel_distances.items()
+        if 0 <= user < graph.num_vertices and graph.degree(user) >= min_friends
+    ]
+    eligible.sort(reverse=True)
+    return [user for _, user in eligible[:count]]

@@ -1,0 +1,101 @@
+"""Tracking a user's SAC over time as their location changes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.result import SACResult
+from repro.core.searcher import ALGORITHMS
+from repro.dynamic.stream import LocationStream
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.geometry.circle import Circle
+from repro.graph.io import Checkin
+
+
+@dataclass(frozen=True)
+class CommunitySnapshot:
+    """One entry of a user's community timeline.
+
+    Attributes
+    ----------
+    timestamp:
+        Time of the check-in that triggered the query.
+    members:
+        Community member set found at that time (empty when no community
+        existed).
+    circle:
+        MCC of the community (zero circle when the community is empty).
+    """
+
+    timestamp: float
+    members: FrozenSet[int]
+    circle: Circle
+
+    @property
+    def found(self) -> bool:
+        """Whether a community existed at this snapshot."""
+        return bool(self.members)
+
+
+class SACTracker:
+    """Re-run SAC search for selected users every time they check in.
+
+    Parameters
+    ----------
+    stream:
+        The location stream to replay.
+    k:
+        Minimum-degree threshold used for every query.
+    algorithm:
+        Name of the SAC algorithm to use (paper uses ``Exact+``; the default
+        here is ``appfast`` which keeps large replays fast — pass
+        ``"exact+"`` to follow the paper exactly).
+    algorithm_params:
+        Extra keyword arguments for the algorithm (e.g. ``epsilon_a``).
+    """
+
+    def __init__(
+        self,
+        stream: LocationStream,
+        k: int,
+        *,
+        algorithm: str = "appfast",
+        algorithm_params: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        self.stream = stream
+        self.k = k
+        self.algorithm = algorithm
+        self.algorithm_params = dict(algorithm_params or {})
+
+    def track(self, users: Sequence[int]) -> Dict[int, List[CommunitySnapshot]]:
+        """Replay the stream and return each tracked user's community timeline.
+
+        For every check-in made by a tracked user, the current location
+        snapshot is materialised and the SAC query is executed for that user.
+        """
+        tracked = set(int(user) for user in users)
+        timelines: Dict[int, List[CommunitySnapshot]] = {user: [] for user in tracked}
+        algorithm = ALGORITHMS[self.algorithm]
+
+        for record in self.stream.replay():
+            if record.user not in tracked:
+                continue
+            snapshot_graph = self.stream.snapshot()
+            try:
+                result: SACResult = algorithm(
+                    snapshot_graph, record.user, self.k, **self.algorithm_params
+                )
+                members = result.members
+                circle = result.circle
+            except NoCommunityError:
+                members = frozenset()
+                circle = Circle.from_xy(record.x, record.y, 0.0)
+            timelines[record.user].append(
+                CommunitySnapshot(timestamp=record.timestamp, members=members, circle=circle)
+            )
+        return timelines

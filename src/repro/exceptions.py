@@ -1,0 +1,52 @@
+"""Exception hierarchy for the SAC-search reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch a single base class.  The more specific subclasses separate
+user mistakes (bad parameters, unknown vertices) from situations where the
+query simply has no answer (no community exists).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a graph cannot be built from the supplied data."""
+
+
+class VertexNotFoundError(ReproError, KeyError):
+    """Raised when a vertex id is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when an algorithm parameter is outside its documented range."""
+
+
+class NoCommunityError(ReproError):
+    """Raised when no feasible community exists for the given query.
+
+    A feasible community is a connected subgraph containing the query vertex
+    in which every vertex has degree at least ``k``.  When the query vertex is
+    not part of any ``k``-core, SAC search has no answer and this exception is
+    raised (the high-level :class:`repro.SACSearcher` can instead return
+    ``None`` if configured to do so).
+    """
+
+    def __init__(self, query: object, k: int, detail: str = "") -> None:
+        message = f"no community with minimum degree {k} contains vertex {query!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.query = query
+        self.k = k
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, located, or parsed."""

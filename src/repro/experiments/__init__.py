@@ -1,0 +1,23 @@
+"""Experiment harness behind the paper's figures and tables.
+
+* :mod:`~repro.experiments.queries` — query-workload selection (the paper
+  samples 200 query vertices with core number ≥ 4 per dataset);
+* :mod:`~repro.experiments.sweeps` — the parameter grid of Table 5;
+* :mod:`~repro.experiments.timing` — wall-clock measurement helpers;
+* :mod:`~repro.experiments.tables` — small text-table formatting used by the
+  benchmark harness to print paper-style rows.
+"""
+
+from repro.experiments.queries import select_query_vertices
+from repro.experiments.sweeps import DEFAULT_SWEEPS, ParameterSweep
+from repro.experiments.tables import format_table
+from repro.experiments.timing import Timer, time_callable
+
+__all__ = [
+    "select_query_vertices",
+    "ParameterSweep",
+    "DEFAULT_SWEEPS",
+    "Timer",
+    "time_callable",
+    "format_table",
+]

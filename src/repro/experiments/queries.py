@@ -1,0 +1,56 @@
+"""Query-workload selection.
+
+Section 5.1: "For each dataset, we randomly select 200 query vertices with
+core numbers of 4 or more.  Such a core number constraint ensures a
+meaningful community (at least 4-ĉore) containing the query vertex."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.decomposition import core_numbers
+
+
+def select_query_vertices(
+    graph: SpatialGraph,
+    count: int = 200,
+    *,
+    min_core: int = 4,
+    seed: int = 0,
+) -> List[int]:
+    """Sample query vertices whose core number is at least ``min_core``.
+
+    Parameters
+    ----------
+    graph:
+        The dataset graph.
+    count:
+        Number of query vertices to sample (fewer are returned when the
+        graph does not contain enough eligible vertices).
+    min_core:
+        Core-number threshold; the paper uses 4.
+    seed:
+        Random seed for reproducible workloads.
+
+    Returns
+    -------
+    list of int
+        Sorted list of query vertex indices (unique).
+    """
+    if count < 1:
+        raise InvalidParameterError("count must be at least 1")
+    if min_core < 0:
+        raise InvalidParameterError("min_core must be non-negative")
+    cores = core_numbers(graph)
+    eligible = np.nonzero(cores >= min_core)[0]
+    if eligible.size == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    take = min(count, int(eligible.size))
+    chosen = rng.choice(eligible, size=take, replace=False)
+    return sorted(int(v) for v in chosen)

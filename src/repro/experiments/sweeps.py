@@ -1,0 +1,46 @@
+"""Parameter sweeps (Table 5 of the paper).
+
+=============  ===========================================  ========
+Parameter      Range                                        Default
+=============  ===========================================  ========
+``epsilon_f``  0.0, 0.5, 1.0, 1.5, 2.0                      0.5
+``epsilon_a``  0.01, 0.05, 0.1, 0.5, 0.9                    0.5
+``k``          4, 7, 10, 13, 16                             4
+``theta``      1e-6, 1e-5, 1e-4, 1e-3, 1e-2                 1e-4
+``n``          20%, 40%, 60%, 80%, 100%                     100%
+=============  ===========================================  ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ParameterSweep:
+    """One experimental parameter with its sweep values and default."""
+
+    name: str
+    values: Tuple[float, ...]
+    default: float
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+
+DEFAULT_SWEEPS: Dict[str, ParameterSweep] = {
+    "epsilon_f": ParameterSweep("epsilon_f", (0.0, 0.5, 1.0, 1.5, 2.0), 0.5),
+    "epsilon_a": ParameterSweep("epsilon_a", (0.01, 0.05, 0.1, 0.5, 0.9), 0.5),
+    "k": ParameterSweep("k", (4, 7, 10, 13, 16), 4),
+    "theta": ParameterSweep("theta", (1e-6, 1e-5, 1e-4, 1e-3, 1e-2), 1e-4),
+    "fraction": ParameterSweep("fraction", (0.2, 0.4, 0.6, 0.8, 1.0), 1.0),
+    "exact_plus_epsilon_a": ParameterSweep(
+        "exact_plus_epsilon_a", (1e-6, 1e-5, 1e-4, 1e-3), 1e-4
+    ),
+}
+
+
+def defaults() -> Dict[str, float]:
+    """Return the default value of every sweep parameter."""
+    return {name: sweep.default for name, sweep in DEFAULT_SWEEPS.items()}

@@ -1,0 +1,47 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints paper-style rows (one per parameter value or
+algorithm) so that EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of dictionaries; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * widths[index] for index in range(len(columns)))
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers for the efficiency experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time.
+
+    Examples
+    --------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_callable(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def average_query_time(
+    func: Callable[[int], Any], queries: List[int], *, skip_errors: bool = True
+) -> Dict[str, float]:
+    """Run ``func(query)`` over a query workload and report timing statistics.
+
+    Returns a dict with ``mean``, ``total``, ``count``, and ``failures``.
+    Exceptions are counted as failures when ``skip_errors`` is set.
+    """
+    total = 0.0
+    count = 0
+    failures = 0
+    for query in queries:
+        start = time.perf_counter()
+        try:
+            func(query)
+        except Exception:
+            if not skip_errors:
+                raise
+            failures += 1
+            continue
+        total += time.perf_counter() - start
+        count += 1
+    mean = total / count if count else 0.0
+    return {"mean": mean, "total": total, "count": count, "failures": failures}

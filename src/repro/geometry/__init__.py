@@ -1,0 +1,42 @@
+"""Computational-geometry substrate for SAC search.
+
+This package provides the geometric building blocks the SAC algorithms rely
+on:
+
+* :class:`~repro.geometry.point.Point` — lightweight immutable 2-D point.
+* :class:`~repro.geometry.circle.Circle` — a circle with containment tests.
+* :func:`~repro.geometry.mec.minimum_enclosing_circle` — Welzl's exact
+  minimum-enclosing-circle algorithm (Lemma 1 of the paper).
+* :class:`~repro.geometry.grid.GridIndex` — uniform grid for circular range
+  queries and nearest-neighbour search over vertex coordinates.
+* :class:`~repro.geometry.quadtree.RegionQuadtree` — the region quadtree of
+  anchor points used by ``AppAcc`` (Section 4.4).
+* :func:`~repro.geometry.overlap.circle_overlap_area` /
+  :func:`~repro.geometry.overlap.circle_area_jaccard` — circle intersection
+  area used by the CAO metric (Eq. 10).
+"""
+
+from repro.geometry.circle import Circle
+from repro.geometry.grid import GridIndex
+from repro.geometry.mec import (
+    circle_from_three_points,
+    circle_from_two_points,
+    minimum_enclosing_circle,
+)
+from repro.geometry.overlap import circle_area_jaccard, circle_overlap_area
+from repro.geometry.point import Point, euclidean
+from repro.geometry.quadtree import QuadtreeNode, RegionQuadtree
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "Circle",
+    "minimum_enclosing_circle",
+    "circle_from_two_points",
+    "circle_from_three_points",
+    "GridIndex",
+    "RegionQuadtree",
+    "QuadtreeNode",
+    "circle_overlap_area",
+    "circle_area_jaccard",
+]

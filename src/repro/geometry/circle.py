@@ -1,0 +1,88 @@
+"""Circle primitive used throughout SAC search.
+
+The paper denotes a circle with centre ``o`` and radius ``r`` as ``O(o, r)``.
+Circles are used both as query regions (``O(q, delta)`` in AppInc/AppFast) and
+as minimum covering circles of candidate communities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Coordinate, Point, _unpack
+
+#: Relative slack applied to containment checks so that points lying exactly
+#: on a circle boundary (the "fixed vertices" of an MCC) are always counted as
+#: inside despite floating-point rounding.
+CONTAINMENT_EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A circle ``O(center, radius)`` in the plane.
+
+    Parameters
+    ----------
+    center:
+        Circle centre.
+    radius:
+        Non-negative radius.
+    """
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"circle radius must be non-negative, got {self.radius}")
+
+    @classmethod
+    def from_xy(cls, x: float, y: float, radius: float) -> "Circle":
+        """Build a circle from raw centre coordinates."""
+        return cls(Point(float(x), float(y)), float(radius))
+
+    @property
+    def area(self) -> float:
+        """Area of the circle."""
+        return math.pi * self.radius * self.radius
+
+    @property
+    def diameter(self) -> float:
+        """Diameter of the circle."""
+        return 2.0 * self.radius
+
+    def contains(self, point: Point | Coordinate, tolerance: float | None = None) -> bool:
+        """Return ``True`` if ``point`` lies inside or on the circle.
+
+        A small relative tolerance absorbs floating-point error for boundary
+        points; pass ``tolerance=0`` for a strict check.
+        """
+        if tolerance is None:
+            tolerance = CONTAINMENT_EPSILON * max(1.0, self.radius)
+        px, py = _unpack(point)
+        dx = px - self.center.x
+        dy = py - self.center.y
+        limit = self.radius + tolerance
+        return dx * dx + dy * dy <= limit * limit
+
+    def contains_all(
+        self, points: Iterable[Point | Coordinate], tolerance: float | None = None
+    ) -> bool:
+        """Return ``True`` if every point in ``points`` is inside the circle."""
+        return all(self.contains(point, tolerance=tolerance) for point in points)
+
+    def distance_to_center(self, point: Point | Coordinate) -> float:
+        """Euclidean distance from ``point`` to the circle centre."""
+        px, py = _unpack(point)
+        return math.hypot(px - self.center.x, py - self.center.y)
+
+    def expanded(self, delta: float) -> "Circle":
+        """Return a concentric circle whose radius is increased by ``delta``."""
+        return Circle(self.center, max(0.0, self.radius + delta))
+
+    def intersects(self, other: "Circle") -> bool:
+        """Return ``True`` if this circle and ``other`` share at least a point."""
+        gap = self.center.distance_to(other.center)
+        return gap <= self.radius + other.radius + CONTAINMENT_EPSILON

@@ -1,0 +1,207 @@
+"""Uniform grid spatial index.
+
+Every SAC algorithm repeatedly needs the set of candidate vertices inside a
+query circle ``O(p, r)`` (AppFast's binary search, AppAcc's anchor probes,
+Exact+'s annular filters).  A uniform grid over the data's bounding box gives
+near output-sensitive circular range queries without any third-party spatial
+library, and supports incremental nearest-neighbour scans used by ``AppInc``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+class GridIndex:
+    """A uniform grid over a static set of 2-D points.
+
+    Parameters
+    ----------
+    coordinates:
+        ``(n, 2)`` array of point coordinates.  The index refers to points by
+        their row index.
+    cell_size:
+        Side length of each grid cell.  When omitted, a heuristic of
+        ``extent / sqrt(n)`` is used, which keeps the expected number of
+        points per cell constant.
+    """
+
+    def __init__(
+        self,
+        coordinates: np.ndarray | Sequence[Tuple[float, float]],
+        cell_size: float | None = None,
+    ) -> None:
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError("coordinates must be an (n, 2) array")
+        if coords.shape[0] == 0:
+            raise ValueError("GridIndex requires at least one point")
+        self._coords = coords
+        self._min_x = float(coords[:, 0].min())
+        self._min_y = float(coords[:, 1].min())
+        max_x = float(coords[:, 0].max())
+        max_y = float(coords[:, 1].max())
+        extent = max(max_x - self._min_x, max_y - self._min_y)
+        if cell_size is None:
+            cell_size = extent / max(1.0, math.sqrt(coords.shape[0]))
+        if cell_size <= 1e-12:
+            # Degenerate extents (all points nearly identical) would otherwise
+            # produce astronomically many conceptual cells and misplace points
+            # whose separation underflows; a single cell is always correct.
+            cell_size = 1.0
+        self._cell = float(cell_size)
+        self._cols = max(1, int(math.floor((max_x - self._min_x) / self._cell)) + 1)
+        self._rows = max(1, int(math.floor((max_y - self._min_y) / self._cell)) + 1)
+        self._buckets: dict[tuple[int, int], list[int]] = {}
+        cols = np.clip(((coords[:, 0] - self._min_x) / self._cell).astype(np.int64), 0, self._cols - 1)
+        rows = np.clip(((coords[:, 1] - self._min_y) / self._cell).astype(np.int64), 0, self._rows - 1)
+        for idx in range(coords.shape[0]):
+            key = (int(cols[idx]), int(rows[idx]))
+            self._buckets.setdefault(key, []).append(idx)
+
+    @property
+    def cell_size(self) -> float:
+        """Side length of each grid cell."""
+        return self._cell
+
+    @property
+    def size(self) -> int:
+        """Number of indexed points."""
+        return int(self._coords.shape[0])
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        col = int((x - self._min_x) / self._cell)
+        row = int((y - self._min_y) / self._cell)
+        return (min(max(col, 0), self._cols - 1), min(max(row, 0), self._rows - 1))
+
+    def query_circle(self, x: float, y: float, radius: float) -> List[int]:
+        """Return indices of all points within distance ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            return []
+        # Clamp both corners of the circle's bounding square into the grid.
+        # Clamping (rather than discarding out-of-range cells) keeps boundary
+        # cases correct when the query point sits marginally outside the
+        # indexed bounding box.
+        col_lo, row_lo = self._cell_of(x - radius, y - radius)
+        col_hi, row_hi = self._cell_of(x + radius, y + radius)
+        limit = radius * radius + 1e-18
+        coords = self._coords
+        result: List[int] = []
+        for col in range(col_lo, col_hi + 1):
+            for row in range(row_lo, row_hi + 1):
+                bucket = self._buckets.get((col, row))
+                if not bucket:
+                    continue
+                for idx in bucket:
+                    dx = coords[idx, 0] - x
+                    dy = coords[idx, 1] - y
+                    if dx * dx + dy * dy <= limit:
+                        result.append(idx)
+        return result
+
+    def query_annulus(
+        self, x: float, y: float, inner_radius: float, outer_radius: float
+    ) -> List[int]:
+        """Return indices of points with ``inner_radius <= dist <= outer_radius``."""
+        if outer_radius < 0 or outer_radius < inner_radius:
+            return []
+        inner_sq = max(0.0, inner_radius) ** 2 - 1e-18
+        candidates = self.query_circle(x, y, outer_radius)
+        coords = self._coords
+        result = []
+        for idx in candidates:
+            dx = coords[idx, 0] - x
+            dy = coords[idx, 1] - y
+            if dx * dx + dy * dy >= inner_sq:
+                result.append(idx)
+        return result
+
+    def nearest(self, x: float, y: float, count: int = 1, exclude: set[int] | None = None) -> List[int]:
+        """Return the ``count`` nearest point indices to ``(x, y)``.
+
+        The scan expands ring by ring over grid cells, so the cost is close to
+        proportional to the number of points returned for uniform data.
+        """
+        if count <= 0:
+            return []
+        exclude = exclude or set()
+        coords = self._coords
+        best: list[tuple[float, int]] = []
+        center_col, center_row = self._cell_of(x, y)
+        max_ring = max(self._cols, self._rows)
+        for ring in range(max_ring + 1):
+            found_any = False
+            for col, row in self._ring_cells(center_col, center_row, ring):
+                bucket = self._buckets.get((col, row))
+                if not bucket:
+                    continue
+                found_any = True
+                for idx in bucket:
+                    if idx in exclude:
+                        continue
+                    dx = coords[idx, 0] - x
+                    dy = coords[idx, 1] - y
+                    best.append((dx * dx + dy * dy, idx))
+            if len(best) >= count:
+                # One extra ring guards against a closer point in the next
+                # ring whose cell corner is nearer than found points.
+                extra_ring = ring + 1
+                for col, row in self._ring_cells(center_col, center_row, extra_ring):
+                    bucket = self._buckets.get((col, row))
+                    if not bucket:
+                        continue
+                    for idx in bucket:
+                        if idx in exclude:
+                            continue
+                        dx = coords[idx, 0] - x
+                        dy = coords[idx, 1] - y
+                        best.append((dx * dx + dy * dy, idx))
+                break
+            if ring == max_ring and not found_any and best:
+                break
+        best.sort()
+        return [idx for _, idx in best[:count]]
+
+    def _ring_cells(self, center_col: int, center_row: int, ring: int) -> Iterator[tuple[int, int]]:
+        """Yield the cells at Chebyshev distance ``ring`` from the centre cell."""
+        if ring == 0:
+            if 0 <= center_col < self._cols and 0 <= center_row < self._rows:
+                yield (center_col, center_row)
+            return
+        col_lo = center_col - ring
+        col_hi = center_col + ring
+        row_lo = center_row - ring
+        row_hi = center_row + ring
+        for col in range(col_lo, col_hi + 1):
+            for row in (row_lo, row_hi):
+                if 0 <= col < self._cols and 0 <= row < self._rows:
+                    yield (col, row)
+        for row in range(row_lo + 1, row_hi):
+            for col in (col_lo, col_hi):
+                if 0 <= col < self._cols and 0 <= row < self._rows:
+                    yield (col, row)
+
+    def iter_distances_ascending(
+        self, x: float, y: float, candidates: Iterable[int] | None = None
+    ) -> List[tuple[float, int]]:
+        """Return ``(distance, index)`` pairs sorted by ascending distance.
+
+        When ``candidates`` is given only those indices are considered; this
+        is used by the SAC algorithms to sort the vertices of a k-ĉore by
+        their distance from the query vertex.
+        """
+        coords = self._coords
+        if candidates is None:
+            indices = range(coords.shape[0])
+        else:
+            indices = list(candidates)
+        pairs = []
+        for idx in indices:
+            dx = coords[idx, 0] - x
+            dy = coords[idx, 1] - y
+            pairs.append((math.hypot(dx, dy), idx))
+        pairs.sort()
+        return pairs

@@ -1,0 +1,160 @@
+"""Minimum enclosing circle (MCC) computation.
+
+Definition 2 of the paper asks for the spatial circle of smallest radius
+containing a vertex set; Lemma 1 (Elzinga & Hearn) states that the circle is
+determined by at most three boundary points.  We implement:
+
+* exact circumscribed circles for two and three points,
+* Welzl's randomised algorithm in its iterative "move-to-front" form, which
+  runs in expected linear time and never recurses (important for the
+  100K-vertex candidate sets the paper mentions).
+
+The implementation is deterministic: instead of a random shuffle, callers may
+pass a pre-shuffled sequence; by default a fixed-seed shuffle is applied so
+results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Coordinate, Point, _unpack
+
+#: Numerical slack used when testing whether a point already lies inside the
+#: current candidate circle during Welzl's algorithm.
+_EPSILON = 1e-12
+
+
+def circle_from_two_points(a: Point | Coordinate, b: Point | Coordinate) -> Circle:
+    """Return the smallest circle through two points (they span a diameter)."""
+    ax, ay = _unpack(a)
+    bx, by = _unpack(b)
+    center = Point((ax + bx) / 2.0, (ay + by) / 2.0)
+    radius = math.hypot(ax - bx, ay - by) / 2.0
+    return Circle(center, radius)
+
+
+def circle_from_three_points(
+    a: Point | Coordinate, b: Point | Coordinate, c: Point | Coordinate
+) -> Circle:
+    """Return the circle through three points.
+
+    For collinear (or duplicate) points there is no finite circumscribed
+    circle; the smallest circle covering the three points is returned instead
+    (the diameter circle of the two farthest points), which matches what MCC
+    computations need.
+    """
+    ax, ay = _unpack(a)
+    bx, by = _unpack(b)
+    cx, cy = _unpack(c)
+
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) < _EPSILON:
+        # Collinear: fall back to the widest pair.
+        candidates = [
+            circle_from_two_points((ax, ay), (bx, by)),
+            circle_from_two_points((ax, ay), (cx, cy)),
+            circle_from_two_points((bx, by), (cx, cy)),
+        ]
+        best = max(candidates, key=lambda circle: circle.radius)
+        return best
+
+    a_sq = ax * ax + ay * ay
+    b_sq = bx * bx + by * by
+    c_sq = cx * cx + cy * cy
+    ux = (a_sq * (by - cy) + b_sq * (cy - ay) + c_sq * (ay - by)) / d
+    uy = (a_sq * (cx - bx) + b_sq * (ax - cx) + c_sq * (bx - ax)) / d
+    center = Point(ux, uy)
+    radius = math.hypot(ax - ux, ay - uy)
+    return Circle(center, radius)
+
+
+def minimum_covering_circle_of_triple(
+    a: Point | Coordinate, b: Point | Coordinate, c: Point | Coordinate
+) -> Circle:
+    """Smallest circle covering three points (not necessarily through all).
+
+    The MCC of three points is either the diameter circle of the farthest
+    pair (if the triangle is obtuse) or the circumscribed circle (otherwise).
+    This mirrors Lemma 1's characterisation and is what ``Exact``/``Exact+``
+    evaluate for every candidate triple of fixed vertices.
+    """
+    pairs = (
+        (a, b, c),
+        (a, c, b),
+        (b, c, a),
+    )
+    for first, second, third in pairs:
+        candidate = circle_from_two_points(first, second)
+        if candidate.contains(third):
+            return candidate
+    return circle_from_three_points(a, b, c)
+
+
+def _circle_through(boundary: Sequence[Coordinate]) -> Circle:
+    """Smallest circle determined by 0, 1, 2, or 3 boundary points."""
+    if not boundary:
+        return Circle(Point(0.0, 0.0), 0.0)
+    if len(boundary) == 1:
+        x, y = boundary[0]
+        return Circle(Point(x, y), 0.0)
+    if len(boundary) == 2:
+        return circle_from_two_points(boundary[0], boundary[1])
+    return circle_from_three_points(boundary[0], boundary[1], boundary[2])
+
+
+def minimum_enclosing_circle(
+    points: Iterable[Point | Coordinate],
+    *,
+    shuffle_seed: int | None = 8191,
+) -> Circle:
+    """Compute the exact minimum enclosing circle of ``points``.
+
+    Parameters
+    ----------
+    points:
+        Any iterable of :class:`Point` objects or ``(x, y)`` tuples.  Must be
+        non-empty.
+    shuffle_seed:
+        Seed for the internal shuffle that gives Welzl's algorithm its
+        expected-linear running time.  Pass ``None`` to keep the input order
+        (worst-case quadratic but fully deterministic with respect to order).
+
+    Returns
+    -------
+    Circle
+        The circle of minimum radius containing every input point.
+    """
+    coords = [_unpack(point) for point in points]
+    if not coords:
+        raise ValueError("minimum_enclosing_circle() requires at least one point")
+    if shuffle_seed is not None and len(coords) > 3:
+        rng = random.Random(shuffle_seed)
+        rng.shuffle(coords)
+
+    circle = Circle(Point(*coords[0]), 0.0)
+    for i, p in enumerate(coords):
+        if circle.contains(p, tolerance=_EPSILON * max(1.0, circle.radius)):
+            continue
+        # p must be on the boundary of the MEC of coords[: i + 1].
+        circle = Circle(Point(*p), 0.0)
+        for j in range(i):
+            q = coords[j]
+            if circle.contains(q, tolerance=_EPSILON * max(1.0, circle.radius)):
+                continue
+            # p and q are both on the boundary.
+            circle = circle_from_two_points(p, q)
+            for h in range(j):
+                s = coords[h]
+                if circle.contains(s, tolerance=_EPSILON * max(1.0, circle.radius)):
+                    continue
+                circle = circle_from_three_points(p, q, s)
+    return circle
+
+
+def mec_radius(points: Iterable[Point | Coordinate]) -> float:
+    """Convenience wrapper returning only the radius of the MCC of ``points``."""
+    return minimum_enclosing_circle(points).radius

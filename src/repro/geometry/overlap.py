@@ -1,0 +1,73 @@
+"""Circle–circle intersection area and the CAO similarity metric.
+
+Equation (10) of the paper defines *community area overlap* (CAO) as the
+Jaccard similarity of the areas of the MCCs of two communities.  Computing it
+needs the area of the intersection of two circles, which has a closed form
+via circular segments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.circle import Circle
+
+
+def circle_overlap_area(a: Circle, b: Circle) -> float:
+    """Return the area of the intersection of circles ``a`` and ``b``.
+
+    Handles the disjoint and fully-contained cases explicitly; otherwise uses
+    the standard circular-segment ("lens") formula.
+    """
+    r1 = a.radius
+    r2 = b.radius
+    d = a.center.distance_to(b.center)
+
+    if r1 == 0.0 or r2 == 0.0:
+        return 0.0
+    if d >= r1 + r2:
+        return 0.0
+    if d <= abs(r1 - r2):
+        smaller = min(r1, r2)
+        return math.pi * smaller * smaller
+
+    # Lens area: sum of the two circular segments.
+    r1_sq = r1 * r1
+    r2_sq = r2 * r2
+    denom1 = 2.0 * d * r1
+    denom2 = 2.0 * d * r2
+    if denom1 == 0.0 or denom2 == 0.0:
+        # Radii/distance so small that the products underflow: the circles are
+        # effectively concentric, so the overlap is the smaller circle.
+        smaller = min(r1, r2)
+        return math.pi * smaller * smaller
+    alpha = math.acos(_clamp((d * d + r1_sq - r2_sq) / denom1))
+    beta = math.acos(_clamp((d * d + r2_sq - r1_sq) / denom2))
+    segment1 = r1_sq * (alpha - math.sin(2.0 * alpha) / 2.0)
+    segment2 = r2_sq * (beta - math.sin(2.0 * beta) / 2.0)
+    return segment1 + segment2
+
+
+def circle_union_area(a: Circle, b: Circle) -> float:
+    """Return the area of the union of circles ``a`` and ``b``."""
+    return a.area + b.area - circle_overlap_area(a, b)
+
+
+def circle_area_jaccard(a: Circle, b: Circle) -> float:
+    """Return the Jaccard similarity of the areas of two circles (CAO).
+
+    Two degenerate zero-radius circles at the same location are defined to
+    have similarity 1; a zero-radius circle against a positive-radius circle
+    has similarity 0.
+    """
+    union = circle_union_area(a, b)
+    if union <= 0.0:
+        if a.radius == 0.0 and b.radius == 0.0:
+            return 1.0 if a.center.distance_to(b.center) == 0.0 else 0.0
+        return 0.0
+    return circle_overlap_area(a, b) / union
+
+
+def _clamp(value: float, low: float = -1.0, high: float = 1.0) -> float:
+    """Clamp ``value`` into ``[low, high]`` to guard acos against rounding."""
+    return max(low, min(high, value))

@@ -1,0 +1,115 @@
+"""Two-dimensional point primitives.
+
+The SAC algorithms work in a normalised 2-D Euclidean space (the paper
+normalises all datasets into the unit square).  A :class:`Point` is an
+immutable value object; distance helpers accept both :class:`Point` objects
+and plain ``(x, y)`` tuples so that hot loops can avoid allocations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Coordinate = Tuple[float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the 2-D Euclidean plane.
+
+    Parameters
+    ----------
+    x, y:
+        Cartesian coordinates.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point | Coordinate") -> float:
+        """Return the Euclidean distance to ``other``."""
+        ox, oy = _unpack(other)
+        return math.hypot(self.x - ox, self.y - oy)
+
+    def squared_distance_to(self, other: "Point | Coordinate") -> float:
+        """Return the squared Euclidean distance to ``other``.
+
+        Useful in comparisons where the square root is unnecessary.
+        """
+        ox, oy = _unpack(other)
+        dx = self.x - ox
+        dy = self.y - oy
+        return dx * dx + dy * dy
+
+    def midpoint(self, other: "Point | Coordinate") -> "Point":
+        """Return the midpoint of the segment from this point to ``other``."""
+        ox, oy = _unpack(other)
+        return Point((self.x + ox) / 2.0, (self.y + oy) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Coordinate:
+        """Return the point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def _unpack(point: Point | Coordinate) -> Coordinate:
+    """Normalise ``point`` into a plain coordinate tuple."""
+    if isinstance(point, Point):
+        return point.x, point.y
+    x, y = point
+    return float(x), float(y)
+
+
+def euclidean(a: Point | Coordinate, b: Point | Coordinate) -> float:
+    """Euclidean distance between two points or coordinate tuples."""
+    ax, ay = _unpack(a)
+    bx, by = _unpack(b)
+    return math.hypot(ax - bx, ay - by)
+
+
+def squared_euclidean(a: Point | Coordinate, b: Point | Coordinate) -> float:
+    """Squared Euclidean distance between two points or coordinate tuples."""
+    ax, ay = _unpack(a)
+    bx, by = _unpack(b)
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def centroid(points: Iterable[Point | Coordinate]) -> Point:
+    """Return the centroid (arithmetic mean) of a non-empty point collection."""
+    total_x = 0.0
+    total_y = 0.0
+    count = 0
+    for point in points:
+        x, y = _unpack(point)
+        total_x += x
+        total_y += y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid() requires at least one point")
+    return Point(total_x / count, total_y / count)
+
+
+def bounding_box(
+    points: Sequence[Point | Coordinate],
+) -> tuple[float, float, float, float]:
+    """Return the axis-aligned bounding box ``(min_x, min_y, max_x, max_y)``."""
+    if not points:
+        raise ValueError("bounding_box() requires at least one point")
+    xs = []
+    ys = []
+    for point in points:
+        x, y = _unpack(point)
+        xs.append(x)
+        ys.append(y)
+    return min(xs), min(ys), max(xs), max(ys)

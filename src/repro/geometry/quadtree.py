@@ -1,0 +1,121 @@
+"""Region quadtree of anchor points for ``AppAcc``.
+
+Section 4.4 of the paper organises anchor points (cell centres) into a region
+quadtree rooted at a square of width ``2 * gamma`` centred at the query
+vertex.  The tree is traversed level by level; pruned nodes drop their whole
+subtree.  This module provides exactly that structure: nodes expose their
+centre (the anchor point), width, and children, and the tree can enumerate a
+level while honouring a per-node pruning predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class QuadtreeNode:
+    """A square node of the region quadtree.
+
+    Attributes
+    ----------
+    center_x, center_y:
+        Centre of the square — this is the node's anchor point.
+    width:
+        Side length of the square.
+    depth:
+        Root has depth 0; children have depth ``parent.depth + 1``.
+    """
+
+    center_x: float
+    center_y: float
+    width: float
+    depth: int = 0
+    pruned: bool = False
+
+    def children(self) -> List["QuadtreeNode"]:
+        """Return the four equal-sized quadrant children of this node."""
+        half = self.width / 2.0
+        quarter = self.width / 4.0
+        return [
+            QuadtreeNode(self.center_x - quarter, self.center_y - quarter, half, self.depth + 1),
+            QuadtreeNode(self.center_x + quarter, self.center_y - quarter, half, self.depth + 1),
+            QuadtreeNode(self.center_x - quarter, self.center_y + quarter, half, self.depth + 1),
+            QuadtreeNode(self.center_x + quarter, self.center_y + quarter, half, self.depth + 1),
+        ]
+
+    @property
+    def anchor(self) -> tuple[float, float]:
+        """The anchor point represented by this node (its centre)."""
+        return (self.center_x, self.center_y)
+
+
+class RegionQuadtree:
+    """Level-by-level traversal of a region quadtree rooted at a square.
+
+    Parameters
+    ----------
+    center_x, center_y:
+        Centre of the root square (the query vertex ``q`` in AppAcc).
+    width:
+        Side length of the root square (``2 * gamma`` in AppAcc).
+    """
+
+    def __init__(self, center_x: float, center_y: float, width: float) -> None:
+        if width <= 0:
+            raise ValueError(f"quadtree width must be positive, got {width}")
+        self.root = QuadtreeNode(center_x, center_y, width, depth=0)
+        self._current_level: List[QuadtreeNode] = [self.root]
+
+    @property
+    def current_level(self) -> List[QuadtreeNode]:
+        """Nodes at the current traversal level (pruned nodes excluded)."""
+        return [node for node in self._current_level if not node.pruned]
+
+    @property
+    def current_width(self) -> float:
+        """Side length of the squares at the current traversal level."""
+        if not self._current_level:
+            return 0.0
+        return self._current_level[0].width
+
+    def descend(self) -> List[QuadtreeNode]:
+        """Replace the current level by the children of its unpruned nodes.
+
+        Returns the new level.  Pruned nodes do not contribute children, which
+        realises the subtree pruning used by Pruning1/Pruning2 in the paper.
+        """
+        next_level: List[QuadtreeNode] = []
+        for node in self._current_level:
+            if node.pruned:
+                continue
+            next_level.extend(node.children())
+        self._current_level = next_level
+        return self.current_level
+
+    def prune(self, predicate: Callable[[QuadtreeNode], bool]) -> int:
+        """Mark every current-level node for which ``predicate`` holds as pruned.
+
+        Returns the number of nodes newly pruned.
+        """
+        count = 0
+        for node in self._current_level:
+            if not node.pruned and predicate(node):
+                node.pruned = True
+                count += 1
+        return count
+
+    def levels_until(self, min_width: float) -> Iterator[List[QuadtreeNode]]:
+        """Yield levels, descending after each, until width drops below ``min_width``.
+
+        The root level (width = initial width) is not yielded; traversal
+        starts from the root's children, matching Algorithm 4 which seeds
+        ``achList`` with the four child-node centres.
+        """
+        if min_width <= 0:
+            raise ValueError("min_width must be positive")
+        self.descend()
+        while self.current_width >= min_width and self._current_level:
+            yield self.current_level
+            self.descend()

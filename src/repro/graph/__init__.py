@@ -1,0 +1,38 @@
+"""Spatial graph substrate.
+
+The paper's algorithms are evaluated on geo-social graphs with up to millions
+of vertices.  networkx's per-edge Python objects are too slow at that scale,
+so this package implements a compact, purpose-built structure:
+
+* :class:`~repro.graph.spatial_graph.SpatialGraph` — immutable undirected
+  graph with integer-indexed vertices, numpy adjacency arrays, an ``(n, 2)``
+  coordinate matrix, and a built-in :class:`~repro.geometry.grid.GridIndex`.
+* :class:`~repro.graph.builder.GraphBuilder` — incremental construction with
+  de-duplication and validation, accepting arbitrary hashable vertex labels.
+* :mod:`~repro.graph.io` — readers and writers for edge-list + location files
+  (SNAP-style) and for the library's own compact ``.npz`` format.
+* :mod:`~repro.graph.stats` — summary statistics (Table 4 of the paper).
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import (
+    load_graph_npz,
+    read_checkins,
+    read_edge_list,
+    read_locations,
+    save_graph_npz,
+)
+from repro.graph.spatial_graph import SpatialGraph
+from repro.graph.stats import GraphSummary, summarize
+
+__all__ = [
+    "SpatialGraph",
+    "GraphBuilder",
+    "GraphSummary",
+    "summarize",
+    "read_edge_list",
+    "read_locations",
+    "read_checkins",
+    "save_graph_npz",
+    "load_graph_npz",
+]

@@ -1,0 +1,181 @@
+"""Readers and writers for spatial-graph files.
+
+Two external formats are supported, matching the SNAP releases of the
+Brightkite and Gowalla datasets used in the paper:
+
+* **edge list** — whitespace-separated ``u v`` pairs, one per line;
+* **check-ins / locations** — ``user  timestamp  latitude  longitude  place``
+  (check-ins) or ``user  x  y`` (static locations).
+
+A compact ``.npz`` format is provided for caching generated synthetic graphs
+between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.builder import GraphBuilder
+from repro.graph.spatial_graph import SpatialGraph
+
+
+@dataclass(frozen=True, slots=True)
+class Checkin:
+    """A single check-in record: a user observed at a location at a time."""
+
+    user: int
+    timestamp: float
+    x: float
+    y: float
+
+
+def read_edge_list(path: str | Path, *, comment: str = "#") -> List[Tuple[int, int]]:
+    """Read an undirected edge list of integer vertex ids."""
+    edges: List[Tuple[int, int]] = []
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"edge list file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise DatasetError(f"malformed edge line: {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+    return edges
+
+
+def read_locations(path: str | Path, *, comment: str = "#") -> Dict[int, Tuple[float, float]]:
+    """Read static vertex locations: one ``user x y`` triple per line."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"location file not found: {path}")
+    locations: Dict[int, Tuple[float, float]] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise DatasetError(f"malformed location line: {line!r}")
+            locations[int(parts[0])] = (float(parts[1]), float(parts[2]))
+    return locations
+
+
+def read_checkins(path: str | Path, *, comment: str = "#") -> List[Checkin]:
+    """Read a check-in stream: ``user timestamp x y`` per line, any order."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"check-in file not found: {path}")
+    checkins: List[Checkin] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 4:
+                raise DatasetError(f"malformed check-in line: {line!r}")
+            checkins.append(
+                Checkin(
+                    user=int(parts[0]),
+                    timestamp=float(parts[1]),
+                    x=float(parts[2]),
+                    y=float(parts[3]),
+                )
+            )
+    return checkins
+
+
+def graph_from_files(
+    edge_path: str | Path,
+    location_path: str | Path,
+    *,
+    normalize: bool = True,
+) -> SpatialGraph:
+    """Build a :class:`SpatialGraph` from an edge list plus a location file.
+
+    Users without a location are dropped together with their edges, matching
+    the paper's treatment of the Foursquare dataset.  When ``normalize`` is
+    set, locations are scaled into the unit square as the paper does.
+    """
+    edges = read_edge_list(edge_path)
+    locations = read_locations(location_path)
+    if normalize and locations:
+        locations = normalize_locations(locations)
+    builder = GraphBuilder()
+    for user, (x, y) in locations.items():
+        builder.add_vertex(user, x, y)
+    builder.add_edges(edges)
+    return builder.build(drop_unlocated=True)
+
+
+def normalize_locations(
+    locations: Dict[int, Tuple[float, float]]
+) -> Dict[int, Tuple[float, float]]:
+    """Scale a location map into the unit square ``[0, 1]^2``.
+
+    Degenerate dimensions (all points sharing a coordinate) map to 0.
+    """
+    xs = [x for x, _ in locations.values()]
+    ys = [y for _, y in locations.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max_x - min_x
+    span_y = max_y - min_y
+    normalized: Dict[int, Tuple[float, float]] = {}
+    for user, (x, y) in locations.items():
+        nx = (x - min_x) / span_x if span_x > 0 else 0.0
+        ny = (y - min_y) / span_y if span_y > 0 else 0.0
+        normalized[user] = (nx, ny)
+    return normalized
+
+
+def save_graph_npz(graph: SpatialGraph, path: str | Path) -> None:
+    """Serialize a graph into a compact ``.npz`` file.
+
+    Only integer-labelled graphs can be saved (dataset generators always use
+    integer labels).
+    """
+    labels = graph.labels()
+    if not all(isinstance(label, (int, np.integer)) for label in labels):
+        raise DatasetError("save_graph_npz supports integer vertex labels only")
+    sources = []
+    targets = []
+    for u, v in graph.edges():
+        sources.append(u)
+        targets.append(v)
+    np.savez_compressed(
+        Path(path),
+        labels=np.asarray(labels, dtype=np.int64),
+        coordinates=graph.coordinates,
+        edge_sources=np.asarray(sources, dtype=np.int64),
+        edge_targets=np.asarray(targets, dtype=np.int64),
+    )
+
+
+def load_graph_npz(path: str | Path) -> SpatialGraph:
+    """Load a graph previously written by :func:`save_graph_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"graph file not found: {path}")
+    with np.load(path) as data:
+        labels = data["labels"]
+        coordinates = data["coordinates"]
+        sources = data["edge_sources"]
+        targets = data["edge_targets"]
+    builder = GraphBuilder()
+    for label, (x, y) in zip(labels.tolist(), coordinates.tolist()):
+        builder.add_vertex(int(label), float(x), float(y))
+    for u, v in zip(sources.tolist(), targets.tolist()):
+        builder.add_edge(int(labels[u]), int(labels[v]))
+    return builder.build()

@@ -1,0 +1,249 @@
+"""The :class:`SpatialGraph` data structure.
+
+Design
+------
+Vertices are dense integer indices ``0..n-1``.  Arbitrary user-facing labels
+(user ids, names) are kept in a label table and translated at the API
+boundary, so hot loops only ever touch integers.  Adjacency is stored as one
+numpy ``int32`` array per vertex (sorted), which keeps neighbour iteration
+allocation-free and makes degree lookups O(1).  Coordinates live in a single
+``(n, 2)`` float64 matrix shared with the spatial grid index.
+
+The structure is immutable after construction; location updates (needed by
+the dynamic experiments of Section 5.2.3) produce cheap copies that share the
+adjacency arrays and only replace the coordinate matrix and grid index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphConstructionError, VertexNotFoundError
+from repro.geometry.grid import GridIndex
+
+Label = Hashable
+
+
+class SpatialGraph:
+    """An undirected graph whose vertices carry 2-D coordinates.
+
+    Instances are usually created through :class:`repro.graph.GraphBuilder`
+    or the dataset generators rather than directly.
+
+    Parameters
+    ----------
+    adjacency:
+        Sequence of ``n`` sorted numpy ``int32`` arrays; ``adjacency[v]``
+        holds the neighbours of vertex ``v``.
+    coordinates:
+        ``(n, 2)`` float64 array of vertex locations.
+    labels:
+        Optional sequence of user-facing vertex labels.  Defaults to the
+        integer indices themselves.
+    build_index:
+        Whether to build the spatial grid index eagerly.  The index is built
+        lazily on first use otherwise.
+    """
+
+    def __init__(
+        self,
+        adjacency: Sequence[np.ndarray],
+        coordinates: np.ndarray,
+        labels: Optional[Sequence[Label]] = None,
+        *,
+        build_index: bool = False,
+    ) -> None:
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise GraphConstructionError("coordinates must be an (n, 2) array")
+        if len(adjacency) != coords.shape[0]:
+            raise GraphConstructionError(
+                f"adjacency has {len(adjacency)} vertices but coordinates has {coords.shape[0]}"
+            )
+        self._adjacency: List[np.ndarray] = [
+            np.asarray(neighbors, dtype=np.int32) for neighbors in adjacency
+        ]
+        self._coords = coords
+        if labels is None:
+            labels = list(range(coords.shape[0]))
+        if len(labels) != coords.shape[0]:
+            raise GraphConstructionError("labels length must equal the number of vertices")
+        self._labels: List[Label] = list(labels)
+        self._label_to_index: Dict[Label, int] = {
+            label: index for index, label in enumerate(self._labels)
+        }
+        if len(self._label_to_index) != len(self._labels):
+            raise GraphConstructionError("vertex labels must be unique")
+        self._degrees = np.array(
+            [neighbors.shape[0] for neighbors in self._adjacency], dtype=np.int64
+        )
+        self._edge_count = int(self._degrees.sum()) // 2
+        self._grid: Optional[GridIndex] = None
+        if build_index:
+            _ = self.grid
+
+    # ------------------------------------------------------------------ size
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return int(self._coords.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._edge_count
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._label_to_index
+
+    # ---------------------------------------------------------------- labels
+    def index_of(self, label: Label) -> int:
+        """Translate a user-facing label into the internal vertex index."""
+        try:
+            return self._label_to_index[label]
+        except KeyError:
+            raise VertexNotFoundError(label) from None
+
+    def label_of(self, index: int) -> Label:
+        """Translate an internal vertex index into its user-facing label."""
+        if not 0 <= index < self.num_vertices:
+            raise VertexNotFoundError(index)
+        return self._labels[index]
+
+    def labels(self) -> List[Label]:
+        """Return the list of vertex labels (index order)."""
+        return list(self._labels)
+
+    # ------------------------------------------------------------- structure
+    def vertices(self) -> range:
+        """Return the range of internal vertex indices."""
+        return range(self.num_vertices)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Return the sorted array of neighbours of ``vertex`` (by index)."""
+        return self._adjacency[vertex]
+
+    def degree(self, vertex: int) -> int:
+        """Return the degree of ``vertex``."""
+        return int(self._degrees[vertex])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices as an ``(n,)`` array."""
+        return self._degrees
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the undirected edge ``{u, v}`` exists."""
+        neighbors = self._adjacency[u]
+        position = int(np.searchsorted(neighbors, v))
+        return position < neighbors.shape[0] and int(neighbors[position]) == v
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v in self._adjacency[u]:
+                if u < int(v):
+                    yield (u, int(v))
+
+    # ----------------------------------------------------------- coordinates
+    @property
+    def coordinates(self) -> np.ndarray:
+        """The ``(n, 2)`` coordinate matrix (do not mutate)."""
+        return self._coords
+
+    def position(self, vertex: int) -> Tuple[float, float]:
+        """Return the ``(x, y)`` position of ``vertex``."""
+        return (float(self._coords[vertex, 0]), float(self._coords[vertex, 1]))
+
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance between vertices ``u`` and ``v``."""
+        dx = self._coords[u, 0] - self._coords[v, 0]
+        dy = self._coords[u, 1] - self._coords[v, 1]
+        return math.hypot(float(dx), float(dy))
+
+    def distance_to_point(self, vertex: int, x: float, y: float) -> float:
+        """Euclidean distance from ``vertex`` to an arbitrary point."""
+        dx = float(self._coords[vertex, 0]) - x
+        dy = float(self._coords[vertex, 1]) - y
+        return math.hypot(dx, dy)
+
+    @property
+    def grid(self) -> GridIndex:
+        """The lazily-built spatial grid index over all vertex coordinates."""
+        if self._grid is None:
+            self._grid = GridIndex(self._coords)
+        return self._grid
+
+    def vertices_within(self, x: float, y: float, radius: float) -> List[int]:
+        """Return all vertex indices located within ``radius`` of ``(x, y)``."""
+        return self.grid.query_circle(x, y, radius)
+
+    # --------------------------------------------------------------- updates
+    def with_updated_locations(self, updates: Mapping[int, Tuple[float, float]]) -> "SpatialGraph":
+        """Return a copy of the graph with some vertex locations replaced.
+
+        The adjacency arrays are shared with the original graph (they never
+        change during the dynamic experiments), only the coordinate matrix is
+        copied.  The spatial index of the copy is rebuilt lazily.
+        """
+        coords = self._coords.copy()
+        for vertex, (x, y) in updates.items():
+            if not 0 <= vertex < self.num_vertices:
+                raise VertexNotFoundError(vertex)
+            coords[vertex, 0] = float(x)
+            coords[vertex, 1] = float(y)
+        return SpatialGraph(self._adjacency, coords, self._labels)
+
+    # ------------------------------------------------------------- subgraphs
+    def induced_subgraph(self, vertices: Iterable[int]) -> "SpatialGraph":
+        """Return the subgraph induced by ``vertices`` as a new SpatialGraph.
+
+        Vertex labels are preserved, so results remain addressable by the
+        original user-facing ids.
+        """
+        keep = sorted(set(int(v) for v in vertices))
+        for v in keep:
+            if not 0 <= v < self.num_vertices:
+                raise VertexNotFoundError(v)
+        old_to_new = {old: new for new, old in enumerate(keep)}
+        adjacency: List[np.ndarray] = []
+        for old in keep:
+            mapped = [old_to_new[int(w)] for w in self._adjacency[old] if int(w) in old_to_new]
+            adjacency.append(np.array(sorted(mapped), dtype=np.int32))
+        coords = self._coords[keep] if keep else np.zeros((0, 2), dtype=np.float64)
+        labels = [self._labels[old] for old in keep]
+        return SpatialGraph(adjacency, coords, labels)
+
+    def subgraph_degrees(self, vertices: Iterable[int]) -> Dict[int, int]:
+        """Return the degree of each vertex of ``vertices`` inside the induced subgraph."""
+        keep = set(int(v) for v in vertices)
+        degrees: Dict[int, int] = {}
+        for v in keep:
+            neighbors = self._adjacency[v]
+            degrees[v] = int(sum(1 for w in neighbors if int(w) in keep))
+        return degrees
+
+    # ----------------------------------------------------------- convenience
+    def random_subgraph_fraction(self, fraction: float, seed: int = 0) -> "SpatialGraph":
+        """Return the induced subgraph of a random ``fraction`` of vertices.
+
+        Used by the scalability experiments (Figure 12 k–o), which extract
+        random subgraphs of 20%–100% of the vertices.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        rng = np.random.default_rng(seed)
+        count = max(1, int(round(self.num_vertices * fraction)))
+        chosen = rng.choice(self.num_vertices, size=count, replace=False)
+        return self.induced_subgraph(int(v) for v in chosen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SpatialGraph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,65 @@
+"""Graph summary statistics (Table 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.spatial_graph import SpatialGraph
+
+
+@dataclass(frozen=True, slots=True)
+class GraphSummary:
+    """Summary statistics of a spatial graph.
+
+    Attributes mirror Table 4: vertex count, edge count, and average degree.
+    A few extra fields useful for sanity-checking generated data are included.
+    """
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    isolated_vertices: int
+    bounding_box: tuple[float, float, float, float]
+
+    def as_row(self) -> Dict[str, float]:
+        """Return the summary as a flat dict suitable for table printing."""
+        return {
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "avg_degree": round(self.average_degree, 2),
+            "max_degree": self.max_degree,
+            "isolated": self.isolated_vertices,
+        }
+
+
+def summarize(graph: SpatialGraph) -> GraphSummary:
+    """Compute the :class:`GraphSummary` of ``graph``."""
+    degrees = graph.degrees
+    n = graph.num_vertices
+    coords = graph.coordinates
+    if n == 0:
+        return GraphSummary(0, 0, 0.0, 0, 0, (0.0, 0.0, 0.0, 0.0))
+    box = (
+        float(coords[:, 0].min()),
+        float(coords[:, 1].min()),
+        float(coords[:, 0].max()),
+        float(coords[:, 1].max()),
+    )
+    return GraphSummary(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        average_degree=float(degrees.mean()) if n else 0.0,
+        max_degree=int(degrees.max()) if n else 0,
+        isolated_vertices=int((degrees == 0).sum()),
+        bounding_box=box,
+    )
+
+
+def degree_histogram(graph: SpatialGraph) -> Dict[int, int]:
+    """Return a ``degree -> count`` histogram of the graph."""
+    values, counts = np.unique(graph.degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}

@@ -1,0 +1,31 @@
+"""k-core decomposition and connected k-core (k-ĉore) extraction.
+
+Structure cohesiveness in the paper is the *minimum degree* metric: every
+vertex of a community must have at least ``k`` neighbours inside the
+community (Definition 1).  This package provides:
+
+* :func:`~repro.kcore.decomposition.core_numbers` — the Batagelj–Zaversnik
+  linear-time core decomposition of a whole graph;
+* :func:`~repro.kcore.decomposition.k_core_vertices` — the vertex set of the
+  ``k``-core;
+* :func:`~repro.kcore.connected_core.connected_k_core` — the *connected*
+  component of the ``k``-core containing a query vertex (a k-ĉore), also
+  restricted to arbitrary candidate vertex subsets, which is the feasibility
+  test every SAC algorithm performs.
+"""
+
+from repro.kcore.connected_core import (
+    connected_k_core,
+    connected_k_core_in_subset,
+    k_core_of_subset,
+)
+from repro.kcore.decomposition import core_decomposition, core_numbers, k_core_vertices
+
+__all__ = [
+    "core_numbers",
+    "core_decomposition",
+    "k_core_vertices",
+    "connected_k_core",
+    "connected_k_core_in_subset",
+    "k_core_of_subset",
+]

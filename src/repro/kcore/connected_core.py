@@ -1,0 +1,132 @@
+"""Connected k-core (k-ĉore) extraction.
+
+A k-core may be disconnected; its connected components are the *k-ĉores*.
+The communities returned by ``Global`` and used as feasible solutions inside
+every SAC algorithm are the k-ĉores containing the query vertex.  The central
+primitive here is therefore:
+
+    given a candidate vertex subset ``S`` and a query vertex ``q``, does the
+    subgraph induced by ``S`` contain a connected subgraph including ``q``
+    whose minimum internal degree is at least ``k``?  If so, return it.
+
+This is answered by iterative peeling of ``G[S]`` (drop vertices with degree
+below ``k`` until a fixed point) followed by a BFS from ``q`` restricted to
+the surviving vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.decomposition import core_numbers
+
+
+def k_core_of_subset(graph: SpatialGraph, subset: Iterable[int], k: int) -> Set[int]:
+    """Return the k-core of the subgraph induced by ``subset``.
+
+    Peels vertices whose degree inside the (shrinking) subset falls below
+    ``k``.  The result may be empty and may be disconnected.
+    """
+    if k < 0:
+        raise InvalidParameterError(f"k must be non-negative, got {k}")
+    alive = set(int(v) for v in subset)
+    if not alive:
+        return set()
+
+    degree: Dict[int, int] = {}
+    for v in alive:
+        degree[v] = sum(1 for w in graph.neighbors(v) if int(w) in alive)
+
+    queue = deque(v for v, d in degree.items() if d < k)
+    removed: Set[int] = set()
+    while queue:
+        v = queue.popleft()
+        if v in removed or v not in alive:
+            continue
+        removed.add(v)
+        alive.discard(v)
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w in alive and w not in removed:
+                degree[w] -= 1
+                if degree[w] < k:
+                    queue.append(w)
+    return alive
+
+
+def connected_component(graph: SpatialGraph, vertices: Set[int], source: int) -> Set[int]:
+    """Return the connected component of ``source`` inside the vertex set ``vertices``."""
+    if source not in vertices:
+        return set()
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w in vertices and w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen
+
+
+def connected_k_core_in_subset(
+    graph: SpatialGraph, subset: Iterable[int], query: int, k: int
+) -> Optional[Set[int]]:
+    """Return the k-ĉore containing ``query`` inside ``G[subset]``, or ``None``.
+
+    This is the feasibility test performed by every SAC algorithm: it peels
+    the induced subgraph to its k-core and, if the query vertex survived,
+    extracts the connected component of the query.  That component again has
+    minimum degree ≥ k because peeling never separates a vertex from its
+    ≥ k surviving neighbours.
+    """
+    core = k_core_of_subset(graph, subset, k)
+    if query not in core:
+        return None
+    component = connected_component(graph, core, query)
+    return component if component else None
+
+
+def connected_k_core(graph: SpatialGraph, query: int, k: int) -> Optional[Set[int]]:
+    """Return the k-ĉore of the whole graph containing ``query``, or ``None``.
+
+    Equivalent to the ``Global`` community-search baseline of Sozio & Gionis:
+    the connected component containing ``query`` of the graph's k-core.
+    Uses the linear-time core decomposition rather than subset peeling.
+    """
+    if k < 0:
+        raise InvalidParameterError(f"k must be non-negative, got {k}")
+    if not 0 <= query < graph.num_vertices:
+        return None
+    cores = core_numbers(graph)
+    if cores[query] < k:
+        return None
+    members = {int(v) for v in range(graph.num_vertices) if cores[v] >= k}
+    return connected_component(graph, members, query)
+
+
+def minimum_internal_degree(graph: SpatialGraph, vertices: Set[int]) -> int:
+    """Return the minimum degree of the subgraph induced by ``vertices``.
+
+    Returns 0 for an empty or singleton set.
+    """
+    if len(vertices) <= 1:
+        return 0
+    best = None
+    for v in vertices:
+        degree = sum(1 for w in graph.neighbors(v) if int(w) in vertices)
+        if best is None or degree < best:
+            best = degree
+    return int(best or 0)
+
+
+def is_connected(graph: SpatialGraph, vertices: Set[int]) -> bool:
+    """Return ``True`` if the induced subgraph on ``vertices`` is connected (and non-empty)."""
+    if not vertices:
+        return False
+    start = next(iter(vertices))
+    return connected_component(graph, set(vertices), start) == set(vertices)

@@ -1,0 +1,35 @@
+"""Community quality metrics used in the paper's evaluation (Section 5).
+
+* Spatial cohesiveness: :func:`~repro.metrics.spatial.community_radius` and
+  :func:`~repro.metrics.spatial.average_pairwise_distance` (``distPr``).
+* Structure cohesiveness: :func:`~repro.metrics.structural.minimum_degree`
+  and :func:`~repro.metrics.structural.average_degree`.
+* Dynamic overlap: :func:`~repro.metrics.similarity.community_jaccard` (CJS,
+  Eq. 9) and :func:`~repro.metrics.similarity.community_area_overlap` (CAO,
+  Eq. 10).
+* Approximation quality: :func:`~repro.metrics.ratio.approximation_ratio` and
+  the theoretical ratios of AppFast / AppAcc.
+"""
+
+from repro.metrics.ratio import (
+    approximation_ratio,
+    theoretical_ratio_appacc,
+    theoretical_ratio_appfast,
+)
+from repro.metrics.similarity import community_area_overlap, community_jaccard
+from repro.metrics.spatial import average_pairwise_distance, community_mcc, community_radius
+from repro.metrics.structural import average_degree, internal_degrees, minimum_degree
+
+__all__ = [
+    "community_radius",
+    "community_mcc",
+    "average_pairwise_distance",
+    "minimum_degree",
+    "average_degree",
+    "internal_degrees",
+    "community_jaccard",
+    "community_area_overlap",
+    "approximation_ratio",
+    "theoretical_ratio_appfast",
+    "theoretical_ratio_appacc",
+]

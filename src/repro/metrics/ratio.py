@@ -1,0 +1,37 @@
+"""Approximation-ratio helpers (Figure 9)."""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidParameterError
+
+
+def approximation_ratio(approx_radius: float, optimal_radius: float) -> float:
+    """Ratio of an approximate MCC radius to the optimal MCC radius.
+
+    When the optimal radius is zero (all members co-located) the ratio is
+    defined as 1 if the approximate radius is also zero, else ``inf``.
+    """
+    if optimal_radius < 0 or approx_radius < 0:
+        raise InvalidParameterError("radii must be non-negative")
+    if optimal_radius == 0.0:
+        return 1.0 if approx_radius == 0.0 else float("inf")
+    return approx_radius / optimal_radius
+
+
+def theoretical_ratio_appfast(epsilon_f: float) -> float:
+    """Theoretical approximation ratio of AppFast: ``2 + epsilon_f``."""
+    if epsilon_f < 0:
+        raise InvalidParameterError(f"epsilon_f must be non-negative, got {epsilon_f}")
+    return 2.0 + epsilon_f
+
+
+def theoretical_ratio_appacc(epsilon_a: float) -> float:
+    """Theoretical approximation ratio of AppAcc: ``1 + epsilon_a``."""
+    if not 0.0 < epsilon_a < 1.0:
+        raise InvalidParameterError(f"epsilon_a must be in (0, 1), got {epsilon_a}")
+    return 1.0 + epsilon_a
+
+
+def theoretical_ratio_appinc() -> float:
+    """Theoretical approximation ratio of AppInc: ``2``."""
+    return 2.0

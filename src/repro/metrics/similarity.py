@@ -1,0 +1,42 @@
+"""Community overlap metrics for the dynamic experiments (Eqs. 9 and 10).
+
+* **CJS** — community Jaccard similarity — Jaccard similarity of member sets.
+* **CAO** — community area overlap — Jaccard similarity of the *areas* of the
+  two communities' minimum covering circles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.geometry.circle import Circle
+from repro.geometry.overlap import circle_area_jaccard
+from repro.graph.spatial_graph import SpatialGraph
+from repro.metrics.spatial import community_mcc
+
+
+def community_jaccard(members_a: Iterable[int], members_b: Iterable[int]) -> float:
+    """Jaccard similarity of two member sets (CJS, Eq. 9).
+
+    Two empty communities are defined to have similarity 1.
+    """
+    set_a = set(members_a)
+    set_b = set(members_b)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def community_area_overlap(
+    graph: SpatialGraph, members_a: Iterable[int], members_b: Iterable[int]
+) -> float:
+    """Jaccard similarity of the MCC areas of two communities (CAO, Eq. 10)."""
+    circle_a = community_mcc(graph, members_a)
+    circle_b = community_mcc(graph, members_b)
+    return circle_area_jaccard(circle_a, circle_b)
+
+
+def circle_overlap(circle_a: Circle, circle_b: Circle) -> float:
+    """CAO computed directly from two pre-computed circles."""
+    return circle_area_jaccard(circle_a, circle_b)

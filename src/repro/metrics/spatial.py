@@ -1,0 +1,52 @@
+"""Spatial cohesiveness metrics: MCC radius and average pairwise distance."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Set
+
+from repro.geometry.circle import Circle
+from repro.geometry.mec import minimum_enclosing_circle
+from repro.graph.spatial_graph import SpatialGraph
+
+
+def community_mcc(graph: SpatialGraph, members: Iterable[int]) -> Circle:
+    """Return the minimum covering circle of a community's member locations."""
+    coords = graph.coordinates
+    points = [(float(coords[v, 0]), float(coords[v, 1])) for v in members]
+    if not points:
+        raise ValueError("community_mcc() requires at least one member")
+    return minimum_enclosing_circle(points)
+
+
+def community_radius(graph: SpatialGraph, members: Iterable[int]) -> float:
+    """Radius of the community's minimum covering circle (the paper's ``radius``)."""
+    return community_mcc(graph, members).radius
+
+
+def average_pairwise_distance(graph: SpatialGraph, members: Iterable[int]) -> float:
+    """Average Euclidean distance over all member pairs (the paper's ``distPr``).
+
+    A singleton community has distPr 0 by convention.
+    """
+    member_list = list(members)
+    if len(member_list) < 2:
+        return 0.0
+    total = 0.0
+    count = 0
+    for u, v in combinations(member_list, 2):
+        total += graph.distance(u, v)
+        count += 1
+    return total / count
+
+
+def diameter_distance(graph: SpatialGraph, members: Iterable[int]) -> float:
+    """Maximum pairwise Euclidean distance among community members.
+
+    Lemma 2 bounds this between ``sqrt(3) * ropt`` and ``2 * ropt``; the
+    property tests use it to validate MCC computations.
+    """
+    member_list = list(members)
+    if len(member_list) < 2:
+        return 0.0
+    return max(graph.distance(u, v) for u, v in combinations(member_list, 2))

@@ -1,0 +1,146 @@
+"""Shared fixtures and reference implementations for the test suite.
+
+The most important piece here is :func:`brute_force_optimal_radius`, a
+straightforward (exponential) reference implementation of SAC search used to
+validate the exact algorithms and to check the approximation guarantees of
+the approximate algorithms on small graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Set, Tuple
+
+import pytest
+
+from repro.geometry.mec import minimum_enclosing_circle
+from repro.graph.builder import GraphBuilder
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.connected_core import is_connected, minimum_internal_degree
+
+
+# --------------------------------------------------------------------- graphs
+def build_graph(
+    locations: Dict[object, Tuple[float, float]], edges: List[Tuple[object, object]]
+) -> SpatialGraph:
+    """Small helper to build a graph from explicit locations and edges."""
+    builder = GraphBuilder()
+    for label, (x, y) in locations.items():
+        builder.add_vertex(label, x, y)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+@pytest.fixture
+def two_triangle_graph() -> SpatialGraph:
+    """A graph with two triangles sharing the query vertex, plus a far triangle.
+
+    Vertex 0 (the query) belongs to two triangles:
+
+    * ``{0, 1, 2}`` — tightly packed around the origin (the optimal SAC for
+      ``k = 2``);
+    * ``{0, 3, 4}`` — a larger triangle further away;
+
+    and vertices ``{3, 4, 5}`` form another triangle that does not contain
+    the query.  Vertex 6 dangles off vertex 5 with degree 1.
+    """
+    locations = {
+        0: (0.0, 0.0),
+        1: (1.0, 0.0),
+        2: (0.5, 0.8),
+        3: (3.0, 0.0),
+        4: (3.0, 1.0),
+        5: (4.0, 0.5),
+        6: (6.0, 0.5),
+    }
+    edges = [
+        (0, 1), (0, 2), (1, 2),          # tight triangle (optimal for k=2)
+        (0, 3), (0, 4), (3, 4),          # wider triangle with the query
+        (3, 5), (4, 5),                  # far triangle {3,4,5}
+        (5, 6),                          # pendant vertex
+    ]
+    return build_graph(locations, edges)
+
+
+@pytest.fixture
+def clique_grid_graph() -> SpatialGraph:
+    """Two 5-cliques at different locations joined by a path through the query.
+
+    The query vertex (0) is a member of both cliques, so for ``k = 4`` there
+    are two feasible communities; the optimal one is the spatially tighter
+    left clique.
+    """
+    locations: Dict[int, Tuple[float, float]] = {0: (0.0, 0.0)}
+    edges: List[Tuple[int, int]] = []
+    # Left clique: vertices 1..4 near the origin (with the query).
+    left = [0, 1, 2, 3, 4]
+    left_positions = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1), (0.1, 0.1), (0.05, 0.05)]
+    for vertex, position in zip(left, left_positions):
+        locations[vertex] = position
+    edges.extend((u, v) for u, v in combinations(left, 2))
+    # Right clique: vertices 5..8 plus the query, spread out further away.
+    right = [0, 5, 6, 7, 8]
+    right_positions = [(0.0, 0.0), (2.0, 2.0), (2.4, 2.0), (2.0, 2.4), (2.4, 2.4)]
+    for vertex, position in zip(right, right_positions):
+        locations[vertex] = position
+    edges.extend((u, v) for u, v in combinations(right, 2))
+    return build_graph(locations, edges)
+
+
+@pytest.fixture
+def disconnected_graph() -> SpatialGraph:
+    """Two components: a triangle containing vertex 0 and a separate triangle."""
+    locations = {
+        0: (0.0, 0.0), 1: (0.2, 0.0), 2: (0.1, 0.2),
+        3: (5.0, 5.0), 4: (5.2, 5.0), 5: (5.1, 5.2),
+    }
+    edges = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]
+    return build_graph(locations, edges)
+
+
+@pytest.fixture
+def star_graph() -> SpatialGraph:
+    """A star: the centre has high degree but no 2-core exists."""
+    locations = {0: (0.0, 0.0)}
+    edges = []
+    for i in range(1, 8):
+        locations[i] = (float(i) / 10.0, 0.0)
+        edges.append((0, i))
+    return build_graph(locations, edges)
+
+
+# ------------------------------------------------------------ brute force SAC
+def feasible(graph: SpatialGraph, members: Set[int], query: int, k: int) -> bool:
+    """Check the SAC feasibility conditions (connectivity + min degree + query)."""
+    if query not in members:
+        return False
+    if minimum_internal_degree(graph, members) < k:
+        return False
+    return is_connected(graph, members)
+
+
+def brute_force_optimal_radius(
+    graph: SpatialGraph, query: int, k: int, *, max_vertices: int = 16
+) -> Optional[float]:
+    """Exhaustively find the optimal SAC radius by enumerating vertex subsets.
+
+    Only usable on very small graphs (``2^n`` subsets); returns ``None`` when
+    no feasible community exists.
+    """
+    n = graph.num_vertices
+    if n > max_vertices:
+        raise ValueError(f"brute force limited to {max_vertices} vertices, graph has {n}")
+    coords = graph.coordinates
+    best: Optional[float] = None
+    vertices = [v for v in range(n) if v != query]
+    for size in range(k, n):
+        for extra in combinations(vertices, size):
+            members = set(extra) | {query}
+            if not feasible(graph, members, query, k):
+                continue
+            circle = minimum_enclosing_circle(
+                [(float(coords[v, 0]), float(coords[v, 1])) for v in members]
+            )
+            if best is None or circle.radius < best:
+                best = circle.radius
+    return best

@@ -1,0 +1,145 @@
+"""Unit tests for the baseline community-retrieval methods."""
+
+import pytest
+
+from repro.baselines.geo_modularity import GeoModularityDetector, geo_modularity_community
+from repro.baselines.global_search import global_search
+from repro.baselines.local_search import local_search
+from repro.baselines.radius_only import average_internal_degree, radius_only_community
+from repro.core.exact import exact
+from repro.datasets.geosocial import brightkite_like
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.experiments.queries import select_query_vertices
+from repro.kcore.connected_core import is_connected
+from repro.metrics.structural import minimum_degree
+
+
+class TestGlobalSearch:
+    def test_returns_whole_k_core_component(self, two_triangle_graph):
+        result = global_search(two_triangle_graph, 0, 2)
+        # Global ignores locations: the entire 2-ĉore containing the query.
+        assert result.members == frozenset({0, 1, 2, 3, 4, 5})
+
+    def test_min_degree_guarantee(self, two_triangle_graph):
+        result = global_search(two_triangle_graph, 0, 2)
+        assert minimum_degree(two_triangle_graph, result.members) >= 2
+        assert is_connected(two_triangle_graph, set(result.members))
+
+    def test_no_community_raises(self, star_graph):
+        with pytest.raises(NoCommunityError):
+            global_search(star_graph, 0, 2)
+
+    def test_radius_at_least_exact(self, two_triangle_graph):
+        result = global_search(two_triangle_graph, 0, 2)
+        optimal = exact(two_triangle_graph, 0, 2)
+        assert result.radius >= optimal.radius - 1e-12
+
+
+class TestLocalSearch:
+    def test_result_is_feasible(self, two_triangle_graph):
+        result = local_search(two_triangle_graph, 0, 2)
+        assert 0 in result.members
+        assert minimum_degree(two_triangle_graph, result.members) >= 2
+        assert is_connected(two_triangle_graph, set(result.members))
+
+    def test_local_is_no_larger_than_global(self, clique_grid_graph):
+        local = local_search(clique_grid_graph, 0, 4, batch_size=1)
+        whole = global_search(clique_grid_graph, 0, 4)
+        assert len(local.members) <= len(whole.members)
+
+    def test_no_community_raises(self, star_graph):
+        with pytest.raises(NoCommunityError):
+            local_search(star_graph, 0, 2)
+
+    def test_stats_recorded(self, two_triangle_graph):
+        result = local_search(two_triangle_graph, 0, 2)
+        assert result.stats["explored_vertices"] >= len(result.members) - 1
+        assert result.stats["feasibility_probes"] >= 1
+
+    def test_max_explored_cap(self, clique_grid_graph):
+        result = local_search(clique_grid_graph, 0, 4, batch_size=2, max_explored=9)
+        assert minimum_degree(clique_grid_graph, result.members) >= 4
+
+
+class TestGeoModularity:
+    def test_invalid_mu_rejected(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            GeoModularityDetector(two_triangle_graph, mu=0.0)
+
+    def test_detect_partitions_all_vertices(self, two_triangle_graph):
+        detector = GeoModularityDetector(two_triangle_graph, mu=1.0)
+        communities = detector.detect()
+        covered = set()
+        for community in communities:
+            covered.update(community)
+        assert covered == set(range(two_triangle_graph.num_vertices))
+
+    def test_communities_are_disjoint(self, two_triangle_graph):
+        detector = GeoModularityDetector(two_triangle_graph, mu=1.0)
+        communities = detector.detect()
+        total = sum(len(community) for community in communities)
+        assert total == two_triangle_graph.num_vertices
+
+    def test_community_of_query(self, two_triangle_graph):
+        detector = GeoModularityDetector(two_triangle_graph, mu=1.0)
+        community = detector.community_of(0)
+        assert 0 in community
+
+    def test_detection_is_cached(self, two_triangle_graph):
+        detector = GeoModularityDetector(two_triangle_graph, mu=1.0)
+        assert detector.detect() is detector.detect()
+
+    def test_wrapper_result(self, two_triangle_graph):
+        result = geo_modularity_community(two_triangle_graph, 0, mu=1.0)
+        assert 0 in result.members
+        assert result.algorithm == "geomodu(1)"
+        assert result.stats["mu"] == 1.0
+
+    def test_spatial_weighting_separates_far_clusters(self):
+        """With strong decay, two far-apart dense groups end in different communities."""
+        graph = brightkite_like(300, average_degree=6.0, num_cities=3, seed=4)
+        detector = GeoModularityDetector(graph, mu=2.0, seed=1)
+        communities = detector.detect()
+        assert len(communities) >= 2
+
+    def test_detector_reuse_across_queries(self, two_triangle_graph):
+        detector = GeoModularityDetector(two_triangle_graph, mu=1.0)
+        first = geo_modularity_community(two_triangle_graph, 0, detector=detector)
+        second = geo_modularity_community(two_triangle_graph, 5, detector=detector)
+        assert first.stats["num_communities"] == second.stats["num_communities"]
+
+
+class TestRadiusOnly:
+    def test_includes_query(self, two_triangle_graph):
+        members = radius_only_community(two_triangle_graph, 0, 0.5)
+        assert 0 in members
+
+    def test_radius_controls_membership(self, two_triangle_graph):
+        small = radius_only_community(two_triangle_graph, 0, 0.5)
+        large = radius_only_community(two_triangle_graph, 0, 10.0)
+        assert small <= large
+        assert len(large) == two_triangle_graph.num_vertices
+
+    def test_negative_theta_rejected(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            radius_only_community(two_triangle_graph, 0, -0.1)
+
+    def test_average_internal_degree_of_sparse_region_is_low(self):
+        graph = brightkite_like(500, average_degree=4.0, seed=9)
+        queries = select_query_vertices(graph, 5, min_core=2, seed=0)
+        values = []
+        for query in queries:
+            members = radius_only_community(graph, query, 0.001)
+            values.append(average_internal_degree(graph, members))
+        # Tiny circles contain almost no edges (paper reports ~0.36-0.39).
+        assert all(value <= 2.0 for value in values)
+
+    def test_average_internal_degree_empty(self, two_triangle_graph):
+        assert average_internal_degree(two_triangle_graph, set()) == 0.0
+
+    def test_paper_ordering_radius_only_weaker_than_sac(self, two_triangle_graph):
+        """Radius-only communities have lower structural quality than SAC."""
+        members = radius_only_community(two_triangle_graph, 0, 1.1)
+        sac = exact(two_triangle_graph, 0, 2)
+        assert average_internal_degree(two_triangle_graph, members) <= \
+            average_internal_degree(two_triangle_graph, set(sac.members)) + 1e-9

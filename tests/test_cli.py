@@ -1,0 +1,119 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import load_graph_npz
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.npz"
+    exit_code = main(
+        [
+            "generate",
+            "--kind",
+            "geosocial",
+            "--vertices",
+            "400",
+            "--average-degree",
+            "8",
+            "--seed",
+            "3",
+            "--out",
+            str(path),
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_generate_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "--out", "x.npz"])
+        assert args.kind == "geosocial"
+        assert args.vertices == 5000
+
+    def test_query_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["query", "g.npz", "--vertex", "7", "--k", "5"])
+        assert args.vertex == 7
+        assert args.k == 5
+        assert args.algorithm == "appfast"
+
+
+class TestGenerate:
+    def test_generate_writes_loadable_graph(self, graph_file):
+        graph = load_graph_npz(graph_file)
+        assert graph.num_vertices == 400
+        assert graph.num_edges > 0
+
+    def test_generate_powerlaw(self, tmp_path, capsys):
+        path = tmp_path / "pl.npz"
+        assert main(["generate", "--kind", "powerlaw", "--vertices", "300", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "300 vertices" in out
+
+
+class TestQuery:
+    def test_query_found(self, graph_file, capsys):
+        graph = load_graph_npz(graph_file)
+        # Pick a vertex with reasonably high degree so a 2-core exists around it.
+        vertex = max(range(graph.num_vertices), key=graph.degree)
+        label = graph.label_of(vertex)
+        exit_code = main(
+            ["query", str(graph_file), "--vertex", str(label), "--k", "2", "--algorithm", "appfast"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "members" in output
+        assert "radius" in output
+
+    def test_query_not_found(self, graph_file, capsys):
+        graph = load_graph_npz(graph_file)
+        vertex = min(range(graph.num_vertices), key=graph.degree)
+        label = graph.label_of(vertex)
+        exit_code = main(
+            ["query", str(graph_file), "--vertex", str(label), "--k", "50"]
+        )
+        assert exit_code == 1
+        assert "no community" in capsys.readouterr().out
+
+    def test_query_missing_file_reports_error(self, tmp_path, capsys):
+        exit_code = main(["query", str(tmp_path / "missing.npz"), "--vertex", "0"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_query_exact_plus(self, graph_file, capsys):
+        graph = load_graph_npz(graph_file)
+        vertex = max(range(graph.num_vertices), key=graph.degree)
+        exit_code = main(
+            [
+                "query",
+                str(graph_file),
+                "--vertex",
+                str(graph.label_of(vertex)),
+                "--k",
+                "2",
+                "--algorithm",
+                "exact+",
+                "--epsilon-a",
+                "0.01",
+            ]
+        )
+        assert exit_code == 0
+        assert "exact+" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, capsys):
+        assert main(["stats", str(graph_file)]) == 0
+        output = capsys.readouterr().out
+        assert "vertices" in output
+        assert "edges" in output

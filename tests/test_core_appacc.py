@@ -1,0 +1,93 @@
+"""Unit tests for the AppAcc (1 + εA)-approximation algorithm."""
+
+import pytest
+
+from repro.core.appacc import app_acc, run_app_acc
+from repro.core.base import QueryContext
+from repro.core.exact import exact
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.kcore.connected_core import is_connected
+from repro.metrics.structural import minimum_degree
+
+
+class TestAppAccCorrectness:
+    @pytest.mark.parametrize("epsilon_a", [0.05, 0.1, 0.5, 0.9])
+    def test_result_is_feasible(self, two_triangle_graph, epsilon_a):
+        result = app_acc(two_triangle_graph, 0, 2, epsilon_a)
+        assert 0 in result.members
+        assert minimum_degree(two_triangle_graph, result.members) >= 2
+        assert is_connected(two_triangle_graph, set(result.members))
+
+    @pytest.mark.parametrize("epsilon_a", [0.05, 0.1, 0.5, 0.9])
+    def test_approximation_bound(self, two_triangle_graph, epsilon_a):
+        approx = app_acc(two_triangle_graph, 0, 2, epsilon_a)
+        optimal = exact(two_triangle_graph, 0, 2)
+        assert approx.radius <= (1.0 + epsilon_a) * optimal.radius + 1e-9
+
+    @pytest.mark.parametrize("epsilon_a", [0.05, 0.5])
+    def test_bound_on_clique_graph(self, clique_grid_graph, epsilon_a):
+        approx = app_acc(clique_grid_graph, 0, 4, epsilon_a)
+        optimal = exact(clique_grid_graph, 0, 4)
+        assert approx.radius <= (1.0 + epsilon_a) * optimal.radius + 1e-9
+
+    def test_smaller_epsilon_is_at_least_as_tight(self, two_triangle_graph):
+        loose = app_acc(two_triangle_graph, 0, 2, 0.9)
+        tight = app_acc(two_triangle_graph, 0, 2, 0.05)
+        assert tight.radius <= loose.radius + 1e-9
+
+    def test_never_worse_than_appfast_zero(self, two_triangle_graph):
+        """AppAcc starts from AppFast(0)'s solution, so it can only improve it."""
+        from repro.core.appfast import app_fast
+
+        acc = app_acc(two_triangle_graph, 0, 2, 0.5)
+        fast = app_fast(two_triangle_graph, 0, 2, 0.0)
+        assert acc.radius <= fast.radius + 1e-12
+
+    def test_stats_fields(self, two_triangle_graph):
+        result = app_acc(two_triangle_graph, 0, 2, 0.5)
+        for key in ("epsilon_a", "delta", "gamma", "anchors_probed", "anchors_pruned", "final_beta"):
+            assert key in result.stats
+
+
+class TestAppAccState:
+    def test_run_app_acc_exposes_anchors(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        state = run_app_acc(context, 0.5)
+        assert state.radius > 0.0
+        assert state.surviving_anchors
+        assert state.final_beta > 0.0
+        assert state.candidates_near_query
+
+    def test_state_radius_matches_community(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        state = run_app_acc(context, 0.2)
+        circle = context.mcc_of(state.community)
+        assert circle.radius == pytest.approx(state.radius, rel=1e-9)
+
+
+class TestAppAccEdgeCases:
+    @pytest.mark.parametrize("epsilon_a", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_epsilon_rejected(self, two_triangle_graph, epsilon_a):
+        with pytest.raises(InvalidParameterError):
+            app_acc(two_triangle_graph, 0, 2, epsilon_a)
+
+    def test_k_equals_one(self, two_triangle_graph):
+        result = app_acc(two_triangle_graph, 0, 1)
+        assert len(result.members) == 2
+
+    def test_no_community(self, star_graph):
+        with pytest.raises(NoCommunityError):
+            app_acc(star_graph, 0, 2)
+
+    def test_colocated_vertices_zero_radius(self):
+        """All community members at the same point: radius 0 is optimal."""
+        from conftest import build_graph
+
+        locations = {0: (0.5, 0.5), 1: (0.5, 0.5), 2: (0.5, 0.5), 3: (0.9, 0.9)}
+        edges = [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)]
+        graph = build_graph(locations, edges)
+        result = app_acc(graph, 0, 2, 0.5)
+        assert result.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_algorithm_name(self, two_triangle_graph):
+        assert app_acc(two_triangle_graph, 0, 2).algorithm == "appacc"

@@ -1,0 +1,62 @@
+"""Unit tests for the AppInc 2-approximation algorithm."""
+
+import pytest
+
+from conftest import brute_force_optimal_radius
+from repro.core.appinc import app_inc
+from repro.core.exact import exact
+from repro.exceptions import NoCommunityError
+from repro.kcore.connected_core import is_connected
+from repro.metrics.structural import minimum_degree
+
+
+class TestAppIncCorrectness:
+    def test_result_is_feasible(self, two_triangle_graph):
+        result = app_inc(two_triangle_graph, 0, 2)
+        assert 0 in result.members
+        assert minimum_degree(two_triangle_graph, result.members) >= 2
+        assert is_connected(two_triangle_graph, set(result.members))
+
+    def test_two_approximation_bound(self, two_triangle_graph):
+        approx = app_inc(two_triangle_graph, 0, 2)
+        optimal = exact(two_triangle_graph, 0, 2)
+        assert approx.radius <= 2.0 * optimal.radius + 1e-12
+
+    def test_finds_optimal_when_query_is_central(self, clique_grid_graph):
+        # The query sits at the corner of the left clique; AppInc still finds
+        # that clique because it is by far the closest feasible set.
+        result = app_inc(clique_grid_graph, 0, 4)
+        assert result.members == frozenset({0, 1, 2, 3, 4})
+
+    def test_stats_contain_delta_and_gamma(self, two_triangle_graph):
+        result = app_inc(two_triangle_graph, 0, 2)
+        assert "delta" in result.stats
+        assert "gamma" in result.stats
+        assert result.stats["gamma"] == pytest.approx(result.radius)
+        # gamma <= delta always (the MCC fits inside the query-centred circle).
+        assert result.stats["gamma"] <= result.stats["delta"] + 1e-12
+
+    def test_lemma3_bounds(self, two_triangle_graph):
+        """0.5 * delta <= ropt <= gamma (Lemma 3 + optimality of Exact)."""
+        approx = app_inc(two_triangle_graph, 0, 2)
+        optimal = exact(two_triangle_graph, 0, 2)
+        delta = approx.stats["delta"]
+        assert 0.5 * delta <= optimal.radius + 1e-12
+        assert optimal.radius <= approx.radius + 1e-12
+
+
+class TestAppIncEdgeCases:
+    def test_k_equals_one(self, two_triangle_graph):
+        result = app_inc(two_triangle_graph, 0, 1)
+        assert len(result.members) == 2
+
+    def test_no_community(self, star_graph):
+        with pytest.raises(NoCommunityError):
+            app_inc(star_graph, 0, 2)
+
+    def test_disconnected_component(self, disconnected_graph):
+        result = app_inc(disconnected_graph, 3, 2)
+        assert result.members == frozenset({3, 4, 5})
+
+    def test_algorithm_name(self, two_triangle_graph):
+        assert app_inc(two_triangle_graph, 0, 2).algorithm == "appinc"

@@ -1,0 +1,141 @@
+"""Unit tests for the shared SAC query machinery (QueryContext)."""
+
+import pytest
+
+from repro.core.base import (
+    QueryContext,
+    incremental_feasible_region,
+    nearest_neighbor_community,
+    validate_query,
+)
+from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
+
+
+class TestValidateQuery:
+    def test_rejects_non_positive_k(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            validate_query(two_triangle_graph, 0, 0)
+        with pytest.raises(InvalidParameterError):
+            validate_query(two_triangle_graph, 0, -3)
+
+    def test_rejects_non_integer_k(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            validate_query(two_triangle_graph, 0, 2.5)
+
+    def test_rejects_unknown_vertex(self, two_triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            validate_query(two_triangle_graph, 77, 2)
+
+    def test_accepts_valid_arguments(self, two_triangle_graph):
+        validate_query(two_triangle_graph, 0, 2)
+
+
+class TestNearestNeighborCommunity:
+    def test_returns_query_and_nearest_graph_neighbor(self, two_triangle_graph):
+        members = nearest_neighbor_community(two_triangle_graph, 0)
+        assert 0 in members
+        assert len(members) == 2
+        # Vertex 2 at (0.5, 0.8) is closer to the origin than vertex 1 at (1, 0).
+        assert 2 in members
+
+    def test_isolated_query_raises(self, star_graph):
+        # Build a graph where a vertex has no neighbours at all.
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_vertex(0, 0.0, 0.0)
+        builder.add_vertex(1, 1.0, 1.0)
+        builder.add_edge(0, 1)
+        builder.add_vertex(2, 2.0, 2.0)
+        graph = builder.build()
+        with pytest.raises(NoCommunityError):
+            nearest_neighbor_community(graph, graph.index_of(2))
+
+
+class TestQueryContext:
+    def test_candidates_are_the_k_core(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        # The 2-ĉore containing vertex 0 includes both triangles around it and
+        # the far triangle {3,4,5} (all connected through vertices 3 and 4),
+        # but not the pendant vertex 6.
+        assert 6 not in context.candidates
+        assert 0 in context.candidates
+
+    def test_no_community_raises(self, star_graph):
+        with pytest.raises(NoCommunityError):
+            QueryContext(star_graph, 0, 2)
+
+    def test_distances_from_query(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        assert context.distances[0] == 0.0
+        assert context.distances[1] == pytest.approx(1.0)
+
+    def test_sorted_by_distance(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        ordered = context.sorted_by_distance()
+        assert ordered[0] == 0
+        distances = [context.distances[v] for v in ordered]
+        assert distances == sorted(distances)
+
+    def test_knn_distance(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        # The query's two nearest candidate neighbours are 2 (0.943) and 1 (1.0).
+        assert context.knn_distance() == pytest.approx(1.0)
+
+    def test_vertices_in_circle(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        inside = set(context.vertices_in_circle(0.0, 0.0, 1.1))
+        assert inside == {0, 1, 2}
+
+    def test_vertices_in_annulus(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        ring = set(context.vertices_in_annulus(0.0, 0.0, 0.95, 1.05))
+        assert ring == {1}
+
+    def test_community_in_circle_feasible(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        community = context.community_in_circle(0.5, 0.3, 1.0)
+        assert community == {0, 1, 2}
+
+    def test_community_in_circle_query_outside(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        assert context.community_in_circle(3.5, 0.5, 1.0) is None
+
+    def test_community_in_circle_too_small(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        assert context.community_in_circle(0.0, 0.0, 0.1) is None
+
+    def test_feasibility_checks_counter(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        before = context.feasibility_checks
+        context.community_in_circle(0.0, 0.0, 1.0)
+        context.community_in_subset([0, 1, 2])
+        assert context.feasibility_checks == before + 2
+
+    def test_make_result_records_stats(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        result = context.make_result("test", {0, 1, 2}, {"custom": 1.0})
+        assert result.algorithm == "test"
+        assert result.stats["custom"] == 1.0
+        assert "feasibility_checks" in result.stats
+        assert result.radius > 0.0
+
+    def test_mcc_of_members(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        circle = context.mcc_of({0, 1})
+        assert circle.radius == pytest.approx(0.5)
+
+
+class TestIncrementalFeasibleRegion:
+    def test_finds_tight_triangle(self, two_triangle_graph):
+        context = QueryContext(two_triangle_graph, 0, 2)
+        community, delta = incremental_feasible_region(context)
+        assert community == {0, 1, 2}
+        assert delta == pytest.approx(1.0)
+
+    def test_delta_is_max_distance_of_needed_vertex(self, clique_grid_graph):
+        context = QueryContext(clique_grid_graph, 0, 4)
+        community, delta = incremental_feasible_region(context)
+        # The left clique {0..4} is entirely within ~0.15 of the query.
+        assert community == {0, 1, 2, 3, 4}
+        assert delta < 0.2

@@ -1,0 +1,156 @@
+"""Cross-algorithm consistency and property-based tests.
+
+These tests are the heart of the reproduction's correctness argument: on many
+randomly generated spatial graphs they assert that
+
+* ``Exact`` and ``Exact+`` return MCCs of identical radius,
+* ``Exact`` matches a brute-force subset enumeration on tiny graphs,
+* every approximation algorithm respects its theoretical ratio relative to
+  the exact optimum,
+* every returned community satisfies the three SAC properties (query
+  membership + connectivity + minimum degree).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_optimal_radius
+from repro.core.appacc import app_acc
+from repro.core.appfast import app_fast
+from repro.core.appinc import app_inc
+from repro.core.exact import exact
+from repro.core.exact_plus import exact_plus
+from repro.datasets.synthetic import random_geometric_graph
+from repro.exceptions import NoCommunityError
+from repro.experiments.queries import select_query_vertices
+from repro.graph.builder import GraphBuilder
+from repro.kcore.connected_core import is_connected
+from repro.metrics.structural import minimum_degree
+
+
+def _random_spatial_graph(num_vertices: int, edge_probability: float, seed: int):
+    """Erdős–Rényi-style random graph with uniform random locations."""
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder()
+    coords = rng.uniform(0.0, 1.0, size=(num_vertices, 2))
+    for v in range(num_vertices):
+        builder.add_vertex(v, float(coords[v, 0]), float(coords[v, 1]))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_probability:
+                builder.add_edge(u, v)
+    return builder.build()
+
+
+def _assert_sac_properties(graph, result, query, k):
+    assert query in result.members
+    assert minimum_degree(graph, result.members) >= k
+    assert is_connected(graph, set(result.members))
+    # Every member is inside the reported MCC.
+    for vertex in result.members:
+        x, y = graph.position(vertex)
+        assert result.circle.contains((x, y), tolerance=1e-7 * max(1.0, result.radius))
+
+
+class TestExactAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_matches_brute_force_on_tiny_graphs(self, seed):
+        graph = _random_spatial_graph(10, 0.5, seed)
+        query = 0
+        k = 2
+        reference = brute_force_optimal_radius(graph, query, k)
+        if reference is None:
+            with pytest.raises(NoCommunityError):
+                exact(graph, query, k)
+            return
+        result = exact(graph, query, k)
+        assert result.radius == pytest.approx(reference, rel=1e-9, abs=1e-12)
+        _assert_sac_properties(graph, result, query, k)
+
+
+class TestExactPlusAgainstExact:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_same_radius_on_random_geometric_graphs(self, seed, k):
+        graph = random_geometric_graph(120, radius=0.16, seed=seed)
+        queries = select_query_vertices(graph, 3, min_core=k, seed=seed)
+        if not queries:
+            pytest.skip("no eligible query vertex in this random graph")
+        for query in queries:
+            basic = exact(graph, query, k)
+            plus = exact_plus(graph, query, k, epsilon_a=1e-3)
+            assert plus.radius == pytest.approx(basic.radius, rel=1e-7, abs=1e-10)
+            _assert_sac_properties(graph, plus, query, k)
+
+
+class TestApproximationGuarantees:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_bounds_hold_on_random_geometric_graphs(self, seed):
+        graph = random_geometric_graph(150, radius=0.15, seed=100 + seed)
+        k = 3
+        queries = select_query_vertices(graph, 2, min_core=k, seed=seed)
+        if not queries:
+            pytest.skip("no eligible query vertex in this random graph")
+        for query in queries:
+            optimal = exact(graph, query, k)
+            inc = app_inc(graph, query, k)
+            assert inc.radius <= 2.0 * optimal.radius + 1e-9
+            _assert_sac_properties(graph, inc, query, k)
+            for epsilon_f in (0.0, 0.5, 2.0):
+                fast = app_fast(graph, query, k, epsilon_f)
+                assert fast.radius <= (2.0 + epsilon_f) * optimal.radius + 1e-9
+                _assert_sac_properties(graph, fast, query, k)
+            for epsilon_a in (0.1, 0.5, 0.9):
+                acc = app_acc(graph, query, k, epsilon_a)
+                assert acc.radius <= (1.0 + epsilon_a) * optimal.radius + 1e-9
+                _assert_sac_properties(graph, acc, query, k)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_is_never_larger_than_any_approximation(self, seed):
+        graph = random_geometric_graph(100, radius=0.18, seed=200 + seed)
+        k = 4
+        queries = select_query_vertices(graph, 2, min_core=k, seed=seed)
+        if not queries:
+            pytest.skip("no eligible query vertex in this random graph")
+        for query in queries:
+            optimal = exact(graph, query, k)
+            for algorithm, kwargs in (
+                (app_inc, {}),
+                (app_fast, {"epsilon_f": 0.5}),
+                (app_acc, {"epsilon_a": 0.5}),
+            ):
+                approx = algorithm(graph, query, k, **kwargs)
+                assert optimal.radius <= approx.radius + 1e-9
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=2, max_value=3),
+)
+def test_property_random_graphs_all_algorithms_agree(seed, k):
+    """Property test: SAC invariants and ordering hold on arbitrary random graphs."""
+    graph = _random_spatial_graph(14, 0.45, seed)
+    query = 0
+    reference = brute_force_optimal_radius(graph, query, k)
+    if reference is None:
+        for algorithm in (exact, app_inc):
+            with pytest.raises(NoCommunityError):
+                algorithm(graph, query, k)
+        return
+
+    basic = exact(graph, query, k)
+    plus = exact_plus(graph, query, k, epsilon_a=1e-3)
+    inc = app_inc(graph, query, k)
+    acc = app_acc(graph, query, k, 0.3)
+
+    assert basic.radius == pytest.approx(reference, rel=1e-9, abs=1e-12)
+    assert plus.radius == pytest.approx(reference, rel=1e-7, abs=1e-10)
+    assert inc.radius <= 2.0 * reference + 1e-9
+    assert acc.radius <= 1.3 * reference + 1e-9
+    for result in (basic, plus, inc, acc):
+        _assert_sac_properties(graph, result, query, k)

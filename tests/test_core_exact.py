@@ -1,0 +1,74 @@
+"""Unit tests for the basic Exact algorithm (ground truth for everything else)."""
+
+import pytest
+
+from conftest import brute_force_optimal_radius
+from repro.core.exact import exact
+from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
+from repro.metrics.structural import minimum_degree
+from repro.kcore.connected_core import is_connected
+
+
+class TestExactOnFixtures:
+    def test_two_triangle_graph_optimum(self, two_triangle_graph):
+        result = exact(two_triangle_graph, 0, 2)
+        assert result.members == frozenset({0, 1, 2})
+        reference = brute_force_optimal_radius(two_triangle_graph, 0, 2)
+        assert result.radius == pytest.approx(reference, rel=1e-9)
+
+    def test_clique_graph_prefers_tight_clique(self, clique_grid_graph):
+        result = exact(clique_grid_graph, 0, 4)
+        assert result.members == frozenset({0, 1, 2, 3, 4})
+        reference = brute_force_optimal_radius(clique_grid_graph, 0, 4)
+        assert result.radius == pytest.approx(reference, rel=1e-9)
+
+    def test_disconnected_graph_uses_own_component(self, disconnected_graph):
+        result = exact(disconnected_graph, 0, 2)
+        assert result.members == frozenset({0, 1, 2})
+
+    def test_query_from_other_component(self, disconnected_graph):
+        result = exact(disconnected_graph, 3, 2)
+        assert result.members == frozenset({3, 4, 5})
+
+    def test_result_satisfies_sac_properties(self, two_triangle_graph):
+        result = exact(two_triangle_graph, 0, 2)
+        assert 0 in result.members
+        assert minimum_degree(two_triangle_graph, result.members) >= 2
+        assert is_connected(two_triangle_graph, set(result.members))
+
+    def test_stats_record_triples(self, two_triangle_graph):
+        result = exact(two_triangle_graph, 0, 2)
+        assert result.stats["triples_examined"] >= 0
+
+
+class TestExactEdgeCases:
+    def test_k_equals_one_returns_nearest_neighbor(self, two_triangle_graph):
+        result = exact(two_triangle_graph, 0, 1)
+        assert len(result.members) == 2
+        assert 0 in result.members
+
+    def test_no_community_raises(self, star_graph):
+        with pytest.raises(NoCommunityError):
+            exact(star_graph, 0, 2)
+
+    def test_invalid_k(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            exact(two_triangle_graph, 0, 0)
+
+    def test_unknown_vertex(self, two_triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            exact(two_triangle_graph, 99, 2)
+
+    def test_max_candidates_guard(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            exact(two_triangle_graph, 0, 2, max_candidates=2)
+
+    def test_k_equal_to_degeneracy(self, clique_grid_graph):
+        # k=4 equals the clique degeneracy; both cliques are feasible.
+        result = exact(clique_grid_graph, 0, 4)
+        assert len(result.members) == 5
+
+    def test_whole_candidate_set_when_nothing_smaller(self, disconnected_graph):
+        # The triangle is the only feasible community; its MCC is returned.
+        result = exact(disconnected_graph, 0, 2)
+        assert result.radius > 0.0

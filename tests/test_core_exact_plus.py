@@ -1,0 +1,84 @@
+"""Unit tests for the Exact+ algorithm (must match Exact everywhere)."""
+
+import pytest
+
+from conftest import brute_force_optimal_radius
+from repro.core.exact import exact
+from repro.core.exact_plus import exact_plus
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.kcore.connected_core import is_connected
+from repro.metrics.structural import minimum_degree
+
+
+class TestExactPlusMatchesExact:
+    def test_two_triangle_graph(self, two_triangle_graph):
+        plus = exact_plus(two_triangle_graph, 0, 2, epsilon_a=1e-3)
+        basic = exact(two_triangle_graph, 0, 2)
+        assert plus.radius == pytest.approx(basic.radius, rel=1e-9)
+
+    def test_clique_grid_graph(self, clique_grid_graph):
+        plus = exact_plus(clique_grid_graph, 0, 4, epsilon_a=1e-3)
+        basic = exact(clique_grid_graph, 0, 4)
+        assert plus.radius == pytest.approx(basic.radius, rel=1e-9)
+
+    def test_disconnected_graph(self, disconnected_graph):
+        plus = exact_plus(disconnected_graph, 0, 2, epsilon_a=1e-3)
+        basic = exact(disconnected_graph, 0, 2)
+        assert plus.radius == pytest.approx(basic.radius, rel=1e-9)
+
+    def test_matches_brute_force(self, two_triangle_graph):
+        plus = exact_plus(two_triangle_graph, 0, 2, epsilon_a=1e-3)
+        reference = brute_force_optimal_radius(two_triangle_graph, 0, 2)
+        assert plus.radius == pytest.approx(reference, rel=1e-9)
+
+    @pytest.mark.parametrize("epsilon_a", [1e-4, 1e-3, 1e-2, 0.5])
+    def test_epsilon_does_not_change_optimality(self, two_triangle_graph, epsilon_a):
+        plus = exact_plus(two_triangle_graph, 0, 2, epsilon_a=epsilon_a)
+        basic = exact(two_triangle_graph, 0, 2)
+        assert plus.radius == pytest.approx(basic.radius, rel=1e-9)
+
+
+class TestExactPlusProperties:
+    def test_result_is_feasible(self, two_triangle_graph):
+        result = exact_plus(two_triangle_graph, 0, 2)
+        assert 0 in result.members
+        assert minimum_degree(two_triangle_graph, result.members) >= 2
+        assert is_connected(two_triangle_graph, set(result.members))
+
+    def test_stats_fields(self, two_triangle_graph):
+        result = exact_plus(two_triangle_graph, 0, 2)
+        assert "fixed_vertex_candidates" in result.stats
+        assert "triples_examined" in result.stats
+        assert result.stats["fixed_vertex_candidates"] >= 0
+
+    def test_smaller_epsilon_gives_fewer_or_equal_candidates(self, clique_grid_graph):
+        tight = exact_plus(clique_grid_graph, 0, 4, epsilon_a=1e-4)
+        loose = exact_plus(clique_grid_graph, 0, 4, epsilon_a=0.9)
+        assert tight.stats["fixed_vertex_candidates"] <= loose.stats["fixed_vertex_candidates"]
+
+    def test_algorithm_name(self, two_triangle_graph):
+        assert exact_plus(two_triangle_graph, 0, 2).algorithm == "exact+"
+
+
+class TestExactPlusEdgeCases:
+    @pytest.mark.parametrize("epsilon_a", [0.0, 1.0, -1.0])
+    def test_invalid_epsilon(self, two_triangle_graph, epsilon_a):
+        with pytest.raises(InvalidParameterError):
+            exact_plus(two_triangle_graph, 0, 2, epsilon_a=epsilon_a)
+
+    def test_k_equals_one(self, two_triangle_graph):
+        result = exact_plus(two_triangle_graph, 0, 1)
+        assert len(result.members) == 2
+
+    def test_no_community(self, star_graph):
+        with pytest.raises(NoCommunityError):
+            exact_plus(star_graph, 0, 2)
+
+    def test_colocated_vertices(self):
+        from conftest import build_graph
+
+        locations = {0: (0.5, 0.5), 1: (0.5, 0.5), 2: (0.5, 0.5), 3: (0.9, 0.9)}
+        edges = [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)]
+        graph = build_graph(locations, edges)
+        result = exact_plus(graph, 0, 2)
+        assert result.radius == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,86 @@
+"""Unit tests for the SACSearcher facade."""
+
+import pytest
+
+from repro.core.searcher import ALGORITHMS, SACSearcher
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.graph.builder import GraphBuilder
+
+
+def labelled_graph():
+    """Two labelled triangles sharing 'query'."""
+    builder = GraphBuilder()
+    positions = {
+        "query": (0.0, 0.0),
+        "ann": (0.1, 0.0),
+        "bob": (0.0, 0.1),
+        "cat": (2.0, 2.0),
+        "dan": (2.1, 2.0),
+    }
+    for label, (x, y) in positions.items():
+        builder.add_vertex(label, x, y)
+    builder.add_edges(
+        [
+            ("query", "ann"), ("query", "bob"), ("ann", "bob"),
+            ("query", "cat"), ("query", "dan"), ("cat", "dan"),
+        ]
+    )
+    return builder.build()
+
+
+class TestSearcher:
+    def test_registry_contains_all_algorithms(self):
+        assert set(ALGORITHMS) == {"exact", "exact+", "appinc", "appfast", "appacc"}
+
+    def test_unknown_default_algorithm_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SACSearcher(labelled_graph(), default_algorithm="bogus")
+
+    def test_unknown_algorithm_at_query_time(self):
+        searcher = SACSearcher(labelled_graph())
+        with pytest.raises(InvalidParameterError):
+            searcher.search("query", 2, algorithm="bogus")
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm_finds_the_tight_triangle(self, algorithm):
+        searcher = SACSearcher(labelled_graph())
+        result = searcher.search("query", 2, algorithm=algorithm)
+        assert result is not None
+        labels = set(searcher.member_labels(result))
+        # The tight triangle around the query is optimal; approximations may
+        # return it or a superset, but must always contain the query.
+        assert "query" in labels
+
+    def test_exact_returns_tight_triangle_labels(self):
+        searcher = SACSearcher(labelled_graph())
+        result = searcher.search("query", 2, algorithm="exact")
+        assert set(searcher.member_labels(result)) == {"query", "ann", "bob"}
+
+    def test_missing_ok_returns_none(self):
+        searcher = SACSearcher(labelled_graph())
+        assert searcher.search("query", 5) is None
+
+    def test_missing_ok_false_raises(self):
+        searcher = SACSearcher(labelled_graph())
+        with pytest.raises(NoCommunityError):
+            searcher.search("query", 5, missing_ok=False)
+
+    def test_algorithm_params_forwarded(self):
+        searcher = SACSearcher(labelled_graph())
+        result = searcher.search("query", 2, algorithm="appfast", epsilon_f=1.5)
+        assert result.stats["epsilon_f"] == 1.5
+
+    def test_search_theta(self):
+        searcher = SACSearcher(labelled_graph())
+        result = searcher.search_theta("query", 2, theta=0.5)
+        assert result is not None
+        assert set(searcher.member_labels(result)) == {"query", "ann", "bob"}
+
+    def test_search_theta_empty(self):
+        searcher = SACSearcher(labelled_graph())
+        assert searcher.search_theta("query", 2, theta=0.01) is None
+
+    def test_default_algorithm_used(self):
+        searcher = SACSearcher(labelled_graph(), default_algorithm="appinc")
+        result = searcher.search("query", 2)
+        assert result.algorithm == "appinc"

@@ -1,0 +1,65 @@
+"""Unit tests for θ-SAC search."""
+
+import pytest
+
+from repro.core.theta import theta_sac
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.metrics.structural import minimum_degree
+
+
+class TestThetaSac:
+    def test_small_theta_returns_none(self, two_triangle_graph):
+        assert theta_sac(two_triangle_graph, 0, 2, 0.05) is None
+
+    def test_small_theta_raises_when_requested(self, two_triangle_graph):
+        with pytest.raises(NoCommunityError):
+            theta_sac(two_triangle_graph, 0, 2, 0.05, raise_on_empty=True)
+
+    def test_medium_theta_returns_near_triangle(self, two_triangle_graph):
+        result = theta_sac(two_triangle_graph, 0, 2, 1.2)
+        assert result is not None
+        assert result.members == frozenset({0, 1, 2})
+
+    def test_large_theta_returns_bigger_community(self, two_triangle_graph):
+        result = theta_sac(two_triangle_graph, 0, 2, 10.0)
+        assert result is not None
+        # With a huge theta the entire 2-ĉore is feasible.
+        assert len(result.members) >= 5
+
+    def test_community_grows_monotonically_with_theta(self, two_triangle_graph):
+        sizes = []
+        for theta in (1.2, 3.5, 10.0):
+            result = theta_sac(two_triangle_graph, 0, 2, theta)
+            sizes.append(len(result.members) if result else 0)
+        assert sizes == sorted(sizes)
+
+    def test_result_is_feasible(self, two_triangle_graph):
+        result = theta_sac(two_triangle_graph, 0, 2, 5.0)
+        assert result is not None
+        assert 0 in result.members
+        assert minimum_degree(two_triangle_graph, result.members) >= 2
+
+    def test_members_within_theta_circle(self, two_triangle_graph):
+        theta = 3.5
+        result = theta_sac(two_triangle_graph, 0, 2, theta)
+        assert result is not None
+        qx, qy = two_triangle_graph.position(0)
+        for vertex in result.members:
+            assert two_triangle_graph.distance_to_point(vertex, qx, qy) <= theta + 1e-9
+
+    def test_negative_theta_rejected(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            theta_sac(two_triangle_graph, 0, 2, -1.0)
+
+    def test_stats_record_theta(self, two_triangle_graph):
+        result = theta_sac(two_triangle_graph, 0, 2, 5.0)
+        assert result.stats["theta"] == 5.0
+        assert result.algorithm == "theta-sac"
+
+    def test_theta_radius_never_smaller_than_optimal(self, two_triangle_graph):
+        """θ-SAC returns the whole k-ĉore in the circle, so its MCC is at least the SAC optimum."""
+        from repro.core.exact import exact
+
+        optimal = exact(two_triangle_graph, 0, 2)
+        result = theta_sac(two_triangle_graph, 0, 2, 10.0)
+        assert result.radius >= optimal.radius - 1e-12

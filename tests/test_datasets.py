@@ -1,0 +1,197 @@
+"""Unit tests for the dataset generators, registry, and SNAP loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.geosocial import CheckinGenerator, TravelProfile, brightkite_like
+from repro.datasets.loaders import load_snap_dataset, most_frequent_locations
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.datasets.synthetic import powerlaw_spatial_graph, random_geometric_graph
+from repro.exceptions import DatasetError, InvalidParameterError
+from repro.graph.stats import summarize
+
+
+class TestPowerlawSpatialGraph:
+    def test_basic_shape(self):
+        graph = powerlaw_spatial_graph(500, average_degree=8.0, seed=1)
+        assert graph.num_vertices == 500
+        summary = summarize(graph)
+        # Average degree should be in the right ballpark (sampling tolerance).
+        assert 4.0 <= summary.average_degree <= 12.0
+
+    def test_locations_inside_unit_square(self):
+        graph = powerlaw_spatial_graph(300, average_degree=6.0, seed=2)
+        coords = graph.coordinates
+        assert coords.min() >= 0.0
+        assert coords.max() <= 1.0
+
+    def test_deterministic_for_seed(self):
+        a = powerlaw_spatial_graph(200, average_degree=6.0, seed=7)
+        b = powerlaw_spatial_graph(200, average_degree=6.0, seed=7)
+        assert a.num_edges == b.num_edges
+        np.testing.assert_allclose(a.coordinates, b.coordinates)
+
+    def test_different_seeds_differ(self):
+        a = powerlaw_spatial_graph(200, average_degree=6.0, seed=1)
+        b = powerlaw_spatial_graph(200, average_degree=6.0, seed=2)
+        assert not np.allclose(a.coordinates, b.coordinates)
+
+    def test_no_isolated_vertices(self):
+        graph = powerlaw_spatial_graph(300, average_degree=4.0, seed=3)
+        assert summarize(graph).isolated_vertices == 0
+
+    def test_neighbours_are_spatially_close_on_average(self):
+        """The BFS placement makes adjacent vertices closer than random pairs."""
+        graph = powerlaw_spatial_graph(800, average_degree=8.0, seed=5)
+        rng = np.random.default_rng(0)
+        edge_sample = list(graph.edges())[:2000]
+        edge_distance = np.mean([graph.distance(u, v) for u, v in edge_sample])
+        random_pairs = rng.integers(0, graph.num_vertices, size=(2000, 2))
+        random_distance = np.mean(
+            [graph.distance(int(u), int(v)) for u, v in random_pairs if u != v]
+        )
+        assert edge_distance < random_distance
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            powerlaw_spatial_graph(1)
+        with pytest.raises(InvalidParameterError):
+            powerlaw_spatial_graph(100, average_degree=0.0)
+
+
+class TestRandomGeometricGraph:
+    def test_all_edges_within_radius(self):
+        graph = random_geometric_graph(200, radius=0.1, seed=1)
+        for u, v in graph.edges():
+            assert graph.distance(u, v) <= 0.1 + 1e-12
+
+    def test_deterministic(self):
+        a = random_geometric_graph(100, radius=0.15, seed=3)
+        b = random_geometric_graph(100, radius=0.15, seed=3)
+        assert a.num_edges == b.num_edges
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            random_geometric_graph(0)
+        with pytest.raises(InvalidParameterError):
+            random_geometric_graph(10, radius=0.0)
+
+
+class TestBrightkiteLike:
+    def test_basic_shape(self):
+        graph = brightkite_like(1000, average_degree=8.0, seed=1)
+        assert graph.num_vertices == 1000
+        summary = summarize(graph)
+        assert 4.0 <= summary.average_degree <= 12.0
+        assert summary.isolated_vertices == 0
+
+    def test_city_clustering(self):
+        """Most friendships stay within a city, so edge distances are short."""
+        graph = brightkite_like(1000, average_degree=8.0, num_cities=8, city_std=0.01, seed=2)
+        edge_distances = [graph.distance(u, v) for u, v in list(graph.edges())[:3000]]
+        # Median edge length should be on the order of the city size.
+        assert float(np.median(edge_distances)) < 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            brightkite_like(5)
+        with pytest.raises(InvalidParameterError):
+            brightkite_like(100, long_link_fraction=1.5)
+
+
+class TestCheckinGenerator:
+    def test_generates_sorted_records(self):
+        graph = brightkite_like(200, seed=3)
+        generator = CheckinGenerator(graph, seed=1)
+        checkins = generator.generate(users=range(10), checkins_per_user=20)
+        assert len(checkins) == 200
+        timestamps = [record.timestamp for record in checkins]
+        assert timestamps == sorted(timestamps)
+
+    def test_locations_inside_unit_square(self):
+        graph = brightkite_like(100, seed=4)
+        generator = CheckinGenerator(graph, seed=2)
+        checkins = generator.generate(users=range(5), checkins_per_user=30)
+        assert all(0.0 <= record.x <= 1.0 and 0.0 <= record.y <= 1.0 for record in checkins)
+
+    def test_travel_profile_controls_mobility(self):
+        graph = brightkite_like(100, seed=5)
+        sedentary = CheckinGenerator(
+            graph, TravelProfile(move_probability=0.0, local_std=0.001), seed=3
+        )
+        mobile = CheckinGenerator(
+            graph, TravelProfile(move_probability=0.5, move_distance_mean=0.4), seed=3
+        )
+        users = list(range(10))
+        sedentary_distance = sum(
+            sedentary.total_travel_distance(sedentary.generate(users, 20)).values()
+        )
+        mobile_distance = sum(
+            mobile.total_travel_distance(mobile.generate(users, 20)).values()
+        )
+        assert mobile_distance > sedentary_distance
+
+    def test_invalid_parameters(self):
+        graph = brightkite_like(50, seed=6)
+        generator = CheckinGenerator(graph)
+        with pytest.raises(InvalidParameterError):
+            generator.generate(users=[0], checkins_per_user=0)
+        with pytest.raises(InvalidParameterError):
+            generator.generate(users=[0], checkins_per_user=5, duration_days=0.0)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(DATASETS) == {"brightkite", "gowalla", "flickr", "foursquare", "syn1", "syn2"}
+
+    @pytest.mark.parametrize("name", ["brightkite", "syn1"])
+    def test_load_dataset_small_scale(self, name):
+        graph = load_dataset(name, scale=0.1)
+        assert graph.num_vertices >= 100
+        assert graph.num_edges > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("mystery")
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("syn1", scale=0.0)
+
+    def test_specs_record_paper_sizes(self):
+        spec = DATASETS["foursquare"]
+        assert spec.paper_vertices == 2_127_093
+        assert spec.paper_edges == 8_640_352
+
+
+class TestSnapLoader:
+    def test_load_snap_round_trip(self, tmp_path):
+        edges = tmp_path / "edges.txt"
+        edges.write_text("0 1\n1 2\n2 0\n2 3\n")
+        checkins = tmp_path / "checkins.txt"
+        checkins.write_text(
+            "0 2010-10-17T01:48:53Z 30.23 -97.79 spot1\n"
+            "0 2010-10-18T01:48:53Z 30.23 -97.79 spot1\n"
+            "0 2010-10-19T01:48:53Z 40.74 -73.99 spot2\n"
+            "1 2010-10-17T02:00:00Z 30.26 -97.74 spot3\n"
+            "2 2010-10-17T03:00:00Z 37.77 -122.41 spot4\n"
+            "3 2010-10-17T04:00:00Z 0.0 0.0 spot5\n"
+        )
+        graph = load_snap_dataset(edges, checkins)
+        # User 3 only has a (0,0) placeholder check-in and is dropped.
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_most_frequent_location_wins(self, tmp_path):
+        checkins = tmp_path / "checkins.txt"
+        checkins.write_text(
+            "7 t1 10.0 20.0 a\n"
+            "7 t2 10.0 20.0 a\n"
+            "7 t3 50.0 60.0 b\n"
+        )
+        locations = most_frequent_locations(checkins)
+        assert locations[7] == (20.0, 10.0)  # stored as (longitude, latitude)
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_snap_dataset(tmp_path / "no.txt", tmp_path / "no2.txt")

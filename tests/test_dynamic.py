@@ -1,0 +1,182 @@
+"""Unit tests for the dynamic location stream, SAC tracking, and Figure 13 evaluation."""
+
+import pytest
+
+from repro.datasets.geosocial import CheckinGenerator, TravelProfile, brightkite_like
+from repro.dynamic.evaluation import overlap_vs_time_gap, select_mobile_queries
+from repro.dynamic.stream import LocationStream
+from repro.dynamic.tracker import CommunitySnapshot, SACTracker
+from repro.exceptions import InvalidParameterError
+from repro.experiments.queries import select_query_vertices
+from repro.geometry.circle import Circle
+from repro.graph.io import Checkin
+
+
+@pytest.fixture(scope="module")
+def small_geosocial():
+    return brightkite_like(400, average_degree=8.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def checkin_stream(small_geosocial):
+    generator = CheckinGenerator(
+        small_geosocial,
+        TravelProfile(move_probability=0.15, move_distance_mean=0.2),
+        seed=5,
+    )
+    users = select_query_vertices(small_geosocial, 5, min_core=3, seed=0)
+    return users, generator.generate(users, checkins_per_user=8, duration_days=30.0)
+
+
+class TestLocationStream:
+    def test_checkins_sorted(self, small_geosocial, checkin_stream):
+        _, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        timestamps = [record.timestamp for record in stream.checkins]
+        assert timestamps == sorted(timestamps)
+
+    def test_advance_to_updates_locations(self, small_geosocial, checkin_stream):
+        users, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        applied = stream.advance_to(15.0)
+        assert all(record.timestamp <= 15.0 for record in applied)
+        remaining = stream.advance_to(1000.0)
+        assert all(record.timestamp > 15.0 for record in remaining)
+
+    def test_location_of_unvisited_user_falls_back(self, small_geosocial, checkin_stream):
+        _, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        assert stream.location_of(0) == small_geosocial.position(0)
+
+    def test_snapshot_reflects_latest_checkin(self, small_geosocial, checkin_stream):
+        users, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        stream.advance_to(checkins[-1].timestamp)
+        snapshot = stream.snapshot()
+        last_positions = {}
+        for record in checkins:
+            last_positions[record.user] = (record.x, record.y)
+        for user, (x, y) in last_positions.items():
+            assert snapshot.position(user) == pytest.approx((x, y))
+
+    def test_snapshot_without_updates_is_base_graph(self, small_geosocial, checkin_stream):
+        _, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        assert stream.snapshot() is small_geosocial
+
+    def test_reset(self, small_geosocial, checkin_stream):
+        _, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        stream.advance_to(1000.0)
+        stream.reset()
+        assert stream.current_time is None
+        assert stream.snapshot() is small_geosocial
+
+    def test_split_by_time(self, small_geosocial, checkin_stream):
+        _, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        before, after = stream.split_by_time(10.0)
+        assert len(before) + len(after) == len(checkins)
+        assert all(record.timestamp <= 10.0 for record in before)
+        assert all(record.timestamp > 10.0 for record in after)
+
+
+class TestSACTracker:
+    def test_unknown_algorithm_rejected(self, small_geosocial, checkin_stream):
+        _, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        with pytest.raises(InvalidParameterError):
+            SACTracker(stream, k=3, algorithm="bogus")
+
+    def test_track_produces_timeline_per_user(self, small_geosocial, checkin_stream):
+        users, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        tracker = SACTracker(stream, k=3, algorithm="appfast")
+        timelines = tracker.track(users[:2])
+        assert set(timelines) == set(users[:2])
+        for user, snapshots in timelines.items():
+            expected = sum(1 for record in checkins if record.user == user)
+            assert len(snapshots) == expected
+            for snapshot in snapshots:
+                if snapshot.found:
+                    assert user in snapshot.members
+
+    def test_snapshot_timestamps_increase(self, small_geosocial, checkin_stream):
+        users, checkins = checkin_stream
+        stream = LocationStream(small_geosocial, checkins)
+        tracker = SACTracker(stream, k=3)
+        timelines = tracker.track(users[:1])
+        timestamps = [snap.timestamp for snap in timelines[users[0]]]
+        assert timestamps == sorted(timestamps)
+
+
+class TestOverlapEvaluation:
+    def _snapshot(self, timestamp, members, x=0.0, radius=1.0):
+        return CommunitySnapshot(
+            timestamp=timestamp,
+            members=frozenset(members),
+            circle=Circle.from_xy(x, 0.0, radius),
+        )
+
+    def test_identical_snapshots_full_overlap(self):
+        timelines = {
+            1: [self._snapshot(0.0, {1, 2, 3}), self._snapshot(2.0, {1, 2, 3})]
+        }
+        points = overlap_vs_time_gap(timelines, [1.0])
+        assert points[0].average_cjs == pytest.approx(1.0)
+        assert points[0].average_cao == pytest.approx(1.0)
+        assert points[0].num_pairs == 1
+
+    def test_changed_membership_reduces_cjs(self):
+        timelines = {
+            1: [self._snapshot(0.0, {1, 2, 3, 4}), self._snapshot(2.0, {1, 5, 6, 7})]
+        }
+        points = overlap_vs_time_gap(timelines, [1.0])
+        assert points[0].average_cjs == pytest.approx(1.0 / 7.0)
+
+    def test_moved_circle_reduces_cao(self):
+        timelines = {
+            1: [
+                self._snapshot(0.0, {1, 2, 3}, x=0.0),
+                self._snapshot(3.0, {1, 2, 3}, x=1.5),
+            ]
+        }
+        points = overlap_vs_time_gap(timelines, [1.0])
+        assert points[0].average_cao < 1.0
+
+    def test_empty_snapshots_skipped(self):
+        timelines = {
+            1: [self._snapshot(0.0, set()), self._snapshot(2.0, {1, 2})]
+        }
+        points = overlap_vs_time_gap(timelines, [1.0])
+        assert points[0].num_pairs == 0
+
+    def test_eta_bucketing(self):
+        timelines = {
+            1: [
+                self._snapshot(0.0, {1, 2}),
+                self._snapshot(0.4, {1, 2}),
+                self._snapshot(5.0, {1, 3}),
+            ]
+        }
+        points = overlap_vs_time_gap(timelines, [0.25, 3.0])
+        # The 0.4-gap pair lands in the first bucket; 5.0 and 4.6 gaps in the second.
+        assert points[0].num_pairs == 1
+        assert points[1].num_pairs == 2
+
+
+class TestMobileQuerySelection:
+    def test_selects_by_travel_and_degree(self, small_geosocial):
+        travel = {0: 10.0, 1: 5.0, 2: 50.0}
+        chosen = select_mobile_queries(
+            small_geosocial, [], travel, count=2, min_friends=0
+        )
+        assert chosen[0] == 2
+        assert len(chosen) == 2
+
+    def test_degree_filter(self, small_geosocial):
+        travel = {v: 1.0 for v in range(small_geosocial.num_vertices)}
+        chosen = select_mobile_queries(
+            small_geosocial, [], travel, count=10, min_friends=10
+        )
+        assert all(small_geosocial.degree(v) >= 10 for v in chosen)

@@ -1,0 +1,51 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    GraphConstructionError,
+    InvalidParameterError,
+    NoCommunityError,
+    ReproError,
+    VertexNotFoundError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [GraphConstructionError, VertexNotFoundError, InvalidParameterError, DatasetError],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_no_community_error_derives_from_repro_error(self):
+        assert issubclass(NoCommunityError, ReproError)
+
+    def test_vertex_not_found_is_also_key_error(self):
+        assert issubclass(VertexNotFoundError, KeyError)
+
+    def test_invalid_parameter_is_also_value_error(self):
+        assert issubclass(InvalidParameterError, ValueError)
+
+
+class TestMessages:
+    def test_vertex_not_found_message(self):
+        error = VertexNotFoundError("bob")
+        assert "bob" in str(error)
+        assert error.vertex == "bob"
+
+    def test_no_community_error_fields(self):
+        error = NoCommunityError(7, 4)
+        assert error.query == 7
+        assert error.k == 4
+        assert "minimum degree 4" in str(error)
+
+    def test_no_community_error_detail(self):
+        error = NoCommunityError(7, 4, "extra detail")
+        assert "extra detail" in str(error)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise NoCommunityError(0, 2)

@@ -1,0 +1,127 @@
+"""Unit tests for the experiment harness helpers."""
+
+import time
+
+import pytest
+
+from repro.datasets.synthetic import random_geometric_graph
+from repro.exceptions import InvalidParameterError
+from repro.experiments.queries import select_query_vertices
+from repro.experiments.sweeps import DEFAULT_SWEEPS, ParameterSweep, defaults
+from repro.experiments.tables import format_table
+from repro.experiments.timing import Timer, average_query_time, time_callable
+from repro.kcore.decomposition import core_numbers
+
+
+class TestQuerySelection:
+    def test_selected_vertices_meet_core_constraint(self):
+        graph = random_geometric_graph(300, radius=0.15, seed=1)
+        queries = select_query_vertices(graph, 20, min_core=4, seed=0)
+        cores = core_numbers(graph)
+        assert queries
+        assert all(cores[v] >= 4 for v in queries)
+
+    def test_returns_fewer_when_not_enough_candidates(self):
+        graph = random_geometric_graph(50, radius=0.05, seed=2)
+        queries = select_query_vertices(graph, 1000, min_core=4, seed=0)
+        cores = core_numbers(graph)
+        eligible = int((cores >= 4).sum())
+        assert len(queries) == eligible
+
+    def test_deterministic_for_seed(self):
+        graph = random_geometric_graph(200, radius=0.15, seed=3)
+        a = select_query_vertices(graph, 10, seed=5)
+        b = select_query_vertices(graph, 10, seed=5)
+        assert a == b
+
+    def test_no_eligible_vertices(self):
+        graph = random_geometric_graph(30, radius=0.01, seed=4)
+        assert select_query_vertices(graph, 10, min_core=4, seed=0) == []
+
+    def test_invalid_arguments(self):
+        graph = random_geometric_graph(30, radius=0.1, seed=5)
+        with pytest.raises(InvalidParameterError):
+            select_query_vertices(graph, 0)
+        with pytest.raises(InvalidParameterError):
+            select_query_vertices(graph, 5, min_core=-1)
+
+
+class TestSweeps:
+    def test_table5_values(self):
+        assert DEFAULT_SWEEPS["epsilon_f"].values == (0.0, 0.5, 1.0, 1.5, 2.0)
+        assert DEFAULT_SWEEPS["epsilon_a"].values == (0.01, 0.05, 0.1, 0.5, 0.9)
+        assert DEFAULT_SWEEPS["k"].values == (4, 7, 10, 13, 16)
+        assert DEFAULT_SWEEPS["theta"].values == (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+        assert DEFAULT_SWEEPS["fraction"].values == (0.2, 0.4, 0.6, 0.8, 1.0)
+
+    def test_table5_defaults(self):
+        values = defaults()
+        assert values["epsilon_f"] == 0.5
+        assert values["epsilon_a"] == 0.5
+        assert values["k"] == 4
+        assert values["theta"] == 1e-4
+        assert values["fraction"] == 1.0
+
+    def test_sweep_iterable(self):
+        sweep = ParameterSweep("x", (1.0, 2.0), 1.0)
+        assert list(sweep) == [1.0, 2.0]
+
+
+class TestTiming:
+    def test_timer_context_manager(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_time_callable(self):
+        result, elapsed = time_callable(sum, range(100))
+        assert result == 4950
+        assert elapsed >= 0.0
+
+    def test_average_query_time(self):
+        stats = average_query_time(lambda q: q * 2, [1, 2, 3])
+        assert stats["count"] == 3
+        assert stats["failures"] == 0
+        assert stats["mean"] >= 0.0
+
+    def test_average_query_time_counts_failures(self):
+        def flaky(q):
+            if q == 2:
+                raise ValueError("boom")
+            return q
+
+        stats = average_query_time(flaky, [1, 2, 3])
+        assert stats["count"] == 2
+        assert stats["failures"] == 1
+
+    def test_average_query_time_propagates_when_requested(self):
+        def flaky(q):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            average_query_time(flaky, [1], skip_errors=False)
+
+
+class TestTables:
+    def test_format_simple_table(self):
+        rows = [
+            {"algorithm": "exact", "radius": 0.5},
+            {"algorithm": "appfast", "radius": 0.75},
+        ]
+        text = format_table(rows)
+        assert "algorithm" in text
+        assert "exact" in text
+        assert "0.7500" in text
+
+    def test_empty_table(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_explicit_columns_and_missing_values(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows, columns=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+
+    def test_scientific_notation_for_tiny_values(self):
+        text = format_table([{"value": 1e-6}])
+        assert "e-06" in text

@@ -1,0 +1,175 @@
+"""Unit tests for the k-truss decomposition and truss-based SAC search."""
+
+from itertools import combinations
+
+import pytest
+
+from conftest import build_graph
+from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
+from repro.extensions.truss import (
+    connected_k_truss,
+    edge_supports,
+    k_truss_edges,
+    truss_numbers,
+)
+from repro.extensions.truss_sac import truss_sac_search
+from repro.graph.builder import GraphBuilder
+
+
+def build(edges, positions=None):
+    labels = sorted({u for u, _ in edges} | {v for _, v in edges})
+    builder = GraphBuilder()
+    for label in labels:
+        if positions and label in positions:
+            x, y = positions[label]
+        else:
+            x, y = float(label), 0.0
+        builder.add_vertex(label, x, y)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+@pytest.fixture
+def clique5_plus_path():
+    """A 5-clique {0..4} with a path 4-5-6 hanging off it."""
+    edges = list(combinations(range(5), 2)) + [(4, 5), (5, 6)]
+    return build(edges)
+
+
+class TestEdgeSupports:
+    def test_triangle_supports(self):
+        graph = build([(0, 1), (1, 2), (0, 2)])
+        supports = edge_supports(graph)
+        assert all(value == 1 for value in supports.values())
+        assert len(supports) == 3
+
+    def test_path_has_zero_support(self):
+        graph = build([(0, 1), (1, 2)])
+        supports = edge_supports(graph)
+        assert all(value == 0 for value in supports.values())
+
+    def test_clique_supports(self, clique5_plus_path):
+        supports = edge_supports(clique5_plus_path)
+        clique_edges = [tuple(sorted(edge)) for edge in combinations(range(5), 2)]
+        for edge in clique_edges:
+            assert supports[edge] == 3
+        assert supports[(4, 5)] == 0
+
+    def test_restricted_to_subset(self, clique5_plus_path):
+        supports = edge_supports(clique5_plus_path, vertices=[0, 1, 2])
+        assert set(supports) == {(0, 1), (0, 2), (1, 2)}
+        assert all(value == 1 for value in supports.values())
+
+
+class TestTrussNumbers:
+    def test_clique_truss_number(self, clique5_plus_path):
+        trussness = truss_numbers(clique5_plus_path)
+        for edge in (tuple(sorted(e)) for e in combinations(range(5), 2)):
+            assert trussness[edge] == 5
+        assert trussness[(4, 5)] == 2
+        assert trussness[(5, 6)] == 2
+
+    def test_triangle_truss_number(self):
+        graph = build([(0, 1), (1, 2), (0, 2)])
+        trussness = truss_numbers(graph)
+        assert all(value == 3 for value in trussness.values())
+
+    def test_truss_numbers_consistent_with_k_truss_membership(self, clique5_plus_path):
+        trussness = truss_numbers(clique5_plus_path)
+        for k in (3, 4, 5):
+            edges = k_truss_edges(clique5_plus_path, k)
+            expected = {edge for edge, value in trussness.items() if value >= k}
+            assert edges == expected
+
+
+class TestKTrussEdges:
+    def test_invalid_k(self, clique5_plus_path):
+        with pytest.raises(InvalidParameterError):
+            k_truss_edges(clique5_plus_path, 1)
+
+    def test_two_truss_is_all_edges(self, clique5_plus_path):
+        edges = k_truss_edges(clique5_plus_path, 2)
+        assert len(edges) == clique5_plus_path.num_edges
+
+    def test_truss_condition_holds(self, clique5_plus_path):
+        k = 4
+        edges = k_truss_edges(clique5_plus_path, k)
+        adjacency = {}
+        for u, v in edges:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        for u, v in edges:
+            common = adjacency[u] & adjacency[v]
+            assert len(common) >= k - 2
+
+    def test_too_large_k_empty(self, clique5_plus_path):
+        assert k_truss_edges(clique5_plus_path, 6) == set()
+
+    def test_nestedness(self, clique5_plus_path):
+        previous = None
+        for k in (2, 3, 4, 5):
+            current = k_truss_edges(clique5_plus_path, k)
+            if previous is not None:
+                assert current <= previous
+            previous = current
+
+
+class TestConnectedKTruss:
+    def test_query_inside_clique(self, clique5_plus_path):
+        community = connected_k_truss(clique5_plus_path, 0, 4)
+        assert community == set(range(5))
+
+    def test_query_outside_truss_returns_none(self, clique5_plus_path):
+        assert connected_k_truss(clique5_plus_path, 6, 4) is None
+
+    def test_two_separate_trusses(self):
+        edges = list(combinations(range(4), 2)) + list(combinations(range(10, 14), 2))
+        graph = build(edges + [(3, 10)])
+        community = connected_k_truss(graph, graph.index_of(0), 4)
+        assert community == {graph.index_of(i) for i in range(4)}
+
+
+class TestTrussSacSearch:
+    def _two_clique_graph(self):
+        """Two 4-cliques through the query vertex: one tight, one spread out."""
+        positions = {
+            0: (0.0, 0.0),
+            1: (0.05, 0.0), 2: (0.0, 0.05), 3: (0.05, 0.05),
+            11: (2.0, 2.0), 12: (2.5, 2.0), 13: (2.0, 2.5),
+        }
+        edges = list(combinations([0, 1, 2, 3], 2)) + list(combinations([0, 11, 12, 13], 2))
+        return build(edges, positions)
+
+    def test_finds_tight_clique(self):
+        graph = self._two_clique_graph()
+        result = truss_sac_search(graph, graph.index_of(0), 4)
+        labels = {graph.label_of(v) for v in result.members}
+        assert labels == {0, 1, 2, 3}
+
+    def test_result_satisfies_truss_condition(self):
+        graph = self._two_clique_graph()
+        result = truss_sac_search(graph, graph.index_of(0), 4)
+        community = set(result.members)
+        edges = k_truss_edges(graph, 4, community)
+        touched = {v for edge in edges for v in edge}
+        assert community <= touched
+
+    def test_no_truss_raises(self):
+        graph = build([(0, 1), (1, 2)])
+        with pytest.raises(NoCommunityError):
+            truss_sac_search(graph, 0, 3)
+
+    def test_invalid_arguments(self):
+        graph = self._two_clique_graph()
+        with pytest.raises(InvalidParameterError):
+            truss_sac_search(graph, 0, 1)
+        with pytest.raises(VertexNotFoundError):
+            truss_sac_search(graph, 999, 3)
+
+    def test_radius_not_worse_than_whole_truss(self):
+        graph = self._two_clique_graph()
+        result = truss_sac_search(graph, graph.index_of(0), 4)
+        whole = connected_k_truss(graph, graph.index_of(0), 4)
+        from repro.metrics.spatial import community_radius
+
+        assert result.radius <= community_radius(graph, whole) + 1e-12

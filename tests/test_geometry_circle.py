@@ -1,0 +1,85 @@
+"""Unit tests for repro.geometry.circle."""
+
+import math
+
+import pytest
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+
+
+class TestCircleBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0.0, 0.0), -0.1)
+
+    def test_from_xy(self):
+        circle = Circle.from_xy(1.0, 2.0, 3.0)
+        assert circle.center == Point(1.0, 2.0)
+        assert circle.radius == 3.0
+
+    def test_area_and_diameter(self):
+        circle = Circle.from_xy(0.0, 0.0, 2.0)
+        assert circle.area == pytest.approx(math.pi * 4.0)
+        assert circle.diameter == pytest.approx(4.0)
+
+    def test_zero_radius_circle(self):
+        circle = Circle.from_xy(1.0, 1.0, 0.0)
+        assert circle.area == 0.0
+        assert circle.contains((1.0, 1.0))
+        assert not circle.contains((1.0, 1.1))
+
+
+class TestContainment:
+    def test_contains_interior_point(self):
+        circle = Circle.from_xy(0.0, 0.0, 1.0)
+        assert circle.contains((0.5, 0.5))
+
+    def test_excludes_exterior_point(self):
+        circle = Circle.from_xy(0.0, 0.0, 1.0)
+        assert not circle.contains((1.5, 0.0))
+
+    def test_boundary_point_included_with_default_tolerance(self):
+        circle = Circle.from_xy(0.0, 0.0, 1.0)
+        # A point computed to be exactly on the boundary up to rounding.
+        angle = 0.7
+        boundary = (math.cos(angle), math.sin(angle))
+        assert circle.contains(boundary)
+
+    def test_strict_tolerance_excludes_marginal_point(self):
+        circle = Circle.from_xy(0.0, 0.0, 1.0)
+        assert not circle.contains((1.0 + 1e-6, 0.0), tolerance=0.0)
+
+    def test_contains_all(self):
+        circle = Circle.from_xy(0.0, 0.0, 2.0)
+        assert circle.contains_all([(0.0, 0.0), (1.0, 1.0), (0.0, -1.9)])
+        assert not circle.contains_all([(0.0, 0.0), (3.0, 0.0)])
+
+    def test_distance_to_center(self):
+        circle = Circle.from_xy(1.0, 1.0, 5.0)
+        assert circle.distance_to_center((4.0, 5.0)) == pytest.approx(5.0)
+
+
+class TestOperations:
+    def test_expanded_grows_radius(self):
+        circle = Circle.from_xy(0.0, 0.0, 1.0).expanded(0.5)
+        assert circle.radius == pytest.approx(1.5)
+
+    def test_expanded_never_negative(self):
+        circle = Circle.from_xy(0.0, 0.0, 1.0).expanded(-5.0)
+        assert circle.radius == 0.0
+
+    def test_intersects_overlapping(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(1.5, 0.0, 1.0)
+        assert a.intersects(b)
+
+    def test_intersects_disjoint(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(5.0, 0.0, 1.0)
+        assert not a.intersects(b)
+
+    def test_intersects_tangent(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(2.0, 0.0, 1.0)
+        assert a.intersects(b)

@@ -1,0 +1,141 @@
+"""Unit and property tests for the minimum-enclosing-circle computation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.mec import (
+    circle_from_three_points,
+    circle_from_two_points,
+    minimum_covering_circle_of_triple,
+    minimum_enclosing_circle,
+    mec_radius,
+)
+
+coordinate = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+point_list = st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=40)
+
+
+class TestTwoPointCircle:
+    def test_diameter_circle(self):
+        circle = circle_from_two_points((0.0, 0.0), (2.0, 0.0))
+        assert circle.center.as_tuple() == pytest.approx((1.0, 0.0))
+        assert circle.radius == pytest.approx(1.0)
+
+    def test_identical_points(self):
+        circle = circle_from_two_points((1.0, 1.0), (1.0, 1.0))
+        assert circle.radius == 0.0
+
+
+class TestThreePointCircle:
+    def test_right_triangle_circumcircle(self):
+        circle = circle_from_three_points((0.0, 0.0), (2.0, 0.0), (0.0, 2.0))
+        assert circle.center.as_tuple() == pytest.approx((1.0, 1.0))
+        assert circle.radius == pytest.approx(math.sqrt(2.0))
+
+    def test_collinear_points_fall_back_to_widest_pair(self):
+        circle = circle_from_three_points((0.0, 0.0), (1.0, 0.0), (3.0, 0.0))
+        assert circle.radius == pytest.approx(1.5)
+        assert circle.contains((0.0, 0.0))
+        assert circle.contains((3.0, 0.0))
+
+    def test_equilateral_triangle(self):
+        height = math.sqrt(3.0) / 2.0
+        circle = circle_from_three_points((0.0, 0.0), (1.0, 0.0), (0.5, height))
+        assert circle.radius == pytest.approx(1.0 / math.sqrt(3.0))
+
+
+class TestTripleCoveringCircle:
+    def test_obtuse_triangle_uses_diameter(self):
+        # Very flat triangle: the MCC is the diameter circle of the long side.
+        circle = minimum_covering_circle_of_triple((0.0, 0.0), (4.0, 0.0), (2.0, 0.1))
+        assert circle.radius == pytest.approx(2.0, abs=1e-6)
+
+    def test_acute_triangle_uses_circumcircle(self):
+        height = math.sqrt(3.0) / 2.0
+        circle = minimum_covering_circle_of_triple((0.0, 0.0), (1.0, 0.0), (0.5, height))
+        assert circle.radius == pytest.approx(1.0 / math.sqrt(3.0))
+
+    @given(st.tuples(coordinate, coordinate), st.tuples(coordinate, coordinate), st.tuples(coordinate, coordinate))
+    def test_triple_circle_covers_all_three(self, a, b, c):
+        circle = minimum_covering_circle_of_triple(a, b, c)
+        tolerance = 1e-6 * max(1.0, circle.radius)
+        for point in (a, b, c):
+            assert circle.contains(point, tolerance=tolerance)
+
+
+class TestMinimumEnclosingCircle:
+    def test_single_point(self):
+        circle = minimum_enclosing_circle([(1.0, 2.0)])
+        assert circle.radius == 0.0
+        assert circle.center.as_tuple() == (1.0, 2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            minimum_enclosing_circle([])
+
+    def test_two_points(self):
+        circle = minimum_enclosing_circle([(0.0, 0.0), (0.0, 4.0)])
+        assert circle.radius == pytest.approx(2.0)
+
+    def test_square(self):
+        circle = minimum_enclosing_circle([(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)])
+        assert circle.radius == pytest.approx(math.sqrt(0.5))
+        assert circle.center.as_tuple() == pytest.approx((0.5, 0.5))
+
+    def test_interior_points_do_not_change_circle(self):
+        base = [(0.0, 0.0), (2.0, 0.0), (1.0, 1.8)]
+        with_interior = base + [(1.0, 0.5), (0.9, 0.2), (1.1, 0.4)]
+        assert mec_radius(base) == pytest.approx(mec_radius(with_interior))
+
+    def test_duplicate_points(self):
+        circle = minimum_enclosing_circle([(1.0, 1.0)] * 5 + [(2.0, 1.0)] * 3)
+        assert circle.radius == pytest.approx(0.5)
+
+    def test_shuffle_seed_none_keeps_order_deterministic(self):
+        points = [(float(i % 7), float(i % 11)) for i in range(30)]
+        a = minimum_enclosing_circle(points, shuffle_seed=None)
+        b = minimum_enclosing_circle(points, shuffle_seed=None)
+        assert a.radius == b.radius
+
+    @settings(max_examples=150, deadline=None)
+    @given(point_list)
+    def test_circle_contains_every_point(self, points):
+        circle = minimum_enclosing_circle(points)
+        tolerance = 1e-6 * max(1.0, circle.radius)
+        assert all(circle.contains(point, tolerance=tolerance) for point in points)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(coordinate, coordinate), min_size=2, max_size=8))
+    def test_minimality_against_pairs_and_triples(self, points):
+        """The MEC radius equals the best over all 2- and 3-point determined circles."""
+        from itertools import combinations
+
+        circle = minimum_enclosing_circle(points)
+        best = None
+        for a, b in combinations(points, 2):
+            candidate = circle_from_two_points(a, b)
+            tolerance = 1e-7 * max(1.0, candidate.radius)
+            if all(candidate.contains(point, tolerance=tolerance) for point in points):
+                if best is None or candidate.radius < best:
+                    best = candidate.radius
+        for a, b, c in combinations(points, 3):
+            candidate = circle_from_three_points(a, b, c)
+            tolerance = 1e-7 * max(1.0, candidate.radius)
+            if all(candidate.contains(point, tolerance=tolerance) for point in points):
+                if best is None or candidate.radius < best:
+                    best = candidate.radius
+        if best is None:
+            # Degenerate all-identical case: radius should be ~0.
+            assert circle.radius == pytest.approx(0.0, abs=1e-9)
+        else:
+            assert circle.radius == pytest.approx(best, rel=1e-5, abs=1e-7)
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_list)
+    def test_scale_invariance(self, points):
+        base = mec_radius(points)
+        scaled = mec_radius([(3.0 * x, 3.0 * y) for x, y in points])
+        assert scaled == pytest.approx(3.0 * base, rel=1e-6, abs=1e-6)

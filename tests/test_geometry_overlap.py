@@ -1,0 +1,106 @@
+"""Unit and property tests for circle overlap area and the CAO metric."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.overlap import circle_area_jaccard, circle_overlap_area, circle_union_area
+
+radius_values = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+center_values = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestOverlapArea:
+    def test_identical_circles(self):
+        circle = Circle.from_xy(0.0, 0.0, 2.0)
+        assert circle_overlap_area(circle, circle) == pytest.approx(circle.area)
+
+    def test_disjoint_circles(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(5.0, 0.0, 1.0)
+        assert circle_overlap_area(a, b) == 0.0
+
+    def test_tangent_circles(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(2.0, 0.0, 1.0)
+        assert circle_overlap_area(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_contained_circle(self):
+        outer = Circle.from_xy(0.0, 0.0, 3.0)
+        inner = Circle.from_xy(0.5, 0.0, 1.0)
+        assert circle_overlap_area(outer, inner) == pytest.approx(inner.area)
+
+    def test_zero_radius(self):
+        a = Circle.from_xy(0.0, 0.0, 0.0)
+        b = Circle.from_xy(0.0, 0.0, 1.0)
+        assert circle_overlap_area(a, b) == 0.0
+
+    def test_half_overlap_known_value(self):
+        # Two unit circles whose centres are one radius apart: the lens area
+        # has the closed form 2r^2*(pi/3 - sqrt(3)/4).
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(1.0, 0.0, 1.0)
+        expected = 2.0 * (math.pi / 3.0 - math.sqrt(3.0) / 4.0)
+        assert circle_overlap_area(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_symmetry(self):
+        a = Circle.from_xy(0.0, 0.0, 2.0)
+        b = Circle.from_xy(1.0, 1.0, 1.5)
+        assert circle_overlap_area(a, b) == pytest.approx(circle_overlap_area(b, a))
+
+
+class TestUnionArea:
+    def test_disjoint_union_is_sum(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(10.0, 0.0, 2.0)
+        assert circle_union_area(a, b) == pytest.approx(a.area + b.area)
+
+    def test_identical_union_is_single_area(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        assert circle_union_area(a, a) == pytest.approx(a.area)
+
+
+class TestJaccard:
+    def test_identical_is_one(self):
+        a = Circle.from_xy(3.0, 3.0, 2.0)
+        assert circle_area_jaccard(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        a = Circle.from_xy(0.0, 0.0, 1.0)
+        b = Circle.from_xy(10.0, 0.0, 1.0)
+        assert circle_area_jaccard(a, b) == 0.0
+
+    def test_two_degenerate_circles_same_location(self):
+        a = Circle.from_xy(1.0, 1.0, 0.0)
+        b = Circle.from_xy(1.0, 1.0, 0.0)
+        assert circle_area_jaccard(a, b) == 1.0
+
+    def test_two_degenerate_circles_different_location(self):
+        a = Circle.from_xy(1.0, 1.0, 0.0)
+        b = Circle.from_xy(2.0, 1.0, 0.0)
+        assert circle_area_jaccard(a, b) == 0.0
+
+    def test_degenerate_against_regular(self):
+        a = Circle.from_xy(0.0, 0.0, 0.0)
+        b = Circle.from_xy(0.0, 0.0, 1.0)
+        assert circle_area_jaccard(a, b) == 0.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(center_values, center_values, radius_values, center_values, center_values, radius_values)
+    def test_jaccard_in_unit_interval(self, ax, ay, ar, bx, by, br):
+        a = Circle.from_xy(ax, ay, ar)
+        b = Circle.from_xy(bx, by, br)
+        value = circle_area_jaccard(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(center_values, center_values, radius_values, center_values, center_values, radius_values)
+    def test_overlap_bounded_by_smaller_area(self, ax, ay, ar, bx, by, br):
+        a = Circle.from_xy(ax, ay, ar)
+        b = Circle.from_xy(bx, by, br)
+        overlap = circle_overlap_area(a, b)
+        assert overlap <= min(a.area, b.area) + 1e-9
+        assert overlap >= -1e-12

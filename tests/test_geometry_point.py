@@ -1,0 +1,93 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import (
+    Point,
+    bounding_box,
+    centroid,
+    euclidean,
+    squared_euclidean,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        point = Point(1.5, -2.5)
+        assert point.distance_to(point) == 0.0
+
+    def test_distance_matches_hypot(self):
+        a = Point(0.0, 0.0)
+        b = Point(3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_accepts_tuple(self):
+        assert Point(0.0, 0.0).distance_to((0.0, 2.0)) == pytest.approx(2.0)
+
+    def test_squared_distance(self):
+        assert Point(1.0, 1.0).squared_distance_to((4.0, 5.0)) == pytest.approx(25.0)
+
+    def test_midpoint(self):
+        mid = Point(0.0, 0.0).midpoint(Point(2.0, 4.0))
+        assert mid == Point(1.0, 2.0)
+
+    def test_translated(self):
+        assert Point(1.0, 1.0).translated(0.5, -1.0) == Point(1.5, 0.0)
+
+    def test_as_tuple_and_iter(self):
+        point = Point(3.0, 7.0)
+        assert point.as_tuple() == (3.0, 7.0)
+        assert list(point) == [3.0, 7.0]
+
+    def test_points_are_immutable(self):
+        point = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            point.x = 1.0  # type: ignore[misc]
+
+    @given(finite_floats, finite_floats, finite_floats, finite_floats)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a = Point(ax, ay)
+        b = Point(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite_floats, finite_floats, finite_floats, finite_floats)
+    def test_distance_non_negative(self, ax, ay, bx, by):
+        assert euclidean((ax, ay), (bx, by)) >= 0.0
+
+
+class TestHelpers:
+    def test_euclidean_of_mixed_arguments(self):
+        assert euclidean(Point(0, 0), (1.0, 0.0)) == pytest.approx(1.0)
+
+    def test_squared_euclidean(self):
+        assert squared_euclidean((0, 0), (2, 0)) == pytest.approx(4.0)
+
+    def test_centroid_simple(self):
+        result = centroid([(0.0, 0.0), (2.0, 0.0), (1.0, 3.0)])
+        assert result.x == pytest.approx(1.0)
+        assert result.y == pytest.approx(1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_bounding_box(self):
+        box = bounding_box([(0.0, 1.0), (2.0, -1.0), (1.0, 0.5)])
+        assert box == (0.0, -1.0, 2.0, 1.0)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    @given(st.lists(st.tuples(finite_floats, finite_floats), min_size=1, max_size=30))
+    def test_centroid_inside_bounding_box(self, points):
+        box = bounding_box(points)
+        c = centroid(points)
+        assert box[0] - 1e-6 <= c.x <= box[2] + 1e-6
+        assert box[1] - 1e-6 <= c.y <= box[3] + 1e-6

@@ -1,0 +1,93 @@
+"""Unit tests for the region quadtree used by AppAcc."""
+
+import math
+
+import pytest
+
+from repro.geometry.quadtree import QuadtreeNode, RegionQuadtree
+
+
+class TestQuadtreeNode:
+    def test_children_have_half_width(self):
+        node = QuadtreeNode(0.0, 0.0, 4.0)
+        children = node.children()
+        assert len(children) == 4
+        assert all(child.width == 2.0 for child in children)
+        assert all(child.depth == 1 for child in children)
+
+    def test_children_centres_are_quadrant_centres(self):
+        node = QuadtreeNode(0.0, 0.0, 4.0)
+        centres = {child.anchor for child in node.children()}
+        assert centres == {(-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)}
+
+    def test_children_cover_parent_square(self):
+        node = QuadtreeNode(2.0, 3.0, 2.0)
+        for child in node.children():
+            assert abs(child.center_x - node.center_x) <= node.width / 2
+            assert abs(child.center_y - node.center_y) <= node.width / 2
+
+
+class TestRegionQuadtree:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            RegionQuadtree(0.0, 0.0, 0.0)
+
+    def test_initial_level_is_root(self):
+        tree = RegionQuadtree(0.0, 0.0, 2.0)
+        assert len(tree.current_level) == 1
+        assert tree.current_width == 2.0
+
+    def test_descend_quadruples_nodes(self):
+        tree = RegionQuadtree(0.0, 0.0, 2.0)
+        tree.descend()
+        assert len(tree.current_level) == 4
+        tree.descend()
+        assert len(tree.current_level) == 16
+
+    def test_pruned_nodes_do_not_expand(self):
+        tree = RegionQuadtree(0.0, 0.0, 2.0)
+        tree.descend()
+        # Prune the two nodes on the left half.
+        pruned = tree.prune(lambda node: node.center_x < 0)
+        assert pruned == 2
+        tree.descend()
+        assert len(tree.current_level) == 8
+        assert all(node.center_x > 0 for node in tree.current_level)
+
+    def test_prune_is_idempotent(self):
+        tree = RegionQuadtree(0.0, 0.0, 2.0)
+        tree.descend()
+        assert tree.prune(lambda node: True) == 4
+        assert tree.prune(lambda node: True) == 0
+
+    def test_levels_until_min_width(self):
+        tree = RegionQuadtree(0.0, 0.0, 8.0)
+        widths = [tree.current_width for _ in tree.levels_until(1.0)]
+        # Root width 8; levels start at 4 and halve: 4, 2, 1.
+        assert widths == [4.0, 2.0, 1.0]
+
+    def test_levels_until_invalid_width(self):
+        tree = RegionQuadtree(0.0, 0.0, 8.0)
+        with pytest.raises(ValueError):
+            list(tree.levels_until(0.0))
+
+    def test_anchor_points_stay_inside_root_square(self):
+        tree = RegionQuadtree(5.0, 5.0, 4.0)
+        for level in tree.levels_until(0.5):
+            for node in level:
+                assert 3.0 <= node.center_x <= 7.0
+                assert 3.0 <= node.center_y <= 7.0
+
+    def test_every_point_close_to_some_final_anchor(self):
+        """Any point of the root square is within sqrt(2)/2*width of a leaf anchor."""
+        tree = RegionQuadtree(0.0, 0.0, 2.0)
+        final_level = []
+        for level in tree.levels_until(0.2):
+            final_level = level
+        width = final_level[0].width
+        probes = [(-0.95, -0.95), (0.3, 0.7), (0.99, -0.99), (0.0, 0.0)]
+        for px, py in probes:
+            best = min(
+                math.hypot(px - node.center_x, py - node.center_y) for node in final_level
+            )
+            assert best <= math.sqrt(2.0) / 2.0 * width + 1e-12

@@ -1,0 +1,90 @@
+"""Unit tests for GraphBuilder and graph_from_edges."""
+
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graph.builder import GraphBuilder, graph_from_edges
+
+
+class TestGraphBuilder:
+    def test_empty_build(self):
+        graph = GraphBuilder().build()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_vertices_only(self):
+        builder = GraphBuilder()
+        builder.add_vertex("a", 0.0, 0.0)
+        builder.add_vertex("b", 1.0, 1.0)
+        graph = builder.build()
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 0
+
+    def test_duplicate_edges_deduplicated(self):
+        builder = GraphBuilder()
+        builder.add_vertices([("a", 0.0, 0.0), ("b", 1.0, 0.0)])
+        builder.add_edge("a", "b")
+        builder.add_edge("b", "a")
+        builder.add_edge("a", "b")
+        assert builder.num_edges == 1
+        graph = builder.build()
+        assert graph.num_edges == 1
+
+    def test_self_loops_ignored(self):
+        builder = GraphBuilder()
+        builder.add_vertex("a", 0.0, 0.0)
+        builder.add_edge("a", "a")
+        assert builder.num_edges == 0
+
+    def test_relabelled_vertex_updates_location(self):
+        builder = GraphBuilder()
+        builder.add_vertex("a", 0.0, 0.0)
+        builder.add_vertex("a", 5.0, 5.0)
+        graph = builder.build()
+        assert graph.num_vertices == 1
+        assert graph.position(graph.index_of("a")) == (5.0, 5.0)
+
+    def test_missing_location_raises_by_default(self):
+        builder = GraphBuilder()
+        builder.add_vertex("a", 0.0, 0.0)
+        builder.add_edge("a", "ghost")
+        with pytest.raises(GraphConstructionError):
+            builder.build()
+
+    def test_missing_location_dropped_when_requested(self):
+        builder = GraphBuilder()
+        builder.add_vertices([("a", 0.0, 0.0), ("b", 1.0, 0.0)])
+        builder.add_edge("a", "ghost")
+        builder.add_edge("a", "b")
+        graph = builder.build(drop_unlocated=True)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+
+    def test_integer_labels(self):
+        builder = GraphBuilder()
+        builder.add_vertices([(10, 0.0, 0.0), (20, 1.0, 0.0), (30, 2.0, 0.0)])
+        builder.add_edges([(10, 20), (20, 30)])
+        graph = builder.build()
+        assert graph.num_edges == 2
+        assert set(graph.labels()) == {10, 20, 30}
+
+    def test_counts_before_build(self):
+        builder = GraphBuilder()
+        builder.add_vertices([("a", 0.0, 0.0), ("b", 1.0, 0.0)])
+        builder.add_edge("a", "b")
+        assert builder.num_vertices == 2
+        assert builder.num_edges == 1
+
+
+class TestGraphFromEdges:
+    def test_round_trip(self):
+        locations = {1: (0.0, 0.0), 2: (1.0, 0.0), 3: (0.0, 1.0)}
+        graph = graph_from_edges([(1, 2), (2, 3)], locations)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_drops_unlocated_endpoints(self):
+        locations = {1: (0.0, 0.0), 2: (1.0, 0.0)}
+        graph = graph_from_edges([(1, 2), (2, 99)], locations, drop_unlocated=True)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1

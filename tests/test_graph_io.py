@@ -1,0 +1,129 @@
+"""Unit tests for graph IO: edge lists, locations, check-ins, npz round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import (
+    Checkin,
+    graph_from_files,
+    load_graph_npz,
+    normalize_locations,
+    read_checkins,
+    read_edge_list,
+    read_locations,
+    save_graph_npz,
+)
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# comment line\n0 1\n1 2\n2 0\n\n2 3\n")
+    return path
+
+
+@pytest.fixture
+def location_file(tmp_path):
+    path = tmp_path / "locations.txt"
+    path.write_text("0 0.0 0.0\n1 1.0 0.0\n2 0.5 1.0\n3 10.0 10.0\n")
+    return path
+
+
+class TestReaders:
+    def test_read_edge_list(self, edge_file):
+        edges = read_edge_list(edge_file)
+        assert edges == [(0, 1), (1, 2), (2, 0), (2, 3)]
+
+    def test_read_edge_list_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_edge_list(tmp_path / "nope.txt")
+
+    def test_read_edge_list_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justone\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_read_locations(self, location_file):
+        locations = read_locations(location_file)
+        assert locations[2] == (0.5, 1.0)
+        assert len(locations) == 4
+
+    def test_read_locations_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2.0\n")
+        with pytest.raises(DatasetError):
+            read_locations(path)
+
+    def test_read_checkins(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("5 1.5 0.1 0.2\n5 2.5 0.3 0.4\n7 0.5 0.9 0.9\n")
+        checkins = read_checkins(path)
+        assert len(checkins) == 3
+        assert checkins[0] == Checkin(user=5, timestamp=1.5, x=0.1, y=0.2)
+
+    def test_read_checkins_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("5 1.5 0.1\n")
+        with pytest.raises(DatasetError):
+            read_checkins(path)
+
+
+class TestGraphFromFiles:
+    def test_build_and_normalize(self, edge_file, location_file):
+        graph = graph_from_files(edge_file, location_file)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 4
+        coords = graph.coordinates
+        assert coords.min() >= 0.0
+        assert coords.max() <= 1.0
+
+    def test_without_normalization(self, edge_file, location_file):
+        graph = graph_from_files(edge_file, location_file, normalize=False)
+        index = graph.index_of(3)
+        assert graph.position(index) == (10.0, 10.0)
+
+
+class TestNormalizeLocations:
+    def test_unit_square(self):
+        normalized = normalize_locations({1: (10.0, 20.0), 2: (30.0, 40.0)})
+        assert normalized[1] == (0.0, 0.0)
+        assert normalized[2] == (1.0, 1.0)
+
+    def test_degenerate_dimension(self):
+        normalized = normalize_locations({1: (5.0, 1.0), 2: (5.0, 3.0)})
+        assert normalized[1][0] == 0.0
+        assert normalized[2][0] == 0.0
+
+
+class TestNpzRoundTrip:
+    def _graph(self):
+        builder = GraphBuilder()
+        builder.add_vertices([(0, 0.1, 0.2), (1, 0.3, 0.4), (2, 0.5, 0.6)])
+        builder.add_edges([(0, 1), (1, 2)])
+        return builder.build()
+
+    def test_round_trip(self, tmp_path):
+        graph = self._graph()
+        path = tmp_path / "graph.npz"
+        save_graph_npz(graph, path)
+        loaded = load_graph_npz(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        assert set(loaded.labels()) == set(graph.labels())
+        np.testing.assert_allclose(
+            loaded.coordinates[loaded.index_of(1)], graph.coordinates[graph.index_of(1)]
+        )
+
+    def test_non_integer_labels_rejected(self, tmp_path):
+        builder = GraphBuilder()
+        builder.add_vertices([("a", 0.0, 0.0), ("b", 1.0, 1.0)])
+        builder.add_edge("a", "b")
+        with pytest.raises(DatasetError):
+            save_graph_npz(builder.build(), tmp_path / "g.npz")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_graph_npz(tmp_path / "missing.npz")

@@ -1,0 +1,47 @@
+"""Unit tests for graph summary statistics."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.stats import degree_histogram, summarize
+
+
+def triangle_plus_isolated():
+    builder = GraphBuilder()
+    builder.add_vertices(
+        [(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 0.0, 1.0), (3, 5.0, 5.0)]
+    )
+    builder.add_edges([(0, 1), (1, 2), (0, 2)])
+    return builder.build()
+
+
+class TestSummarize:
+    def test_counts(self):
+        summary = summarize(triangle_plus_isolated())
+        assert summary.num_vertices == 4
+        assert summary.num_edges == 3
+        assert summary.average_degree == pytest.approx(1.5)
+        assert summary.max_degree == 2
+        assert summary.isolated_vertices == 1
+
+    def test_bounding_box(self):
+        summary = summarize(triangle_plus_isolated())
+        assert summary.bounding_box == (0.0, 0.0, 5.0, 5.0)
+
+    def test_empty_graph(self):
+        summary = summarize(GraphBuilder().build())
+        assert summary.num_vertices == 0
+        assert summary.num_edges == 0
+        assert summary.average_degree == 0.0
+
+    def test_as_row(self):
+        row = summarize(triangle_plus_isolated()).as_row()
+        assert row["vertices"] == 4
+        assert row["edges"] == 3
+        assert row["avg_degree"] == 1.5
+
+
+class TestDegreeHistogram:
+    def test_histogram(self):
+        histogram = degree_histogram(triangle_plus_isolated())
+        assert histogram == {0: 1, 2: 3}

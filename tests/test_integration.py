@@ -1,0 +1,136 @@
+"""Integration tests: end-to-end flows across multiple packages.
+
+These tests exercise the same code paths as the example scripts and the
+benchmark harness, on small inputs, so regressions in cross-module plumbing
+are caught by the unit suite rather than only by the benchmarks.
+"""
+
+import pytest
+
+from repro import SACSearcher
+from repro.baselines import geo_modularity_community, global_search, local_search
+from repro.core import app_acc, app_fast, app_inc, exact_plus, theta_sac
+from repro.datasets import CheckinGenerator, brightkite_like, load_dataset
+from repro.datasets.geosocial import TravelProfile
+from repro.dynamic import LocationStream, SACTracker, overlap_vs_time_gap
+from repro.experiments import select_query_vertices
+from repro.metrics import (
+    average_pairwise_distance,
+    community_jaccard,
+    community_radius,
+    minimum_degree,
+)
+
+
+@pytest.fixture(scope="module")
+def geo_graph():
+    return brightkite_like(1200, average_degree=8.0, seed=42)
+
+
+@pytest.fixture(scope="module")
+def workload(geo_graph):
+    return select_query_vertices(geo_graph, 6, min_core=4, seed=1)
+
+
+class TestEndToEndQualityComparison:
+    """Reproduces the shape of Figure 10 on a small synthetic graph."""
+
+    def test_sac_is_spatially_tighter_than_cs_baselines(self, geo_graph, workload):
+        assert workload, "expected eligible query vertices"
+        sac_radii, global_radii, local_radii = [], [], []
+        for query in workload:
+            sac = exact_plus(geo_graph, query, 4, epsilon_a=1e-2)
+            sac_radii.append(sac.radius)
+            global_radii.append(global_search(geo_graph, query, 4).radius)
+            local_radii.append(local_search(geo_graph, query, 4).radius)
+        mean = lambda values: sum(values) / len(values)
+        # The paper reports Global/Local circles 50x/20x larger; on a small
+        # synthetic graph we only assert the ordering with a margin.
+        assert mean(sac_radii) < mean(global_radii)
+        assert mean(sac_radii) <= mean(local_radii) + 1e-12
+
+    def test_sac_has_stronger_structure_than_geomodu(self, geo_graph, workload):
+        from repro.baselines.geo_modularity import GeoModularityDetector
+
+        detector = GeoModularityDetector(geo_graph, mu=1.0, seed=0)
+        sac_min_degrees, modu_min_degrees = [], []
+        for query in workload[:3]:
+            sac = app_fast(geo_graph, query, 4)
+            modu = geo_modularity_community(geo_graph, query, detector=detector)
+            sac_min_degrees.append(minimum_degree(geo_graph, sac.members))
+            modu_min_degrees.append(minimum_degree(geo_graph, modu.members))
+        # SAC guarantees minimum internal degree >= k; GeoModu offers no such
+        # guarantee (the paper reports average degrees of only 2.2 / 1.1), so
+        # at least one of its communities contains a weakly connected member.
+        assert min(sac_min_degrees) >= 4
+        assert min(modu_min_degrees) < 4
+
+
+class TestEndToEndSearcherWorkflow:
+    def test_searcher_over_registry_dataset(self):
+        graph = load_dataset("brightkite", scale=0.1, seed=3)
+        searcher = SACSearcher(graph, default_algorithm="appfast")
+        queries = select_query_vertices(graph, 5, min_core=4, seed=0)
+        if not queries:
+            pytest.skip("scaled-down dataset has no 4-core")
+        found = 0
+        for query in queries:
+            result = searcher.search(graph.label_of(query), k=4)
+            if result is None:
+                continue
+            found += 1
+            assert minimum_degree(graph, result.members) >= 4
+            assert community_radius(graph, result.members) == pytest.approx(result.radius)
+        assert found > 0
+
+    def test_theta_sac_sensitivity(self, geo_graph, workload):
+        """Small theta -> often empty; large theta -> bigger, looser community."""
+        query = workload[0]
+        tiny = theta_sac(geo_graph, query, 4, 1e-4)
+        huge = theta_sac(geo_graph, query, 4, 1.5)
+        assert huge is not None
+        if tiny is not None:
+            assert len(tiny.members) <= len(huge.members)
+            assert tiny.radius <= huge.radius + 1e-12
+
+
+class TestEndToEndDynamicPipeline:
+    def test_tracking_and_overlap_metrics(self, geo_graph):
+        users = select_query_vertices(geo_graph, 3, min_core=4, seed=7)
+        generator = CheckinGenerator(
+            geo_graph, TravelProfile(move_probability=0.2, move_distance_mean=0.25), seed=11
+        )
+        checkins = generator.generate(users, checkins_per_user=5, duration_days=20.0)
+        stream = LocationStream(geo_graph, checkins)
+        tracker = SACTracker(stream, k=4, algorithm="appfast")
+        timelines = tracker.track(users)
+        points = overlap_vs_time_gap(timelines, [0.5, 5.0, 10.0])
+        assert len(points) == 3
+        for point in points:
+            assert 0.0 <= point.average_cjs <= 1.0
+            assert 0.0 <= point.average_cao <= 1.0
+
+    def test_communities_follow_the_moving_user(self, geo_graph):
+        """After a long move, the SAC's circle should move with the user."""
+        users = select_query_vertices(geo_graph, 1, min_core=4, seed=13)
+        user = users[0]
+        base = app_fast(geo_graph, user, 4)
+        moved_graph = geo_graph.with_updated_locations({user: (0.99, 0.99)})
+        moved = app_fast(moved_graph, user, 4)
+        # Different location, (almost certainly) different or equally valid community;
+        # both must still satisfy the SAC structural properties.
+        assert minimum_degree(geo_graph, base.members) >= 4
+        assert minimum_degree(moved_graph, moved.members) >= 4
+
+
+class TestPublicApiSurface:
+    def test_star_imports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,142 @@
+"""Unit tests for connected k-core (k-ĉore) extraction."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.builder import GraphBuilder
+from repro.kcore.connected_core import (
+    connected_component,
+    connected_k_core,
+    connected_k_core_in_subset,
+    is_connected,
+    k_core_of_subset,
+    minimum_internal_degree,
+)
+
+
+def build(edges, num_vertices=None):
+    labels = set()
+    for u, v in edges:
+        labels.update((u, v))
+    if num_vertices is not None:
+        labels.update(range(num_vertices))
+    builder = GraphBuilder()
+    for label in sorted(labels):
+        builder.add_vertex(label, float(label), 0.0)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+@pytest.fixture
+def two_triangles():
+    """Two vertex-disjoint triangles: {0,1,2} and {3,4,5}, bridged by edge (2,3)."""
+    return build([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+
+
+class TestKCoreOfSubset:
+    def test_full_graph_subset(self, two_triangles):
+        graph = two_triangles
+        core = k_core_of_subset(graph, range(graph.num_vertices), 2)
+        assert core == set(range(6))
+
+    def test_peeling_removes_bridge_only_vertices(self):
+        graph = build([(0, 1), (1, 2), (0, 2), (2, 3)])
+        core = k_core_of_subset(graph, range(4), 2)
+        assert core == {0, 1, 2}
+
+    def test_empty_subset(self, two_triangles):
+        assert k_core_of_subset(two_triangles, [], 2) == set()
+
+    def test_k_too_large(self, two_triangles):
+        assert k_core_of_subset(two_triangles, range(6), 3) == set()
+
+    def test_negative_k(self, two_triangles):
+        with pytest.raises(InvalidParameterError):
+            k_core_of_subset(two_triangles, range(6), -1)
+
+    def test_restricted_subset(self, two_triangles):
+        # Only the first triangle's vertices are candidates.
+        core = k_core_of_subset(two_triangles, [0, 1, 2], 2)
+        assert core == {0, 1, 2}
+
+    def test_subset_that_peels_to_nothing(self):
+        graph = build([(0, 1), (1, 2), (2, 3)])
+        assert k_core_of_subset(graph, range(4), 2) == set()
+
+
+class TestConnectedComponent:
+    def test_component_within_vertex_set(self, two_triangles):
+        component = connected_component(two_triangles, {0, 1, 2, 4, 5}, 0)
+        assert component == {0, 1, 2}
+
+    def test_source_not_in_set(self, two_triangles):
+        assert connected_component(two_triangles, {1, 2}, 5) == set()
+
+
+class TestConnectedKCoreInSubset:
+    def test_query_in_result(self, two_triangles):
+        result = connected_k_core_in_subset(two_triangles, range(6), 0, 2)
+        assert result is not None
+        assert 0 in result
+
+    def test_disconnected_cores_are_separated(self):
+        # Two triangles with NO bridge: the k-core is disconnected.
+        graph = build([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        result = connected_k_core_in_subset(graph, range(6), 0, 2)
+        assert result == {0, 1, 2}
+
+    def test_query_peeled_away_returns_none(self):
+        graph = build([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert connected_k_core_in_subset(graph, range(4), 3, 2) is None
+
+    def test_query_not_in_subset(self, two_triangles):
+        assert connected_k_core_in_subset(two_triangles, [0, 1, 2], 5, 2) is None
+
+    def test_result_minimum_degree(self, two_triangles):
+        result = connected_k_core_in_subset(two_triangles, range(6), 0, 2)
+        assert minimum_internal_degree(two_triangles, result) >= 2
+
+
+class TestConnectedKCore:
+    def test_whole_graph(self, two_triangles):
+        result = connected_k_core(two_triangles, 0, 2)
+        # The bridge (2,3) does not raise min degree; both triangles survive
+        # peeling and are connected through it.
+        assert result == set(range(6))
+
+    def test_without_bridge(self):
+        graph = build([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert connected_k_core(graph, 0, 2) == {0, 1, 2}
+        assert connected_k_core(graph, 4, 2) == {3, 4, 5}
+
+    def test_k_larger_than_core_number(self, two_triangles):
+        assert connected_k_core(two_triangles, 0, 3) is None
+
+    def test_unknown_vertex(self, two_triangles):
+        assert connected_k_core(two_triangles, 99, 2) is None
+
+    def test_negative_k(self, two_triangles):
+        with pytest.raises(InvalidParameterError):
+            connected_k_core(two_triangles, 0, -2)
+
+    def test_clique(self):
+        graph = build(list(combinations(range(6), 2)))
+        assert connected_k_core(graph, 0, 5) == set(range(6))
+
+
+class TestHelpers:
+    def test_minimum_internal_degree_empty(self, two_triangles):
+        assert minimum_internal_degree(two_triangles, set()) == 0
+
+    def test_minimum_internal_degree_singleton(self, two_triangles):
+        assert minimum_internal_degree(two_triangles, {0}) == 0
+
+    def test_minimum_internal_degree_triangle(self, two_triangles):
+        assert minimum_internal_degree(two_triangles, {0, 1, 2}) == 2
+
+    def test_is_connected(self, two_triangles):
+        assert is_connected(two_triangles, {0, 1, 2})
+        assert not is_connected(two_triangles, {0, 1, 4})
+        assert not is_connected(two_triangles, set())

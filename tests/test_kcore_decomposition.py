@@ -1,0 +1,169 @@
+"""Unit and property tests for k-core decomposition."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.builder import GraphBuilder
+from repro.kcore.decomposition import (
+    core_decomposition,
+    core_numbers,
+    degeneracy,
+    k_core_vertices,
+)
+
+
+def build(edges, num_vertices=None):
+    labels = set()
+    for u, v in edges:
+        labels.add(u)
+        labels.add(v)
+    if num_vertices is not None:
+        labels.update(range(num_vertices))
+    builder = GraphBuilder()
+    for label in sorted(labels):
+        builder.add_vertex(label, float(label), 0.0)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+def reference_core_numbers(graph):
+    """Naive reference: repeatedly peel min-degree vertices."""
+    alive = set(range(graph.num_vertices))
+    degree = {v: graph.degree(v) for v in alive}
+    core = {v: 0 for v in alive}
+    k = 0
+    while alive:
+        v = min(alive, key=lambda u: degree[u])
+        k = max(k, degree[v])
+        core[v] = k
+        alive.discard(v)
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w in alive:
+                degree[w] -= 1
+    return np.array([core[v] for v in range(graph.num_vertices)])
+
+
+class TestCoreNumbers:
+    def test_triangle(self):
+        graph = build([(0, 1), (1, 2), (0, 2)])
+        assert list(core_numbers(graph)) == [2, 2, 2]
+
+    def test_star(self):
+        graph = build([(0, i) for i in range(1, 6)])
+        cores = core_numbers(graph)
+        assert all(cores == 1)
+
+    def test_empty_graph(self):
+        graph = GraphBuilder().build()
+        assert core_numbers(graph).size == 0
+
+    def test_isolated_vertices_have_core_zero(self):
+        graph = build([(0, 1), (1, 2), (0, 2)], num_vertices=5)
+        cores = core_numbers(graph)
+        assert cores[3] == 0
+        assert cores[4] == 0
+
+    def test_clique(self):
+        edges = list(combinations(range(6), 2))
+        graph = build(edges)
+        assert all(core_numbers(graph) == 5)
+
+    def test_clique_with_pendant(self):
+        edges = list(combinations(range(5), 2)) + [(0, 99)]
+        graph = build(edges)
+        cores = core_numbers(graph)
+        assert cores[graph.index_of(99)] == 1
+        assert cores[graph.index_of(0)] == 4
+
+    def test_two_nested_cores(self):
+        # A 4-clique {0..3} with a cycle {4,5,6,7} attached to vertex 0.
+        edges = list(combinations(range(4), 2)) + [(0, 4), (4, 5), (5, 6), (6, 7), (7, 4)]
+        graph = build(edges)
+        cores = core_numbers(graph)
+        assert cores[graph.index_of(1)] == 3
+        assert cores[graph.index_of(5)] == 2
+
+    def test_matches_reference_on_random_graphs(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = 30
+            edges = set()
+            for _ in range(80):
+                u, v = rng.integers(0, n, size=2)
+                if u != v:
+                    edges.add((int(min(u, v)), int(max(u, v))))
+            graph = build(sorted(edges), num_vertices=n)
+            np.testing.assert_array_equal(core_numbers(graph), reference_core_numbers(graph))
+
+
+class TestKCoreVertices:
+    def test_negative_k_rejected(self):
+        graph = build([(0, 1)])
+        with pytest.raises(InvalidParameterError):
+            k_core_vertices(graph, -1)
+
+    def test_zero_core_is_everything(self):
+        graph = build([(0, 1), (1, 2)], num_vertices=5)
+        assert k_core_vertices(graph, 0) == set(range(5))
+
+    def test_high_k_is_empty(self):
+        graph = build([(0, 1), (1, 2), (0, 2)])
+        assert k_core_vertices(graph, 3) == set()
+
+    def test_nestedness(self):
+        edges = list(combinations(range(5), 2)) + [(0, 10), (10, 11), (11, 0)]
+        graph = build(edges)
+        previous = None
+        for k in range(0, 5):
+            current = k_core_vertices(graph, k)
+            if previous is not None:
+                assert current <= previous
+            previous = current
+
+
+class TestDecompositionAndDegeneracy:
+    def test_core_decomposition_levels(self):
+        edges = list(combinations(range(4), 2)) + [(0, 5)]
+        graph = build(edges)
+        decomposition = core_decomposition(graph)
+        assert set(decomposition) == {0, 1, 2, 3}
+        assert decomposition[3] == {graph.index_of(i) for i in range(4)}
+
+    def test_degeneracy(self):
+        edges = list(combinations(range(4), 2))
+        graph = build(edges)
+        assert degeneracy(graph) == 3
+
+    def test_degeneracy_empty(self):
+        assert degeneracy(GraphBuilder().build()) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=14), st.integers(min_value=0, max_value=14)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_core_number_invariants(edge_list):
+    edges = sorted({(min(u, v), max(u, v)) for u, v in edge_list if u != v})
+    if not edges:
+        return
+    graph = build(edges, num_vertices=15)
+    cores = core_numbers(graph)
+    np.testing.assert_array_equal(cores, reference_core_numbers(graph))
+    # Core number never exceeds degree.
+    assert all(cores[v] <= graph.degree(v) for v in range(graph.num_vertices))
+    # Every vertex of the k-core has >= k neighbours inside the k-core.
+    for k in range(1, int(cores.max()) + 1):
+        members = {v for v in range(graph.num_vertices) if cores[v] >= k}
+        for v in members:
+            internal = sum(1 for w in graph.neighbors(v) if int(w) in members)
+            assert internal >= k

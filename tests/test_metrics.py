@@ -1,0 +1,152 @@
+"""Unit and property tests for the community quality metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.builder import GraphBuilder
+from repro.metrics.ratio import (
+    approximation_ratio,
+    theoretical_ratio_appacc,
+    theoretical_ratio_appfast,
+    theoretical_ratio_appinc,
+)
+from repro.metrics.similarity import community_area_overlap, community_jaccard
+from repro.metrics.spatial import (
+    average_pairwise_distance,
+    community_mcc,
+    community_radius,
+    diameter_distance,
+)
+from repro.metrics.structural import average_degree, internal_degrees, minimum_degree
+
+
+def square_graph():
+    builder = GraphBuilder()
+    builder.add_vertices(
+        [(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 1.0, 1.0), (3, 0.0, 1.0), (4, 5.0, 5.0)]
+    )
+    builder.add_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), (3, 4)])
+    return builder.build()
+
+
+class TestSpatialMetrics:
+    def test_radius_of_unit_square(self):
+        graph = square_graph()
+        assert community_radius(graph, [0, 1, 2, 3]) == pytest.approx(math.sqrt(0.5))
+
+    def test_radius_of_singleton(self):
+        graph = square_graph()
+        assert community_radius(graph, [0]) == 0.0
+
+    def test_mcc_empty_raises(self):
+        graph = square_graph()
+        with pytest.raises(ValueError):
+            community_mcc(graph, [])
+
+    def test_average_pairwise_distance_square(self):
+        graph = square_graph()
+        # Unit square: 4 sides of length 1 and 2 diagonals of length sqrt(2).
+        expected = (4.0 * 1.0 + 2.0 * math.sqrt(2.0)) / 6.0
+        assert average_pairwise_distance(graph, [0, 1, 2, 3]) == pytest.approx(expected)
+
+    def test_average_pairwise_distance_singleton(self):
+        graph = square_graph()
+        assert average_pairwise_distance(graph, [2]) == 0.0
+
+    def test_diameter_distance(self):
+        graph = square_graph()
+        assert diameter_distance(graph, [0, 1, 2, 3]) == pytest.approx(math.sqrt(2.0))
+
+    def test_lemma2_relation_on_square(self):
+        """sqrt(3) * r_mcc <= diameter <= 2 * r_mcc (Lemma 2)."""
+        graph = square_graph()
+        members = [0, 1, 2, 3]
+        radius = community_radius(graph, members)
+        diameter = diameter_distance(graph, members)
+        assert math.sqrt(3.0) * radius <= diameter + 1e-9
+        assert diameter <= 2.0 * radius + 1e-9
+
+
+class TestStructuralMetrics:
+    def test_internal_degrees(self):
+        graph = square_graph()
+        degrees = internal_degrees(graph, [0, 1, 2, 3])
+        assert degrees == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_minimum_degree_drops_outside_edges(self):
+        graph = square_graph()
+        assert minimum_degree(graph, [0, 1, 2, 3]) == 3
+        assert minimum_degree(graph, [3, 4]) == 1
+
+    def test_minimum_degree_empty(self):
+        graph = square_graph()
+        assert minimum_degree(graph, []) == 0
+
+    def test_average_degree(self):
+        graph = square_graph()
+        assert average_degree(graph, [0, 1, 2, 3]) == pytest.approx(3.0)
+        assert average_degree(graph, []) == 0.0
+
+
+class TestSimilarityMetrics:
+    def test_jaccard_identical(self):
+        assert community_jaccard({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert community_jaccard({1, 2}, {3, 4}) == 0.0
+
+    def test_jaccard_partial(self):
+        assert community_jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_jaccard_both_empty(self):
+        assert community_jaccard(set(), set()) == 1.0
+
+    def test_area_overlap_identical_communities(self):
+        graph = square_graph()
+        assert community_area_overlap(graph, [0, 1, 2, 3], [0, 1, 2, 3]) == pytest.approx(1.0)
+
+    def test_area_overlap_disjoint_regions(self):
+        graph = square_graph()
+        assert community_area_overlap(graph, [0, 1], [4]) == pytest.approx(0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.sets(st.integers(min_value=0, max_value=30), max_size=15),
+        st.sets(st.integers(min_value=0, max_value=30), max_size=15),
+    )
+    def test_jaccard_properties(self, a, b):
+        value = community_jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == community_jaccard(b, a)
+        if a == b:
+            assert value == 1.0
+
+
+class TestApproximationRatios:
+    def test_basic_ratio(self):
+        assert approximation_ratio(2.0, 1.0) == 2.0
+
+    def test_zero_optimal_zero_approx(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+
+    def test_zero_optimal_positive_approx(self):
+        assert approximation_ratio(1.0, 0.0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            approximation_ratio(-1.0, 1.0)
+
+    def test_theoretical_ratios(self):
+        assert theoretical_ratio_appfast(0.5) == 2.5
+        assert theoretical_ratio_appacc(0.5) == 1.5
+        assert theoretical_ratio_appinc() == 2.0
+
+    def test_theoretical_ratio_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theoretical_ratio_appfast(-0.1)
+        with pytest.raises(InvalidParameterError):
+            theoretical_ratio_appacc(1.5)
