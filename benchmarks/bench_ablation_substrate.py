@@ -16,7 +16,7 @@ from collections import deque
 import numpy as np
 import pytest
 
-from conftest import write_result
+from bench_common import write_result
 from repro.experiments.timing import Timer
 from repro.geometry.grid import GridIndex
 from repro.kcore.connected_core import connected_k_core_in_subset

@@ -1,0 +1,43 @@
+"""Shared constants and helpers for the benchmark harness.
+
+Lives in a uniquely-named module (not ``conftest``) so benchmark modules can
+``from bench_common import ...`` without colliding with ``tests/conftest.py``
+when both directories are collected in one pytest invocation.
+
+Scale knobs
+-----------
+The environment variable ``REPRO_BENCH_SCALE`` (default ``1.0``) multiplies
+the stand-in dataset sizes; ``REPRO_BENCH_QUERIES`` (default ``8``) sets the
+number of query vertices per measurement point.  Increase both to push the
+harness towards paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments.tables import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
+
+#: Datasets used by the quality and efficiency benchmarks.  The paper uses
+#: Brightkite/Gowalla for quality and all six for efficiency; here the two
+#: families (geo-social and power-law synthetic) are each represented by
+#: their smaller members so the whole harness runs in minutes.
+QUALITY_DATASETS = ("brightkite", "gowalla")
+EFFICIENCY_DATASETS = ("brightkite", "syn1")
+
+
+def write_result(name: str, title: str, rows: List[Dict[str, object]]) -> str:
+    """Render ``rows`` as a table, write it under ``benchmarks/results``, return it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    table = format_table(rows)
+    text = f"{title}\n{'=' * len(title)}\n{table}\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    print(f"\n{text}")
+    return text

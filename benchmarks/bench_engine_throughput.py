@@ -1,0 +1,170 @@
+"""Engine throughput benchmark: shared-preprocessing engine vs. seed path.
+
+Measures queries/sec for the :class:`repro.engine.QueryEngine` against the
+seed per-query API (every query rebuilds the core decomposition, k-ĉore
+extraction, and candidate grid index from scratch) on the synthetic dataset
+stand-ins of Table 4, and verifies that the two paths return bit-identical
+results (same member sets, same MCC radii and centres).
+
+The workload uses AppFast — the paper's recommended algorithm for serving
+queries on large graphs — which is exactly the regime the engine targets:
+many queries against one graph, each needing the shared artifacts plus a
+handful of feasibility probes.
+
+Run standalone::
+
+    python benchmarks/bench_engine_throughput.py            # full workload
+    python benchmarks/bench_engine_throughput.py --quick    # CI smoke (~15 s)
+
+Exits non-zero when engine results diverge from the seed path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_here = Path(__file__).resolve().parent
+sys.path.insert(0, str(_here))
+sys.path.insert(1, str(_here.parent / "src"))  # uninstalled checkout fallback
+
+from bench_common import write_result
+from repro.core.searcher import ALGORITHMS
+from repro.datasets.registry import load_dataset
+from repro.engine import QueryEngine
+from repro.experiments.queries import select_query_vertices
+
+
+def run_benchmark(
+    dataset_names,
+    *,
+    scale: float,
+    queries_per_dataset: int,
+    k: int,
+    epsilon_f: float,
+    repeats: int,
+) -> tuple[list[dict], bool]:
+    """Time seed vs. engine on each dataset; returns (rows, all_identical)."""
+    algorithm = ALGORITHMS["appfast"]
+    rows: list[dict] = []
+    identical = True
+    total_seed = 0.0
+    total_engine = 0.0
+    total_queries = 0
+
+    for name in dataset_names:
+        graph = load_dataset(name, scale=scale)
+        queries = select_query_vertices(
+            graph, count=queries_per_dataset, min_core=k, seed=9
+        )
+        if not queries:
+            print(f"  {name}: no queries with core number >= {k}, skipped")
+            continue
+
+        best_seed = float("inf")
+        best_engine = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            seed_results = [algorithm(graph, q, k, epsilon_f=epsilon_f) for q in queries]
+            best_seed = min(best_seed, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            engine = QueryEngine(graph)  # construction included: cold engine
+            engine_results = [
+                engine.search(q, k, algorithm="appfast", epsilon_f=epsilon_f)
+                for q in queries
+            ]
+            best_engine = min(best_engine, time.perf_counter() - start)
+
+        matches = all(
+            a.members == b.members
+            and a.circle.radius == b.circle.radius
+            and a.circle.center.x == b.circle.center.x
+            and a.circle.center.y == b.circle.center.y
+            for a, b in zip(seed_results, engine_results)
+        )
+        identical &= matches
+        total_seed += best_seed
+        total_engine += best_engine
+        total_queries += len(queries)
+        rows.append(
+            {
+                "dataset": name,
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "queries": len(queries),
+                "seed_qps": round(len(queries) / best_seed, 2),
+                "engine_qps": round(len(queries) / best_engine, 2),
+                "speedup": round(best_seed / best_engine, 2),
+                "identical": matches,
+            }
+        )
+
+    if total_engine > 0:
+        rows.append(
+            {
+                "dataset": "OVERALL",
+                "vertices": "",
+                "edges": "",
+                "queries": total_queries,
+                "seed_qps": round(total_queries / total_seed, 2),
+                "engine_qps": round(total_queries / total_engine, 2),
+                "speedup": round(total_seed / total_engine, 2),
+                "identical": identical,
+            }
+        )
+    return rows, identical
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small CI smoke workload (~15 s)"
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale multiplier")
+    parser.add_argument("--queries", type=int, default=None, help="queries per dataset")
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--epsilon-f", type=float, default=0.5)
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--datasets",
+        default="brightkite,gowalla,syn1",
+        help="comma-separated registry dataset names",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.5 if args.quick else 2.0)
+    queries = args.queries if args.queries is not None else (12 if args.quick else 48)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 2)
+    names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+
+    print(
+        f"engine throughput benchmark: datasets={names} scale={scale} "
+        f"queries={queries} k={args.k} epsilon_f={args.epsilon_f}"
+    )
+    rows, identical = run_benchmark(
+        names,
+        scale=scale,
+        queries_per_dataset=queries,
+        k=args.k,
+        epsilon_f=args.epsilon_f,
+        repeats=repeats,
+    )
+    write_result(
+        "engine_throughput",
+        "Engine vs. seed path throughput (AppFast workload)",
+        rows,
+    )
+    if not identical:
+        print("FAIL: engine results diverge from the seed per-query path", file=sys.stderr)
+        return 1
+    overall = next((r for r in rows if r["dataset"] == "OVERALL"), None)
+    if overall is not None:
+        print(f"overall speedup: {overall['speedup']}x ({overall['engine_qps']} q/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

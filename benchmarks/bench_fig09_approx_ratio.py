@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import QUALITY_DATASETS, write_result
+from bench_common import QUALITY_DATASETS, write_result
 from repro.core.appacc import app_acc
 from repro.core.appfast import app_fast
 from repro.core.exact_plus import exact_plus

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import QUALITY_DATASETS, write_result
+from bench_common import QUALITY_DATASETS, write_result
 from repro.baselines.geo_modularity import GeoModularityDetector, geo_modularity_community
 from repro.baselines.global_search import global_search
 from repro.baselines.local_search import local_search

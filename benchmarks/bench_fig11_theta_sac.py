@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import QUALITY_DATASETS, write_result
+from bench_common import QUALITY_DATASETS, write_result
 from repro.baselines.radius_only import average_internal_degree, radius_only_community
 from repro.core.exact_plus import exact_plus
 from repro.core.theta import theta_sac

@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from conftest import BENCH_QUERIES, EFFICIENCY_DATASETS, write_result
+from bench_common import BENCH_QUERIES, EFFICIENCY_DATASETS, write_result
 from repro.core.appacc import app_acc
 from repro.core.appfast import app_fast
 from repro.core.appinc import app_inc

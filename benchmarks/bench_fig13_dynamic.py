@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import write_result
+from bench_common import write_result
 from repro.datasets.geosocial import CheckinGenerator, TravelProfile
 from repro.dynamic.evaluation import overlap_vs_time_gap, select_mobile_queries
 from repro.dynamic.stream import LocationStream

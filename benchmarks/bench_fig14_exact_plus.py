@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from conftest import write_result
+from bench_common import write_result
 from repro.core.exact_plus import exact_plus
 from repro.exceptions import NoCommunityError
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import write_result
+from bench_common import write_result
 from repro.datasets.registry import DATASETS
 from repro.graph.stats import summarize
 

@@ -7,48 +7,21 @@ and every benchmark writes the table it produces to
 ``benchmarks/results/<name>.txt`` so the numbers can be quoted in
 EXPERIMENTS.md.
 
-Scale knobs
------------
-The environment variable ``REPRO_BENCH_SCALE`` (default ``1.0``) multiplies
-the stand-in dataset sizes; ``REPRO_BENCH_QUERIES`` (default ``12``) sets the
-number of query vertices per measurement point.  Increase both to push the
-harness towards paper-scale runs.
+Constants and the ``write_result`` helper live in :mod:`bench_common`; import
+them from there (never from ``conftest``) so collection alongside ``tests/``
+stays unambiguous.
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
 from typing import Dict, List
 
 import pytest
 
+from bench_common import BENCH_QUERIES, BENCH_SCALE
 from repro.datasets.registry import load_dataset
 from repro.experiments.queries import select_query_vertices
-from repro.experiments.tables import format_table
 from repro.graph.spatial_graph import SpatialGraph
-
-RESULTS_DIR = Path(__file__).parent / "results"
-
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
-
-#: Datasets used by the quality and efficiency benchmarks.  The paper uses
-#: Brightkite/Gowalla for quality and all six for efficiency; here the two
-#: families (geo-social and power-law synthetic) are each represented by
-#: their smaller members so the whole harness runs in minutes.
-QUALITY_DATASETS = ("brightkite", "gowalla")
-EFFICIENCY_DATASETS = ("brightkite", "syn1")
-
-
-def write_result(name: str, title: str, rows: List[Dict[str, object]]) -> str:
-    """Render ``rows`` as a table, write it under ``benchmarks/results``, return it."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    table = format_table(rows)
-    text = f"{title}\n{'=' * len(title)}\n{table}\n"
-    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
-    print(f"\n{text}")
-    return text
 
 
 @pytest.fixture(scope="session")

@@ -24,6 +24,10 @@ True
 Public surface
 --------------
 * :class:`repro.SACSearcher` — facade dispatching to all five algorithms.
+* :class:`repro.QueryEngine` — shared-preprocessing engine serving many
+  queries over one graph (cached core decomposition, k-ĉore components,
+  per-component spatial indexes).
+* :class:`repro.BatchSACProcessor` — engine-backed batch query processing.
 * :mod:`repro.core` — ``exact``, ``exact_plus``, ``app_inc``, ``app_fast``,
   ``app_acc``, ``theta_sac``.
 * :mod:`repro.graph` — the :class:`~repro.graph.SpatialGraph` substrate.
@@ -46,6 +50,8 @@ from repro.core import (
     exact_plus,
     theta_sac,
 )
+from repro.engine import EngineStats, QueryEngine
+from repro.extensions.batch import BatchResult, BatchSACProcessor
 from repro.exceptions import (
     DatasetError,
     GraphConstructionError,
@@ -64,6 +70,10 @@ __all__ = [
     "GraphBuilder",
     "SACSearcher",
     "SACResult",
+    "QueryEngine",
+    "EngineStats",
+    "BatchSACProcessor",
+    "BatchResult",
     "exact",
     "exact_plus",
     "app_inc",

@@ -8,7 +8,13 @@ Three subcommands cover the common workflows of a downstream user:
 
 ``query``
     Load a graph (``.npz``) and run one SAC query with any of the algorithms,
-    printing the member list and the covering circle.
+    printing the member list and the covering circle.  Served through the
+    shared-preprocessing engine unless ``--no-engine`` is given.
+
+``batch``
+    Run many SAC queries through the :class:`repro.engine.QueryEngine`-backed
+    batch processor, sharing the per-graph preprocessing, and print a
+    throughput summary.
 
 ``stats``
     Print the Table-4 style summary of a graph file.
@@ -19,6 +25,7 @@ Examples
 
     python -m repro.cli generate --kind geosocial --vertices 5000 --out graph.npz
     python -m repro.cli query graph.npz --vertex 42 --k 4 --algorithm exact+
+    python -m repro.cli batch graph.npz --count 64 --k 4 --algorithm appfast
     python -m repro.cli stats graph.npz
 """
 
@@ -31,7 +38,8 @@ from typing import Optional, Sequence
 from repro.core.searcher import ALGORITHMS, SACSearcher
 from repro.datasets.geosocial import brightkite_like
 from repro.datasets.synthetic import powerlaw_spatial_graph
-from repro.exceptions import ReproError
+from repro.exceptions import InvalidParameterError, ReproError
+from repro.extensions.batch import BatchSACProcessor
 from repro.graph.io import load_graph_npz, save_graph_npz
 from repro.graph.stats import summarize
 
@@ -60,6 +68,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--epsilon-f", type=float, default=0.5, help="AppFast slack")
     query.add_argument("--epsilon-a", type=float, default=0.5, help="AppAcc / Exact+ accuracy")
+    query.add_argument(
+        "--no-engine",
+        action="store_true",
+        help="rebuild all per-graph state for the query instead of using the shared engine",
+    )
+
+    batch = subparsers.add_parser(
+        "batch", help="run many SAC queries with shared preprocessing"
+    )
+    batch.add_argument("graph", help="graph .npz file produced by `generate`")
+    batch.add_argument(
+        "--vertices",
+        help="comma-separated query vertex labels (default: sample --count eligible vertices)",
+    )
+    batch.add_argument(
+        "--count", type=int, default=32, help="number of random eligible query vertices"
+    )
+    batch.add_argument("--seed", type=int, default=0, help="sampling seed for --count")
+    batch.add_argument("--k", type=int, default=4, help="minimum degree threshold")
+    batch.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="appfast", help="SAC algorithm"
+    )
+    batch.add_argument("--epsilon-f", type=float, default=0.5, help="AppFast slack")
+    batch.add_argument("--epsilon-a", type=float, default=0.5, help="AppAcc / Exact+ accuracy")
 
     stats = subparsers.add_parser("stats", help="print summary statistics of a graph file")
     stats.add_argument("graph", help="graph .npz file")
@@ -85,14 +117,22 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _algorithm_params(args: argparse.Namespace) -> dict:
+    if args.algorithm == "appfast":
+        return {"epsilon_f": args.epsilon_f}
+    if args.algorithm in ("appacc", "exact+"):
+        return {"epsilon_a": args.epsilon_a}
+    return {}
+
+
 def _command_query(args: argparse.Namespace) -> int:
     graph = load_graph_npz(args.graph)
-    searcher = SACSearcher(graph, default_algorithm=args.algorithm)
-    params = {}
-    if args.algorithm == "appfast":
-        params["epsilon_f"] = args.epsilon_f
-    elif args.algorithm in ("appacc", "exact+"):
-        params["epsilon_a"] = args.epsilon_a
+    searcher = SACSearcher(
+        graph,
+        default_algorithm=args.algorithm,
+        share_preprocessing=not args.no_engine,
+    )
+    params = _algorithm_params(args)
     result = searcher.search(args.vertex, args.k, algorithm=args.algorithm, **params)
     if result is None:
         print(f"no community with minimum degree {args.k} contains vertex {args.vertex}")
@@ -104,6 +144,54 @@ def _command_query(args: argparse.Namespace) -> int:
     print(f"radius    : {result.radius:.6f}")
     print(f"center    : ({result.circle.center.x:.6f}, {result.circle.center.y:.6f})")
     return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    graph = load_graph_npz(args.graph)
+    processor = BatchSACProcessor(
+        graph, args.k, algorithm=args.algorithm, algorithm_params=_algorithm_params(args)
+    )
+    if args.vertices:
+        labels = dict.fromkeys(_parse_label(part) for part in args.vertices.split(","))
+        queries = [graph.index_of(label) for label in labels]
+    else:
+        from repro.experiments.queries import select_query_vertices
+
+        queries = select_query_vertices(
+            graph, count=args.count, min_core=args.k, seed=args.seed
+        )
+        if not queries:
+            raise InvalidParameterError(
+                f"graph has no vertices with core number >= {args.k}"
+            )
+    batch = processor.run(queries)
+    print(f"algorithm      : {args.algorithm} (k={args.k})")
+    print(f"queries        : {len(queries)} ({batch.answered} answered, {len(batch.failed)} without community)")
+    print(f"total time     : {batch.elapsed_seconds:.4f}s")
+    print(f"shared prep    : {batch.shared_preprocessing_seconds:.4f}s")
+    if batch.answered:
+        per_query = (
+            batch.elapsed_seconds - batch.shared_preprocessing_seconds
+        ) / batch.answered
+        print(f"per query      : {per_query * 1000.0:.3f}ms")
+    if batch.elapsed_seconds > 0:
+        print(f"throughput     : {batch.answered / batch.elapsed_seconds:.1f} queries/s")
+    for query in sorted(batch.results):
+        result = batch.results[query]
+        print(
+            f"  vertex {graph.label_of(query)!s:>8}: {result.size} members, "
+            f"radius {result.radius:.6f}"
+        )
+    return 0 if batch.answered else 1
+
+
+def _parse_label(text: str):
+    """Interpret a CLI vertex label: integer when possible, else the raw string."""
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return text
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -121,6 +209,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "generate": _command_generate,
         "query": _command_query,
+        "batch": _command_batch,
         "stats": _command_stats,
     }
     try:

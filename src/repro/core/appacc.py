@@ -19,7 +19,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.appfast import app_fast
-from repro.core.base import QueryContext, nearest_neighbor_community, validate_query
+from repro.core.base import (
+    QueryContext,
+    nearest_neighbor_community,
+    resolve_context,
+    validate_query,
+)
 from repro.core.result import SACResult
 from repro.exceptions import InvalidParameterError
 from repro.geometry.mec import minimum_enclosing_circle
@@ -54,6 +59,8 @@ def app_acc(
     query: int,
     k: int,
     epsilon_a: float = 0.5,
+    *,
+    context: Optional[QueryContext] = None,
 ) -> SACResult:
     """Run AppAcc and return the (1 + εA)-approximate SAC.
 
@@ -64,6 +71,9 @@ def app_acc(
     epsilon_a:
         Accuracy parameter in ``(0, 1)``.  Smaller values probe more anchor
         points and produce tighter circles.
+    context:
+        Optional pre-built :class:`QueryContext` (e.g. from
+        :class:`repro.engine.QueryEngine`); results are identical either way.
 
     Returns
     -------
@@ -83,7 +93,7 @@ def app_acc(
         )
         return SACResult("appacc", query, k, frozenset(members), circle, {"epsilon_a": epsilon_a})
 
-    context = QueryContext(graph, query, k)
+    context = resolve_context(graph, query, k, context)
     state = run_app_acc(context, epsilon_a)
     result = context.make_result(
         "appacc",
@@ -110,8 +120,10 @@ def run_app_acc(context: QueryContext, epsilon_a: float) -> AppAccState:
     graph = context.graph
     qx, qy = context.query_point.x, context.query_point.y
 
-    # Step 1: AppFast with epsilon_f = 0 gives Phi, delta, and gamma.
-    seed = app_fast(graph, context.query, context.k, epsilon_f=0.0)
+    # Step 1: AppFast with epsilon_f = 0 gives Phi, delta, and gamma.  The
+    # inner run shares this context's candidate artifacts but keeps its own
+    # probe counter, exactly like a standalone AppFast invocation.
+    seed = app_fast(graph, context.query, context.k, epsilon_f=0.0, context=context.fresh())
     delta = float(seed.stats["delta"])
     gamma = float(seed.radius)
     best_community: Set[int] = set(seed.members)
@@ -165,7 +177,7 @@ def run_app_acc(context: QueryContext, epsilon_a: float) -> AppAccState:
                 continue
             probe_radius = state.radius + slack
             state.anchors_probed += 1
-            feasible = context.community_in_circle(px, py, probe_radius)
+            feasible = context.community_members_in_circle(px, py, probe_radius)
             if feasible is None:
                 # Pruning2: if the optimal centre were inside this cell, the
                 # circle O(anchor, ropt + slack) ⊆ O(anchor, probe_radius)
@@ -176,13 +188,13 @@ def run_app_acc(context: QueryContext, epsilon_a: float) -> AppAccState:
                 state.anchors_pruned += 1
                 continue
             level_anchors.append(node.anchor)
-            community, anchored_radius = _binary_search_anchor(
+            members, anchored_radius = _binary_search_anchor(
                 context, px, py, probe_radius, delta, alpha_prime, feasible
             )
-            mcc = context.mcc_of(community)
+            mcc = context.mcc_of(members)
             if mcc.radius < state.radius:
                 state.radius = mcc.radius
-                state.community = community
+                state.community = {int(v) for v in members}
         if level_anchors:
             last_level_anchors = level_anchors
 
@@ -197,16 +209,16 @@ def _binary_search_anchor(
     upper: float,
     delta: float,
     alpha_prime: float,
-    initial_community: Set[int],
-) -> Tuple[Set[int], float]:
+    initial_members,
+):
     """Binary search the smallest feasible radius centred at anchor ``(px, py)``.
 
-    ``initial_community`` is the feasible community already found for the
-    ``upper`` radius, so the search always has a fallback.  Returns the best
-    community and its (anchor-centred) radius.
+    ``initial_members`` is the feasible community (int64 array) already found
+    for the ``upper`` radius, so the search always has a fallback.  Returns
+    the best community members and the (anchor-centred) radius.
     """
     lower = delta / 2.0  # Lemma 3: ropt >= delta / 2, no anchor can do better.
-    best_community = initial_community
+    best_members = initial_members
     best_radius = upper
     iterations = 0
     max_iterations = 64 + len(context.candidates)
@@ -214,11 +226,11 @@ def _binary_search_anchor(
     while upper - lower > alpha_prime and iterations < max_iterations:
         iterations += 1
         radius = (lower + upper) / 2.0
-        community = context.community_in_circle(px, py, radius)
-        if community is not None:
-            best_community = community
+        members = context.community_members_in_circle(px, py, radius)
+        if members is not None:
+            best_members = members
             best_radius = radius
             upper = radius
         else:
             lower = radius
-    return best_community, best_radius
+    return best_members, best_radius

@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
-from repro.core.base import QueryContext, nearest_neighbor_community, validate_query
+from repro.core.base import (
+    QueryContext,
+    nearest_neighbor_community,
+    resolve_context,
+    validate_query,
+)
 from repro.core.result import SACResult
 from repro.exceptions import InvalidParameterError
 from repro.geometry.mec import minimum_enclosing_circle
@@ -31,6 +36,8 @@ def app_fast(
     query: int,
     k: int,
     epsilon_f: float = 0.5,
+    *,
+    context: Optional[QueryContext] = None,
 ) -> SACResult:
     """Run AppFast and return the (2 + εF)-approximate SAC.
 
@@ -41,6 +48,9 @@ def app_fast(
     epsilon_f:
         Non-negative slack εF.  Larger values stop the binary search earlier
         (faster, looser guarantee); ``0`` reproduces AppInc's answer.
+    context:
+        Optional pre-built :class:`QueryContext` (e.g. from
+        :class:`repro.engine.QueryEngine`); results are identical either way.
 
     Returns
     -------
@@ -60,67 +70,64 @@ def app_fast(
         )
         return SACResult("appfast", query, k, frozenset(members), circle, {"delta": circle.diameter})
 
-    context = QueryContext(graph, query, k)
-    community, delta, iterations = _binary_search_radius(context, epsilon_f)
+    context = resolve_context(graph, query, k, context)
+    members, delta, iterations = _binary_search_radius(context, epsilon_f)
     result = context.make_result(
         "appfast",
-        community,
+        {int(v) for v in members},
         {"delta": delta, "binary_search_iterations": iterations, "epsilon_f": epsilon_f},
     )
     result.stats["gamma"] = result.radius
     return result
 
 
-def _binary_search_radius(
-    context: QueryContext, epsilon_f: float
-) -> tuple[Set[int], float, int]:
+def _binary_search_radius(context: QueryContext, epsilon_f: float):
     """Binary search the smallest feasible query-centred radius.
 
-    Returns ``(community, delta, iterations)`` where ``delta`` is the radius
-    of the query-centred circle known to contain ``community``.
+    Returns ``(members, delta, iterations)`` where ``members`` is the
+    community as an int64 array and ``delta`` the radius of the query-centred
+    circle known to contain it.  All bound updates are whole-array operations
+    over the context's distance vector.
     """
     qx, qy = context.query_point.x, context.query_point.y
+    distances = context.distance_array
     lower = context.knn_distance()
     upper = context.max_candidate_distance()
 
     # The full candidate set (the k-ĉore) is always feasible, so the initial
     # community and feasible radius are well defined.
-    best_community: Set[int] = set(context.candidates)
+    best_members = context.artifacts.candidate_array
     best_delta = upper
     iterations = 0
 
     # Quick exit: the lower bound itself may already be feasible.
     if upper <= lower:
-        return best_community, best_delta, iterations
+        return best_members, best_delta, iterations
 
     while upper > lower + _ZERO_EPSILON_TOLERANCE:
         iterations += 1
         radius = (lower + upper) / 2.0
         alpha = radius * epsilon_f / (2.0 + epsilon_f) if epsilon_f > 0 else 0.0
-        community = context.community_in_circle(qx, qy, radius)
-        if community is not None:
-            best_community = community
+        members = context.community_members_in_circle(qx, qy, radius)
+        if members is not None:
+            best_members = members
             best_delta = radius
             if radius - lower <= alpha:
                 break
             # Shrink the upper bound to the farthest member actually used.
-            upper = max(context.distances[v] for v in community)
+            upper = float(context.member_distances(members).max())
             best_delta = upper
         else:
             if upper - radius <= alpha:
                 break
             # Grow the lower bound to the nearest candidate outside O(q, r):
             # the next feasible circle must include at least one more vertex.
-            outside = [
-                context.distances[v]
-                for v in context.candidates
-                if context.distances[v] > radius
-            ]
-            if not outside:
+            outside = distances[distances > radius]
+            if outside.size == 0:
                 break
-            lower = min(outside)
+            lower = float(outside.min())
         if iterations > 4 * (len(context.candidates) + 64):
             # Defensive guard; the bracket always shrinks over the discrete
             # set of candidate distances, so this should be unreachable.
             break
-    return best_community, best_delta, iterations
+    return best_members, best_delta, iterations

@@ -10,13 +10,25 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.base import QueryContext, incremental_feasible_region, nearest_neighbor_community, validate_query
+from repro.core.base import (
+    QueryContext,
+    incremental_feasible_region,
+    nearest_neighbor_community,
+    resolve_context,
+    validate_query,
+)
 from repro.core.result import SACResult
 from repro.graph.spatial_graph import SpatialGraph
 from repro.geometry.mec import minimum_enclosing_circle
 
 
-def app_inc(graph: SpatialGraph, query: int, k: int) -> SACResult:
+def app_inc(
+    graph: SpatialGraph,
+    query: int,
+    k: int,
+    *,
+    context: Optional[QueryContext] = None,
+) -> SACResult:
     """Run AppInc and return the 2-approximate SAC.
 
     Parameters
@@ -27,6 +39,9 @@ def app_inc(graph: SpatialGraph, query: int, k: int) -> SACResult:
         Internal index of the query vertex.
     k:
         Minimum-degree threshold (``k >= 1``).
+    context:
+        Optional pre-built :class:`QueryContext` (e.g. from
+        :class:`repro.engine.QueryEngine`); results are identical either way.
 
     Returns
     -------
@@ -47,9 +62,21 @@ def app_inc(graph: SpatialGraph, query: int, k: int) -> SACResult:
         circle = minimum_enclosing_circle(
             [(float(coords[v, 0]), float(coords[v, 1])) for v in members]
         )
-        return SACResult("appinc", query, k, frozenset(members), circle, {"delta": circle.diameter})
+        return SACResult(
+            "appinc",
+            query,
+            k,
+            frozenset(members),
+            circle,
+            {
+                "delta": circle.diameter,
+                "gamma": circle.radius,
+                "feasibility_checks": 0,
+                "candidate_set_size": len(members),
+            },
+        )
 
-    context = QueryContext(graph, query, k)
+    context = resolve_context(graph, query, k, context)
     community, delta = incremental_feasible_region(context)
     result = context.make_result("appinc", community, {"delta": delta})
     result.stats["gamma"] = result.radius

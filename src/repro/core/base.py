@@ -28,7 +28,13 @@ from repro.geometry.grid import GridIndex
 from repro.geometry.mec import minimum_enclosing_circle
 from repro.geometry.point import Point
 from repro.graph.spatial_graph import SpatialGraph
-from repro.kcore.connected_core import connected_k_core, connected_k_core_in_subset
+from repro.kcore.connected_core import (
+    connected_k_core,
+    connected_k_core_in_subset,
+    csr_component_mask,
+    csr_peel_mask,
+)
+from repro.kcore.decomposition import gather_neighbors
 
 
 def validate_query(graph: SpatialGraph, query: int, k: int) -> None:
@@ -53,6 +59,70 @@ def nearest_neighbor_community(graph: SpatialGraph, query: int) -> Set[int]:
     return {query, best[1]}
 
 
+def _induced_csr(graph: SpatialGraph, vertices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency of ``G[vertices]`` relabelled to positions in ``vertices``.
+
+    ``vertices`` must be sorted and unique.  Neighbour lists stay sorted
+    because the relabelling is monotone.
+    """
+    indptr, indices = graph.csr
+    counts = indptr[vertices + 1] - indptr[vertices]
+    neighbors = gather_neighbors(indptr, indices, vertices)
+    owners = np.repeat(np.arange(vertices.size, dtype=np.int64), counts)
+    keep = np.zeros(graph.num_vertices, dtype=bool)
+    keep[vertices] = True
+    inside = keep[neighbors]
+    local_indices = np.searchsorted(vertices, neighbors[inside])
+    local_counts = np.bincount(owners[inside], minlength=vertices.size)
+    local_indptr = np.zeros(vertices.size + 1, dtype=np.int64)
+    np.cumsum(local_counts, out=local_indptr[1:])
+    return local_indptr, local_indices
+
+
+@dataclass(frozen=True)
+class CandidateArtifacts:
+    """Cached per-component candidate-set artifacts.
+
+    Everything about a k-ĉore component that does not depend on which of its
+    vertices is the query: the member set, the members in ascending index
+    order, their coordinate matrix, and a spatial grid index over them.
+    Built once per ``(graph, k, component)`` by
+    :class:`repro.engine.QueryEngine` and shared by every
+    :class:`QueryContext` the engine hands out; the legacy single-query path
+    builds a private instance per query.  All fields are shared, so treat
+    them as immutable.
+    """
+
+    candidates: FrozenSet[int]
+    candidate_list: List[int]
+    candidate_array: np.ndarray
+    candidate_coords: np.ndarray
+    grid: GridIndex
+    #: CSR adjacency of the subgraph induced by the candidates, with vertices
+    #: relabelled to their positions in ``candidate_array``.  Probes run
+    #: entirely in this compact id space, so their cost scales with the
+    #: component instead of the whole graph.
+    local_indptr: np.ndarray
+    local_indices: np.ndarray
+
+    @classmethod
+    def from_candidates(cls, graph: SpatialGraph, candidates: Set[int]) -> "CandidateArtifacts":
+        """Build the artifacts for an explicit (non-empty) candidate set."""
+        candidate_list = sorted(int(v) for v in candidates)
+        candidate_array = np.asarray(candidate_list, dtype=np.int64)
+        candidate_coords = graph.coordinates[candidate_array]
+        local_indptr, local_indices = _induced_csr(graph, candidate_array)
+        return cls(
+            candidates=frozenset(candidate_list),
+            candidate_list=candidate_list,
+            candidate_array=candidate_array,
+            candidate_coords=candidate_coords,
+            grid=GridIndex(candidate_coords),
+            local_indptr=local_indptr,
+            local_indices=local_indices,
+        )
+
+
 class QueryContext:
     """Candidate set and feasibility probes for one ``(graph, query, k)`` query.
 
@@ -63,41 +133,93 @@ class QueryContext:
         paper).  Empty queries raise :class:`NoCommunityError` at construction.
     distances:
         Mapping vertex -> Euclidean distance from the query vertex.
+
+    When ``artifacts`` is supplied (by :class:`repro.engine.QueryEngine` or
+    :meth:`fresh`), the expensive per-graph work — k-ĉore extraction and the
+    grid index over the candidates — is reused and only the query-specific
+    distance vector is computed.  The two construction paths produce
+    bit-identical probe results.
     """
 
-    def __init__(self, graph: SpatialGraph, query: int, k: int) -> None:
+    def __init__(
+        self,
+        graph: SpatialGraph,
+        query: int,
+        k: int,
+        *,
+        artifacts: Optional[CandidateArtifacts] = None,
+    ) -> None:
         validate_query(graph, query, k)
         self.graph = graph
         self.query = query
         self.k = k
         self.feasibility_checks = 0
 
-        candidates = connected_k_core(graph, query, k)
-        if not candidates:
+        if artifacts is None:
+            candidates = connected_k_core(graph, query, k)
+            if not candidates:
+                raise NoCommunityError(query, k)
+            artifacts = CandidateArtifacts.from_candidates(graph, candidates)
+        elif query not in artifacts.candidates:
             raise NoCommunityError(query, k)
-        self.candidates: Set[int] = candidates
+        self._artifacts = artifacts
+        self.candidates: FrozenSet[int] = artifacts.candidates
 
         qx, qy = graph.position(query)
         self.query_point = Point(qx, qy)
-        coords = graph.coordinates
-        self._candidate_list = sorted(candidates)
-        candidate_coords = coords[self._candidate_list]
-        deltas = candidate_coords - np.array([qx, qy])
-        dists = np.hypot(deltas[:, 0], deltas[:, 1])
-        self.distances: Dict[int, float] = {
-            v: float(d) for v, d in zip(self._candidate_list, dists)
-        }
-        self._grid = GridIndex(candidate_coords)
-        self._grid_to_vertex = self._candidate_list
+        self._candidate_list = artifacts.candidate_list
+        deltas = artifacts.candidate_coords - np.array([qx, qy])
+        #: Distance from the query to each candidate, aligned with
+        #: ``artifacts.candidate_array`` (ascending vertex index).
+        self.distance_array: np.ndarray = np.hypot(deltas[:, 0], deltas[:, 1])
+        self._distances: Optional[Dict[int, float]] = None
+        self._grid = artifacts.grid
+        # Position of the query inside candidate_array (= its local CSR id).
+        self._local_query = int(np.searchsorted(artifacts.candidate_array, query))
+
+    @property
+    def distances(self) -> Dict[int, float]:
+        """Mapping vertex -> distance from the query (built lazily).
+
+        The probe hot paths use :attr:`distance_array` directly; this dict
+        view exists for the enumeration-style algorithms and external
+        callers.
+        """
+        if self._distances is None:
+            self._distances = {
+                v: float(d) for v, d in zip(self._candidate_list, self.distance_array)
+            }
+        return self._distances
+
+    @property
+    def artifacts(self) -> CandidateArtifacts:
+        """The (shareable) candidate-set artifacts backing this context."""
+        return self._artifacts
+
+    def fresh(self) -> "QueryContext":
+        """Return a new context for the same query with a zeroed probe counter.
+
+        Shares the candidate artifacts, so construction costs one distance
+        vector; used when one algorithm runs another as a subroutine (e.g.
+        ``AppAcc`` seeding itself with ``AppFast``) and the inner run must
+        keep its own feasibility bookkeeping.
+        """
+        return QueryContext(self.graph, self.query, self.k, artifacts=self._artifacts)
 
     # ------------------------------------------------------------ candidates
     def sorted_by_distance(self) -> List[int]:
-        """Candidate vertices sorted by ascending distance from the query."""
-        return sorted(self.candidates, key=lambda v: (self.distances[v], v))
+        """Candidate vertices sorted by ascending distance (ties by index)."""
+        order = np.lexsort((self._artifacts.candidate_array, self.distance_array))
+        return self._artifacts.candidate_array[order].tolist()
 
     def max_candidate_distance(self) -> float:
         """Largest distance from the query to any candidate vertex."""
-        return max(self.distances.values())
+        return float(self.distance_array.max())
+
+    def member_distances(self, members: np.ndarray) -> np.ndarray:
+        """Distances from the query to ``members`` (must all be candidates)."""
+        positions = np.searchsorted(self._artifacts.candidate_array, members)
+        return self.distance_array[positions]
 
     def knn_distance(self) -> float:
         """Distance of the k-th nearest candidate *neighbour* of the query.
@@ -105,35 +227,71 @@ class QueryContext:
         This is the lower bound ``l`` of Eq. (1): the query needs at least
         ``k`` of its own neighbours inside any feasible circle centred at it.
         """
-        neighbor_distances = sorted(
-            self.distances[int(v)]
-            for v in self.graph.neighbors(self.query)
-            if int(v) in self.candidates
-        )
-        if len(neighbor_distances) < self.k:
+        neighbors = np.asarray(self.graph.neighbors(self.query), dtype=np.int64)
+        candidate_array = self._artifacts.candidate_array
+        positions = np.searchsorted(candidate_array, neighbors)
+        in_range = positions < candidate_array.size
+        positions, neighbors = positions[in_range], neighbors[in_range]
+        positions = positions[candidate_array[positions] == neighbors]
+        neighbor_distances = np.sort(self.distance_array[positions])
+        if neighbor_distances.size < self.k:
             # Cannot happen for a valid k-ĉore, but keep a safe fallback.
-            return neighbor_distances[-1] if neighbor_distances else 0.0
-        return neighbor_distances[self.k - 1]
+            return float(neighbor_distances[-1]) if neighbor_distances.size else 0.0
+        return float(neighbor_distances[self.k - 1])
 
-    def vertices_in_circle(self, center_x: float, center_y: float, radius: float) -> List[int]:
-        """Candidate vertices located inside the circle ``O((x, y), radius)``.
+    def _candidates_in_circle(self, center_x: float, center_y: float, radius: float) -> np.ndarray:
+        """Candidate vertex indices inside ``O((x, y), radius)`` as an int64 array.
 
         A tiny relative inflation of the radius keeps vertices that lie
         exactly on the circle boundary (the "fixed vertices" of an MCC)
         inside the result despite floating-point rounding.
         """
         inflated = radius + 1e-9 * max(1.0, radius)
-        hits = self._grid.query_circle(center_x, center_y, inflated)
-        return [self._grid_to_vertex[i] for i in hits]
+        hits = self._grid.query_circle_array(center_x, center_y, inflated)
+        return self._artifacts.candidate_array[hits]
+
+    def vertices_in_circle(self, center_x: float, center_y: float, radius: float) -> List[int]:
+        """Candidate vertices located inside the circle ``O((x, y), radius)``."""
+        return self._candidates_in_circle(center_x, center_y, radius).tolist()
 
     def vertices_in_annulus(
         self, center_x: float, center_y: float, inner: float, outer: float
     ) -> List[int]:
         """Candidate vertices with distance to ``(x, y)`` in ``[inner, outer]``."""
-        hits = self._grid.query_annulus(center_x, center_y, inner, outer)
-        return [self._grid_to_vertex[i] for i in hits]
+        hits = self._grid.query_annulus_array(center_x, center_y, inner, outer)
+        return self._artifacts.candidate_array[hits].tolist()
 
     # -------------------------------------------------------------- probing
+    def community_members_in_circle(
+        self, center_x: float, center_y: float, radius: float
+    ) -> Optional[np.ndarray]:
+        """Array-native probe: k-ĉore members inside ``O((x, y), radius)``.
+
+        Identical decision and member set as :meth:`community_in_circle`, but
+        returns a sorted int64 array and never materialises a Python set —
+        the form the search loops consume.  The peel + BFS run on the
+        component-local CSR, so a probe costs ``O(|candidates in circle|)``
+        regardless of the size of the full graph.
+        """
+        self.feasibility_checks += 1
+        if self.graph.distance_to_point(self.query, center_x, center_y) > radius + 1e-12:
+            return None
+        inflated = radius + 1e-9 * max(1.0, radius)
+        inside = self._grid.query_circle_array(center_x, center_y, inflated)
+        if inside.size < self.k + 1:
+            return None
+        artifacts = self._artifacts
+        core = csr_peel_mask(
+            artifacts.local_indptr, artifacts.local_indices, artifacts.candidate_array.size,
+            inside, self.k,
+        )
+        if not core[self._local_query]:
+            return None
+        component = csr_component_mask(
+            artifacts.local_indptr, artifacts.local_indices, core, self._local_query
+        )
+        return artifacts.candidate_array[np.flatnonzero(component)]
+
     def community_in_circle(
         self, center_x: float, center_y: float, radius: float
     ) -> Optional[Set[int]]:
@@ -142,25 +300,60 @@ class QueryContext:
         Returns ``None`` when no feasible community exists in the circle,
         including when the query vertex itself falls outside the circle.
         """
-        self.feasibility_checks += 1
-        if self.graph.distance_to_point(self.query, center_x, center_y) > radius + 1e-12:
+        members = self.community_members_in_circle(center_x, center_y, radius)
+        if members is None:
             return None
-        inside = self.vertices_in_circle(center_x, center_y, radius)
-        if len(inside) < self.k + 1:
-            return None
-        return connected_k_core_in_subset(self.graph, inside, self.query, self.k)
+        return {int(v) for v in members}
 
     def community_in_subset(self, subset: Sequence[int]) -> Optional[Set[int]]:
-        """Return the k-ĉore containing the query inside an arbitrary vertex subset."""
+        """Return the k-ĉore containing the query inside an arbitrary vertex subset.
+
+        Subsets that lie within the candidate set (the common case — AppInc's
+        prefixes, Exact's circle contents) are probed on the component-local
+        CSR so the cost scales with the subset, not the whole graph; anything
+        else falls back to the graph-wide peeling.
+        """
         self.feasibility_checks += 1
-        return connected_k_core_in_subset(self.graph, subset, self.query, self.k)
+        if isinstance(subset, np.ndarray):
+            members = np.unique(subset.astype(np.int64, copy=False))
+        else:
+            members = np.unique(np.fromiter((int(v) for v in subset), dtype=np.int64))
+        if members.size == 0:
+            return None
+        candidate_array = self._artifacts.candidate_array
+        positions = np.searchsorted(candidate_array, members)
+        in_candidates = (
+            members[0] >= candidate_array[0]
+            and members[-1] <= candidate_array[-1]
+            and bool((candidate_array[np.minimum(positions, candidate_array.size - 1)] == members).all())
+        )
+        if not in_candidates:
+            return connected_k_core_in_subset(self.graph, members, self.query, self.k)
+        artifacts = self._artifacts
+        core = csr_peel_mask(
+            artifacts.local_indptr, artifacts.local_indices, candidate_array.size,
+            positions, self.k,
+        )
+        if not core[self._local_query]:
+            return None
+        component = csr_component_mask(
+            artifacts.local_indptr, artifacts.local_indices, core, self._local_query
+        )
+        return {int(v) for v in candidate_array[np.flatnonzero(component)]}
 
     # --------------------------------------------------------------- results
-    def mcc_of(self, members: Set[int]) -> Circle:
-        """Minimum covering circle of the locations of ``members``."""
-        coords = self.graph.coordinates
-        points = [(float(coords[v, 0]), float(coords[v, 1])) for v in members]
-        return minimum_enclosing_circle(points)
+    def mcc_of(self, members) -> Circle:
+        """Minimum covering circle of the locations of ``members``.
+
+        Accepts any iterable of vertex indices (set or int64 array); the
+        members are passed to the MEC in ascending index order so the result
+        is deterministic regardless of the container.
+        """
+        if isinstance(members, np.ndarray):
+            arr = np.sort(members.astype(np.int64, copy=False))
+        else:
+            arr = np.sort(np.fromiter((int(v) for v in members), dtype=np.int64))
+        return minimum_enclosing_circle(self.graph.coordinates[arr])
 
     def make_result(
         self, algorithm: str, members: Set[int], stats: Optional[Dict[str, float]] = None
@@ -179,6 +372,24 @@ class QueryContext:
         )
 
 
+def resolve_context(
+    graph: SpatialGraph, query: int, k: int, context: Optional[QueryContext]
+) -> QueryContext:
+    """Return ``context`` when supplied (after a consistency check), else build one.
+
+    Lets every SAC algorithm accept a pre-built context from
+    :class:`repro.engine.QueryEngine` while keeping the legacy
+    ``algorithm(graph, query, k)`` call bit-identical.
+    """
+    if context is None:
+        return QueryContext(graph, query, k)
+    if context.graph is not graph or context.query != query or context.k != k:
+        raise InvalidParameterError(
+            "supplied QueryContext was built for a different (graph, query, k)"
+        )
+    return context
+
+
 def incremental_feasible_region(context: QueryContext) -> Tuple[Set[int], float]:
     """Find the smallest query-centred circle containing a feasible solution.
 
@@ -194,19 +405,21 @@ def incremental_feasible_region(context: QueryContext) -> Tuple[Set[int], float]
     graph = context.graph
     query = context.query
     k = context.k
-    ordered = context.sorted_by_distance()
-    query_neighbors = {int(v) for v in graph.neighbors(query)}
+    ordered = np.asarray(context.sorted_by_distance(), dtype=np.int64)
 
-    included: Set[int] = set()
-    neighbor_count = 0
-    for index, vertex in enumerate(ordered):
-        included.add(vertex)
-        if vertex in query_neighbors:
-            neighbor_count += 1
-        if neighbor_count < k or len(included) < k + 1:
-            continue
-        community = context.community_in_subset(included)
+    # Prefix bookkeeping, vectorised: probe at exactly the prefixes where the
+    # query already has >= k neighbours and the candidate circle holds at
+    # least k + 1 vertices (the cheap necessary conditions).
+    query_neighbors = np.asarray(graph.neighbors(query), dtype=np.int64)
+    is_neighbor = np.isin(ordered, query_neighbors)
+    neighbor_counts = np.cumsum(is_neighbor)
+    sizes = np.arange(1, ordered.size + 1)
+    probe_at = np.flatnonzero((neighbor_counts >= k) & (sizes >= k + 1))
+
+    for index in probe_at:
+        prefix = ordered[: int(index) + 1]
+        community = context.community_in_subset(prefix)
         if community is not None:
-            delta = context.distances[vertex]
+            delta = float(context.member_distances(ordered[index : index + 1])[0])
             return community, delta
     raise NoCommunityError(query, k, "no feasible solution in any query-centred circle")

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
-from repro.core.base import QueryContext, nearest_neighbor_community, validate_query
+from repro.core.base import (
+    QueryContext,
+    nearest_neighbor_community,
+    resolve_context,
+    validate_query,
+)
 from repro.core.result import SACResult
 from repro.exceptions import InvalidParameterError
 from repro.geometry.mec import minimum_covering_circle_of_triple, minimum_enclosing_circle
@@ -31,6 +36,7 @@ def exact(
     k: int,
     *,
     max_candidates: Optional[int] = None,
+    context: Optional[QueryContext] = None,
 ) -> SACResult:
     """Run the basic exact algorithm and return the optimal SAC.
 
@@ -42,6 +48,9 @@ def exact(
         Optional safety valve: raise :class:`InvalidParameterError` when the
         candidate k-ĉore exceeds this size instead of attempting an O(n^3)
         enumeration.  ``None`` (default) disables the check.
+    context:
+        Optional pre-built :class:`QueryContext` (e.g. from
+        :class:`repro.engine.QueryEngine`); results are identical either way.
 
     Returns
     -------
@@ -58,7 +67,7 @@ def exact(
         )
         return SACResult("exact", query, k, frozenset(members), circle, {})
 
-    context = QueryContext(graph, query, k)
+    context = resolve_context(graph, query, k, context)
     if max_candidates is not None and len(context.candidates) > max_candidates:
         raise InvalidParameterError(
             f"candidate k-core has {len(context.candidates)} vertices, exceeding "

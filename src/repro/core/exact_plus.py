@@ -20,7 +20,12 @@ import math
 from typing import List, Optional, Set, Tuple
 
 from repro.core.appacc import AppAccState, run_app_acc
-from repro.core.base import QueryContext, nearest_neighbor_community, validate_query
+from repro.core.base import (
+    QueryContext,
+    nearest_neighbor_community,
+    resolve_context,
+    validate_query,
+)
 from repro.core.result import SACResult
 from repro.exceptions import InvalidParameterError
 from repro.geometry.mec import (
@@ -39,6 +44,8 @@ def exact_plus(
     query: int,
     k: int,
     epsilon_a: float = 1e-4,
+    *,
+    context: Optional[QueryContext] = None,
 ) -> SACResult:
     """Run Exact+ and return the optimal SAC.
 
@@ -51,6 +58,9 @@ def exact_plus(
         values shrink the annular candidate region (fewer fixed-vertex
         candidates) at the cost of more anchor probes; the final answer is
         exact for any value in ``(0, 1)``.
+    context:
+        Optional pre-built :class:`QueryContext` (e.g. from
+        :class:`repro.engine.QueryEngine`); results are identical either way.
 
     Returns
     -------
@@ -69,7 +79,7 @@ def exact_plus(
         )
         return SACResult("exact+", query, k, frozenset(members), circle, {})
 
-    context = QueryContext(graph, query, k)
+    context = resolve_context(graph, query, k, context)
     state = run_app_acc(context, epsilon_a)
 
     best_members: Set[int] = set(state.community)
@@ -159,8 +169,8 @@ def _probe_circle(
     context: QueryContext, center_x: float, center_y: float, radius: float
 ) -> Optional[Tuple[Set[int], float]]:
     """Probe a candidate circle and return ``(community, mcc_radius)`` if feasible."""
-    community = context.community_in_circle(center_x, center_y, radius)
-    if community is None:
+    members = context.community_members_in_circle(center_x, center_y, radius)
+    if members is None:
         return None
-    mcc = context.mcc_of(community)
-    return community, mcc.radius
+    mcc = context.mcc_of(members)
+    return {int(v) for v in members}, mcc.radius

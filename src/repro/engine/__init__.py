@@ -1,0 +1,11 @@
+"""Shared-preprocessing SAC query engine.
+
+The engine boundary for serving many SAC queries against one graph: compute
+the per-graph artifacts (core decomposition, k-ĉore component labelling,
+per-component spatial indexes) once, then answer each query with a
+lightweight :class:`~repro.core.base.QueryContext` built from the cache.
+"""
+
+from repro.engine.engine import EngineStats, QueryEngine
+
+__all__ = ["QueryEngine", "EngineStats"]

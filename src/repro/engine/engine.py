@@ -1,0 +1,209 @@
+"""The :class:`QueryEngine` — share all per-graph work across SAC queries.
+
+Every SAC algorithm spends its setup phase on the same three computations:
+the graph-wide core decomposition, the extraction of the k-ĉore component
+containing the query, and a spatial grid index over that component.  The
+seed API repeats all three for every single query; the engine computes each
+of them **once per graph** (and once per distinct ``k`` / component) and
+hands the algorithms pre-built :class:`~repro.core.base.QueryContext`
+objects, so a query costs one distance vector plus the actual search.
+
+Results are bit-identical to the per-query API: the cached artifacts are
+built with exactly the arithmetic the legacy ``QueryContext`` constructor
+uses, and the algorithms themselves are unchanged.
+
+The engine is bound to one immutable :class:`~repro.graph.SpatialGraph`;
+after a dynamic location update (which produces a new graph object), create
+a new engine for the new graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import CandidateArtifacts, QueryContext, validate_query
+from repro.core.result import SACResult
+from repro.core.searcher import ALGORITHMS
+from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.graph.spatial_graph import Label, SpatialGraph
+from repro.kcore.decomposition import core_numbers, gather_neighbors
+
+
+@dataclass
+class EngineStats:
+    """Cache and traffic counters of one :class:`QueryEngine`.
+
+    ``contexts_served`` counts the query contexts handed out;
+    ``components_materialised`` counts how many (k, component) artifact
+    bundles were actually built — the gap between the two is the work the
+    engine saved.
+    """
+
+    queries_served: int = 0
+    contexts_served: int = 0
+    components_materialised: int = 0
+    core_decompositions: int = 0
+    ks_labelled: List[int] = field(default_factory=list)
+
+
+class QueryEngine:
+    """Answer SAC queries over one graph with shared preprocessing.
+
+    Parameters
+    ----------
+    graph:
+        The spatial graph to serve queries against.
+
+    Examples
+    --------
+    >>> engine = QueryEngine(graph)                         # doctest: +SKIP
+    >>> r1 = engine.search(42, k=4, algorithm="appfast")    # doctest: +SKIP
+    >>> r2 = engine.search(77, k=4, algorithm="exact+")     # doctest: +SKIP
+
+    The second call reuses the core decomposition and, when vertex 77 lives
+    in the same k-ĉore component as vertex 42, the component's candidate
+    artifacts and grid index as well.
+    """
+
+    def __init__(self, graph: SpatialGraph) -> None:
+        self.graph = graph
+        self.stats = EngineStats()
+        self._cores: Optional[np.ndarray] = None
+        # k -> (component labels array with -1 outside the k-core, #components)
+        self._labels: Dict[int, Tuple[np.ndarray, int]] = {}
+        self._artifacts: Dict[Tuple[int, int], CandidateArtifacts] = {}
+
+    # --------------------------------------------------------- shared artefacts
+    def core_numbers(self) -> np.ndarray:
+        """Core number of every vertex; computed once per engine."""
+        if self._cores is None:
+            self._cores = core_numbers(self.graph)
+            self.stats.core_decompositions += 1
+        return self._cores
+
+    def component_labels(self, k: int) -> Tuple[np.ndarray, int]:
+        """Label the k-ĉores: returns ``(labels, count)``.
+
+        ``labels[v]`` is the component id of vertex ``v`` inside the k-core
+        (``-1`` when ``v`` is not in the k-core).  Computed once per ``k``.
+        """
+        if not isinstance(k, int) or k < 1:
+            raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+        cached = self._labels.get(k)
+        if cached is not None:
+            return cached
+        mask = self.core_numbers() >= k
+        labels = np.full(self.graph.num_vertices, -1, dtype=np.int64)
+        indptr, indices = self.graph.csr
+        count = 0
+        # One flood-fill pass: the labels array doubles as the visited set,
+        # so total work is O(n + m) regardless of how many components the
+        # k-core splinters into.
+        for seed in np.flatnonzero(mask):
+            if labels[seed] >= 0:
+                continue
+            labels[seed] = count
+            frontier = np.array([seed], dtype=np.int64)
+            while frontier.size:
+                reached = gather_neighbors(indptr, indices, frontier)
+                reached = reached[mask[reached] & (labels[reached] < 0)]
+                if reached.size == 0:
+                    break
+                frontier = np.unique(reached)
+                labels[frontier] = count
+            count += 1
+        self._labels[k] = (labels, count)
+        self.stats.ks_labelled.append(k)
+        return self._labels[k]
+
+    def prepare(self, k: int) -> int:
+        """Warm the shared caches for degree threshold ``k``; returns #components."""
+        return self.component_labels(k)[1]
+
+    def _component_artifacts(self, k: int, component: int) -> CandidateArtifacts:
+        key = (k, component)
+        artifacts = self._artifacts.get(key)
+        if artifacts is None:
+            labels, _ = self.component_labels(k)
+            members = np.flatnonzero(labels == component)
+            artifacts = CandidateArtifacts.from_candidates(
+                self.graph, {int(v) for v in members}
+            )
+            self._artifacts[key] = artifacts
+            self.stats.components_materialised += 1
+        return artifacts
+
+    # ----------------------------------------------------------------- contexts
+    def context(self, query: int, k: int) -> QueryContext:
+        """Return a :class:`QueryContext` for ``(query, k)`` from the caches.
+
+        Raises :class:`NoCommunityError` when the query vertex is in no
+        k-core, exactly like the legacy constructor.
+        """
+        validate_query(self.graph, query, k)
+        labels, _ = self.component_labels(k)
+        component = int(labels[query])
+        if component < 0:
+            raise NoCommunityError(query, k)
+        artifacts = self._component_artifacts(k, component)
+        self.stats.contexts_served += 1
+        return QueryContext(self.graph, query, k, artifacts=artifacts)
+
+    # ------------------------------------------------------------------ queries
+    def search(
+        self, query: int, k: int, *, algorithm: str = "appfast", **params: float
+    ) -> SACResult:
+        """Run one SAC query through the engine.
+
+        Identical results to ``ALGORITHMS[algorithm](graph, query, k,
+        **params)`` but with all per-graph preprocessing served from cache.
+        """
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        validate_query(self.graph, query, k)
+        self.stats.queries_served += 1
+        run = ALGORITHMS[algorithm]
+        if k == 1:
+            # The algorithms answer k=1 with the nearest-neighbour shortcut
+            # before ever building a context; nothing to share.
+            return run(self.graph, query, k, **params)
+        return run(self.graph, query, k, context=self.context(query, k), **params)
+
+    def search_label(
+        self, query: Label, k: int, *, algorithm: str = "appfast", **params: float
+    ) -> SACResult:
+        """As :meth:`search`, addressing the query vertex by user-facing label."""
+        return self.search(self.graph.index_of(query), k, algorithm=algorithm, **params)
+
+    def search_many(
+        self,
+        queries: Sequence[int],
+        k: int,
+        *,
+        algorithm: str = "appfast",
+        missing_ok: bool = True,
+        **params: float,
+    ) -> Dict[int, Optional[SACResult]]:
+        """Answer a sequence of queries, mapping each to its result.
+
+        Queries without a community map to ``None`` when ``missing_ok`` (the
+        default); otherwise the first failure raises.  For batch bookkeeping
+        (timings, failure lists, grouping) use
+        :class:`repro.extensions.BatchSACProcessor`, which is built on this
+        engine.
+        """
+        results: Dict[int, Optional[SACResult]] = {}
+        for query in queries:
+            query = int(query)
+            try:
+                results[query] = self.search(query, k, algorithm=algorithm, **params)
+            except NoCommunityError:
+                if not missing_ok:
+                    raise
+                results[query] = None
+        return results

@@ -4,12 +4,14 @@ Applications such as event recommendation fire SAC queries for many users at
 once (everyone who opened the app in the last minute).  Answering each query
 independently repeats three graph-wide computations: the core decomposition,
 the extraction of the k-ĉore containing each query, and the construction of a
-spatial index over the candidates.  :class:`BatchSACProcessor` shares all
-three across queries:
+spatial index over the candidates.  :class:`BatchSACProcessor` delegates all
+three to a :class:`repro.engine.QueryEngine`, so they are computed once per
+graph and shared across every query (and every subsequent batch on the same
+processor):
 
 * core numbers are computed once per graph;
-* queries are grouped by the k-ĉore they belong to (queries in the same
-  component share candidate sets);
+* queries are grouped by the k-ĉore component they belong to (queries in the
+  same component share candidate sets and the component's grid index);
 * per-component grid indexes are cached and reused.
 
 The per-query algorithm is any of the library's SAC algorithms; the batch
@@ -21,16 +23,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
+from repro.engine import QueryEngine
 from repro.exceptions import InvalidParameterError, NoCommunityError
 from repro.graph.spatial_graph import SpatialGraph
-from repro.kcore.connected_core import connected_component
-from repro.kcore.decomposition import core_numbers
 
 
 @dataclass
@@ -76,6 +75,11 @@ class BatchSACProcessor:
         :data:`repro.core.searcher.ALGORITHMS`).
     algorithm_params:
         Extra parameters forwarded to the per-query algorithm.
+    engine:
+        Optional :class:`~repro.engine.QueryEngine` to draw cached artifacts
+        from; pass one to share preprocessing with other processors (e.g.
+        batches at different ``k``) or an interactive searcher over the same
+        graph.  A private engine is created when omitted.
     """
 
     def __init__(
@@ -85,6 +89,7 @@ class BatchSACProcessor:
         *,
         algorithm: str = "appfast",
         algorithm_params: Optional[Dict[str, float]] = None,
+        engine: Optional[QueryEngine] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
@@ -92,72 +97,53 @@ class BatchSACProcessor:
             )
         if not isinstance(k, int) or k < 1:
             raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+        if engine is not None and engine.graph is not graph:
+            raise InvalidParameterError("engine is bound to a different graph")
         self.graph = graph
         self.k = k
         self.algorithm = algorithm
         self.algorithm_params = dict(algorithm_params or {})
-        self._core_numbers: Optional[np.ndarray] = None
-        self._component_of: Dict[int, int] = {}
-        self._components: List[Set[int]] = []
-
-    # ------------------------------------------------------------ shared work
-    def _ensure_core_numbers(self) -> np.ndarray:
-        if self._core_numbers is None:
-            self._core_numbers = core_numbers(self.graph)
-        return self._core_numbers
-
-    def _component_containing(self, query: int) -> Optional[Set[int]]:
-        """Return (and cache) the k-ĉore component containing ``query``."""
-        cores = self._ensure_core_numbers()
-        if cores[query] < self.k:
-            return None
-        if query in self._component_of:
-            return self._components[self._component_of[query]]
-        members = {int(v) for v in np.nonzero(cores >= self.k)[0]}
-        component = connected_component(self.graph, members, query)
-        index = len(self._components)
-        self._components.append(component)
-        for vertex in component:
-            self._component_of[vertex] = index
-        return component
+        self.engine = engine if engine is not None else QueryEngine(graph)
 
     # ---------------------------------------------------------------- queries
     def eligible_queries(self, queries: Iterable[int]) -> List[int]:
         """Return the subset of ``queries`` that belong to some k-core."""
-        cores = self._ensure_core_numbers()
-        return [int(q) for q in queries if 0 <= int(q) < self.graph.num_vertices and cores[int(q)] >= self.k]
+        cores = self.engine.core_numbers()
+        return [
+            int(q)
+            for q in queries
+            if 0 <= int(q) < self.graph.num_vertices and cores[int(q)] >= self.k
+        ]
 
     def run(self, queries: Sequence[int]) -> BatchResult:
         """Answer every query in ``queries`` and return the batch outcome.
 
-        Queries are grouped by their k-ĉore component so the shared
-        preprocessing (core decomposition, component extraction) is performed
-        once per component rather than once per query.
+        The shared phase warms the engine's per-graph caches (core numbers,
+        k-ĉore component labels); the engine then serves every query's
+        candidate artifacts from its per-component cache, so the shared work
+        is performed once per component rather than once per query.
         """
         start = time.perf_counter()
         batch = BatchResult()
 
         shared_start = time.perf_counter()
-        self._ensure_core_numbers()
-        grouped: Dict[Optional[int], List[int]] = {}
-        for query in queries:
-            query = int(query)
-            component = self._component_containing(query) if 0 <= query < self.graph.num_vertices else None
-            if component is None:
-                batch.failed.append(query)
-                continue
-            grouped.setdefault(self._component_of[query], []).append(query)
+        labels, _ = self.engine.component_labels(self.k)
         batch.shared_preprocessing_seconds = time.perf_counter() - shared_start
 
-        run_algorithm: Callable = ALGORITHMS[self.algorithm]
-        for component_index, component_queries in grouped.items():
-            for query in component_queries:
-                try:
-                    result = run_algorithm(self.graph, query, self.k, **self.algorithm_params)
-                except NoCommunityError:
-                    batch.failed.append(query)
-                    continue
-                batch.results[query] = result
+        for query in queries:
+            query = int(query)
+            in_core = 0 <= query < self.graph.num_vertices and labels[query] >= 0
+            if not in_core:
+                batch.failed.append(query)
+                continue
+            try:
+                result = self.engine.search(
+                    query, self.k, algorithm=self.algorithm, **self.algorithm_params
+                )
+            except NoCommunityError:
+                batch.failed.append(query)
+                continue
+            batch.results[query] = result
 
         batch.elapsed_seconds = time.perf_counter() - start
         return batch

@@ -5,6 +5,13 @@ query circle ``O(p, r)`` (AppFast's binary search, AppAcc's anchor probes,
 Exact+'s annular filters).  A uniform grid over the data's bounding box gives
 near output-sensitive circular range queries without any third-party spatial
 library, and supports incremental nearest-neighbour scans used by ``AppInc``.
+
+Storage is array-based: point indices are kept sorted by flattened cell id
+next to a per-cell offset table, so a circular query is one gather over the
+cells of the bounding rectangle plus one vectorised distance filter — no
+Python-level loop over points.  This is the same CSR-style layout the graph
+kernel uses (:attr:`repro.graph.SpatialGraph.csr`), applied to space instead
+of adjacency.
 """
 
 from __future__ import annotations
@@ -53,14 +60,28 @@ class GridIndex:
             # whose separation underflows; a single cell is always correct.
             cell_size = 1.0
         self._cell = float(cell_size)
-        self._cols = max(1, int(math.floor((max_x - self._min_x) / self._cell)) + 1)
-        self._rows = max(1, int(math.floor((max_y - self._min_y) / self._cell)) + 1)
-        self._buckets: dict[tuple[int, int], list[int]] = {}
+        # The offset table is dense (cols * rows + 1 entries), so cap the
+        # cell count relative to the point count: a caller-supplied cell
+        # size far below the data extent would otherwise request an
+        # astronomically large allocation.  Coarsening cells never affects
+        # correctness, only per-query filter cost.
+        max_cells = max(4 * coords.shape[0], 1024)
+        while True:
+            self._cols = max(1, int(math.floor((max_x - self._min_x) / self._cell)) + 1)
+            self._rows = max(1, int(math.floor((max_y - self._min_y) / self._cell)) + 1)
+            if self._cols * self._rows <= max_cells:
+                break
+            self._cell *= 2.0
         cols = np.clip(((coords[:, 0] - self._min_x) / self._cell).astype(np.int64), 0, self._cols - 1)
         rows = np.clip(((coords[:, 1] - self._min_y) / self._cell).astype(np.int64), 0, self._rows - 1)
-        for idx in range(coords.shape[0]):
-            key = (int(cols[idx]), int(rows[idx]))
-            self._buckets.setdefault(key, []).append(idx)
+        cell_ids = cols * self._rows + rows
+        # Points sorted by cell id (stable, so ascending index within a cell)
+        # plus a per-cell offset table: the bucket of cell c is
+        # order[starts[c]:starts[c + 1]].
+        self._order = np.argsort(cell_ids, kind="stable").astype(np.int64)
+        counts = np.bincount(cell_ids, minlength=self._cols * self._rows)
+        self._starts = np.zeros(self._cols * self._rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._starts[1:])
 
     @property
     def cell_size(self) -> float:
@@ -77,47 +98,66 @@ class GridIndex:
         row = int((y - self._min_y) / self._cell)
         return (min(max(col, 0), self._cols - 1), min(max(row, 0), self._rows - 1))
 
-    def query_circle(self, x: float, y: float, radius: float) -> List[int]:
-        """Return indices of all points within distance ``radius`` of ``(x, y)``."""
+    def _bucket(self, col: int, row: int) -> np.ndarray:
+        """Point indices stored in cell ``(col, row)`` (ascending)."""
+        cell = col * self._rows + row
+        return self._order[self._starts[cell] : self._starts[cell + 1]]
+
+    def _points_in_rect(self, col_lo: int, col_hi: int, row_lo: int, row_hi: int) -> np.ndarray:
+        """Concatenated point indices of all cells in the inclusive rectangle."""
+        cols = np.arange(col_lo, col_hi + 1, dtype=np.int64)
+        rows = np.arange(row_lo, row_hi + 1, dtype=np.int64)
+        cells = (cols[:, None] * self._rows + rows[None, :]).ravel()
+        starts = self._starts[cells]
+        counts = self._starts[cells + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        ends = np.cumsum(counts)
+        flat = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
+        return self._order[flat]
+
+    def query_circle_array(self, x: float, y: float, radius: float) -> np.ndarray:
+        """As :meth:`query_circle` but returning an int64 array (hot path)."""
         if radius < 0:
-            return []
+            return np.zeros(0, dtype=np.int64)
         # Clamp both corners of the circle's bounding square into the grid.
         # Clamping (rather than discarding out-of-range cells) keeps boundary
         # cases correct when the query point sits marginally outside the
         # indexed bounding box.
         col_lo, row_lo = self._cell_of(x - radius, y - radius)
         col_hi, row_hi = self._cell_of(x + radius, y + radius)
+        candidates = self._points_in_rect(col_lo, col_hi, row_lo, row_hi)
+        if candidates.size == 0:
+            return candidates
+        dx = self._coords[candidates, 0] - x
+        dy = self._coords[candidates, 1] - y
         limit = radius * radius + 1e-18
-        coords = self._coords
-        result: List[int] = []
-        for col in range(col_lo, col_hi + 1):
-            for row in range(row_lo, row_hi + 1):
-                bucket = self._buckets.get((col, row))
-                if not bucket:
-                    continue
-                for idx in bucket:
-                    dx = coords[idx, 0] - x
-                    dy = coords[idx, 1] - y
-                    if dx * dx + dy * dy <= limit:
-                        result.append(idx)
-        return result
+        return candidates[dx * dx + dy * dy <= limit]
+
+    def query_circle(self, x: float, y: float, radius: float) -> List[int]:
+        """Return indices of all points within distance ``radius`` of ``(x, y)``."""
+        return self.query_circle_array(x, y, radius).tolist()
+
+    def query_annulus_array(
+        self, x: float, y: float, inner_radius: float, outer_radius: float
+    ) -> np.ndarray:
+        """As :meth:`query_annulus` but returning an int64 array (hot path)."""
+        if outer_radius < 0 or outer_radius < inner_radius:
+            return np.zeros(0, dtype=np.int64)
+        candidates = self.query_circle_array(x, y, outer_radius)
+        if candidates.size == 0:
+            return candidates
+        inner_sq = max(0.0, inner_radius) ** 2 - 1e-18
+        dx = self._coords[candidates, 0] - x
+        dy = self._coords[candidates, 1] - y
+        return candidates[dx * dx + dy * dy >= inner_sq]
 
     def query_annulus(
         self, x: float, y: float, inner_radius: float, outer_radius: float
     ) -> List[int]:
         """Return indices of points with ``inner_radius <= dist <= outer_radius``."""
-        if outer_radius < 0 or outer_radius < inner_radius:
-            return []
-        inner_sq = max(0.0, inner_radius) ** 2 - 1e-18
-        candidates = self.query_circle(x, y, outer_radius)
-        coords = self._coords
-        result = []
-        for idx in candidates:
-            dx = coords[idx, 0] - x
-            dy = coords[idx, 1] - y
-            if dx * dx + dy * dy >= inner_sq:
-                result.append(idx)
-        return result
+        return self.query_annulus_array(x, y, inner_radius, outer_radius).tolist()
 
     def nearest(self, x: float, y: float, count: int = 1, exclude: set[int] | None = None) -> List[int]:
         """Return the ``count`` nearest point indices to ``(x, y)``.
@@ -132,33 +172,29 @@ class GridIndex:
         best: list[tuple[float, int]] = []
         center_col, center_row = self._cell_of(x, y)
         max_ring = max(self._cols, self._rows)
-        for ring in range(max_ring + 1):
-            found_any = False
+
+        def _collect(ring: int) -> bool:
+            found = False
             for col, row in self._ring_cells(center_col, center_row, ring):
-                bucket = self._buckets.get((col, row))
-                if not bucket:
+                bucket = self._bucket(col, row)
+                if bucket.size == 0:
                     continue
-                found_any = True
+                found = True
                 for idx in bucket:
+                    idx = int(idx)
                     if idx in exclude:
                         continue
                     dx = coords[idx, 0] - x
                     dy = coords[idx, 1] - y
                     best.append((dx * dx + dy * dy, idx))
+            return found
+
+        for ring in range(max_ring + 1):
+            found_any = _collect(ring)
             if len(best) >= count:
                 # One extra ring guards against a closer point in the next
                 # ring whose cell corner is nearer than found points.
-                extra_ring = ring + 1
-                for col, row in self._ring_cells(center_col, center_row, extra_ring):
-                    bucket = self._buckets.get((col, row))
-                    if not bucket:
-                        continue
-                    for idx in bucket:
-                        if idx in exclude:
-                            continue
-                        dx = coords[idx, 0] - x
-                        dy = coords[idx, 1] - y
-                        best.append((dx * dx + dy * dy, idx))
+                _collect(ring + 1)
                 break
             if ring == max_ring and not found_any and best:
                 break
@@ -195,13 +231,12 @@ class GridIndex:
         """
         coords = self._coords
         if candidates is None:
-            indices = range(coords.shape[0])
+            indices = np.arange(coords.shape[0], dtype=np.int64)
         else:
-            indices = list(candidates)
-        pairs = []
-        for idx in indices:
-            dx = coords[idx, 0] - x
-            dy = coords[idx, 1] - y
-            pairs.append((math.hypot(dx, dy), idx))
+            indices = np.asarray(list(candidates), dtype=np.int64)
+        if indices.size == 0:
+            return []
+        distances = np.hypot(coords[indices, 0] - x, coords[indices, 1] - y)
+        pairs = [(float(d), int(i)) for d, i in zip(distances, indices)]
         pairs.sort()
         return pairs

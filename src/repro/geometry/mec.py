@@ -20,6 +20,8 @@ import math
 import random
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.geometry.circle import Circle
 from repro.geometry.point import Coordinate, Point, _unpack
 
@@ -128,6 +130,24 @@ def minimum_enclosing_circle(
     Circle
         The circle of minimum radius containing every input point.
     """
+    if isinstance(points, np.ndarray):
+        # (n, 2) coordinate matrix: avoid building per-point Python tuples.
+        matrix = points.astype(np.float64, copy=False).reshape(-1, 2)
+        if matrix.shape[0] == 0:
+            raise ValueError("minimum_enclosing_circle() requires at least one point")
+        if matrix.shape[0] > 48:
+            # The MEC of a set equals the MEC of its convex hull, and the
+            # hull of a large community is tiny; reducing first turns the
+            # dominant cost of result packaging into a near-constant one.
+            matrix = matrix[_convex_hull_indices(matrix)]
+        if shuffle_seed is not None and matrix.shape[0] > 3:
+            order = list(range(matrix.shape[0]))
+            random.Random(shuffle_seed).shuffle(order)
+            matrix = matrix[order]
+        if matrix.shape[0] <= 24:
+            return _welzl_scalar([(float(x), float(y)) for x, y in matrix])
+        return _welzl_vectorised(matrix[:, 0].copy(), matrix[:, 1].copy())
+
     coords = [_unpack(point) for point in points]
     if not coords:
         raise ValueError("minimum_enclosing_circle() requires at least one point")
@@ -135,6 +155,123 @@ def minimum_enclosing_circle(
         rng = random.Random(shuffle_seed)
         rng.shuffle(coords)
 
+    if len(coords) <= 24:
+        return _welzl_scalar(coords)
+    xs = np.array([c[0] for c in coords], dtype=np.float64)
+    ys = np.array([c[1] for c in coords], dtype=np.float64)
+    return _welzl_vectorised(xs, ys)
+
+
+def _welzl_vectorised(xs: np.ndarray, ys: np.ndarray) -> Circle:
+    """Welzl's move-to-front scheme with the violation scans vectorised.
+
+    Each level keeps the invariant "every point before the cursor is inside
+    the current circle", so instead of testing points one at a time we jump
+    the cursor straight to the first violator with one whole-array comparison
+    (the exact squared-distance test Circle.contains performs).  For small
+    inputs the scalar loop is cheaper; both make identical decisions.
+    """
+
+    def _first_outside(lo: int, hi: int, circle: Circle) -> int:
+        """Index of the first point in ``[lo, hi)`` outside ``circle``, or ``hi``."""
+        if lo >= hi:
+            return hi
+        limit = circle.radius + _EPSILON * max(1.0, circle.radius)
+        dx = xs[lo:hi] - circle.center.x
+        dy = ys[lo:hi] - circle.center.y
+        outside = np.flatnonzero(dx * dx + dy * dy > limit * limit)
+        return hi if outside.size == 0 else lo + int(outside[0])
+
+    def _point(index: int) -> tuple[float, float]:
+        return (float(xs[index]), float(ys[index]))
+
+    n = xs.shape[0]
+    circle = Circle(Point(*_point(0)), 0.0)
+    i = _first_outside(0, n, circle)
+    while i < n:
+        # p must be on the boundary of the MEC of the first i + 1 points.
+        p = _point(i)
+        circle = Circle(Point(*p), 0.0)
+        j = _first_outside(0, i, circle)
+        while j < i:
+            # p and q are both on the boundary.
+            q = _point(j)
+            circle = circle_from_two_points(p, q)
+            h = _first_outside(0, j, circle)
+            while h < j:
+                circle = circle_from_three_points(p, q, _point(h))
+                h = _first_outside(h + 1, j, circle)
+            j = _first_outside(j + 1, i, circle)
+        i = _first_outside(i + 1, n, circle)
+    return circle
+
+
+def _akl_toussaint_keep(matrix: np.ndarray) -> np.ndarray:
+    """Bool mask of points that may lie on the convex hull (octagon filter).
+
+    The extreme points in eight fixed directions form a convex octagon; any
+    point strictly inside it cannot be a hull vertex, and the test for the
+    whole set is a handful of vectorised half-plane comparisons.
+    """
+    xs, ys = matrix[:, 0], matrix[:, 1]
+    scores = (xs, xs + ys, ys, ys - xs, -xs, -xs - ys, -ys, xs - ys)
+    corner_rows = []
+    for score in scores:  # extreme point per direction, CCW angular order
+        row = int(np.argmax(score))
+        if not corner_rows or row != corner_rows[-1]:
+            corner_rows.append(row)
+    if corner_rows[0] == corner_rows[-1] and len(corner_rows) > 1:
+        corner_rows.pop()
+    if len(corner_rows) < 3:
+        return np.ones(matrix.shape[0], dtype=bool)
+    corners = matrix[corner_rows]
+    strictly_inside = np.ones(matrix.shape[0], dtype=bool)
+    for a, b in zip(corners, np.roll(corners, -1, axis=0)):
+        cross = (b[0] - a[0]) * (ys - a[1]) - (b[1] - a[1]) * (xs - a[0])
+        strictly_inside &= cross > 0.0
+    return ~strictly_inside
+
+
+def _convex_hull_indices(matrix: np.ndarray) -> np.ndarray:
+    """Row indices of the convex hull of an ``(n, 2)`` matrix (monotone chain).
+
+    An Akl–Toussaint octagon prefilter discards the bulk of interior points
+    with whole-array operations before the sequential chain construction.
+    Collinear boundary points are dropped (they can never be MEC fixed
+    vertices when their segment endpoints are present).  Degenerate inputs
+    (all points collinear or identical) yield the extreme pair/point, whose
+    MEC is still the correct answer for the whole set.
+    """
+    survivors = np.flatnonzero(_akl_toussaint_keep(matrix))
+    matrix = matrix[survivors]
+    order = np.lexsort((matrix[:, 1], matrix[:, 0]))
+    xs = matrix[order, 0]
+    ys = matrix[order, 1]
+    n = order.size
+
+    def _half(indices: range) -> list[int]:
+        chain: list[int] = []
+        for i in indices:
+            x, y = xs[i], ys[i]
+            while len(chain) >= 2:
+                ax, ay = xs[chain[-2]], ys[chain[-2]]
+                bx, by = xs[chain[-1]], ys[chain[-1]]
+                if (bx - ax) * (y - ay) - (by - ay) * (x - ax) > 0.0:
+                    break
+                chain.pop()
+            chain.append(i)
+        return chain
+
+    lower = _half(range(n))
+    upper = _half(range(n - 1, -1, -1))
+    hull = lower[:-1] + upper[:-1]
+    if not hull:  # single point (or all identical)
+        hull = [0]
+    return survivors[order[np.asarray(hull, dtype=np.int64)]]
+
+
+def _welzl_scalar(coords: Sequence[Coordinate]) -> Circle:
+    """Scalar move-to-front Welzl used for small inputs (same decisions)."""
     circle = Circle(Point(*coords[0]), 0.0)
     for i, p in enumerate(coords):
         if circle.contains(p, tolerance=_EPSILON * max(1.0, circle.radius)):

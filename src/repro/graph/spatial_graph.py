@@ -81,6 +81,7 @@ class SpatialGraph:
             [neighbors.shape[0] for neighbors in self._adjacency], dtype=np.int64
         )
         self._edge_count = int(self._degrees.sum()) // 2
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._grid: Optional[GridIndex] = None
         if build_index:
             _ = self.grid
@@ -137,6 +138,26 @@ class SpatialGraph:
     def degrees(self) -> np.ndarray:
         """Degrees of all vertices as an ``(n,)`` array."""
         return self._degrees
+
+    @property
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Compressed sparse row adjacency as ``(indptr, indices)`` int64 arrays.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` are the (sorted) neighbours of
+        vertex ``v``.  Built lazily on first use and cached for the lifetime
+        of the graph; the arrays back every hot loop in :mod:`repro.kcore`
+        and must not be mutated.
+        """
+        if self._csr is None:
+            n = self.num_vertices
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(self._degrees, out=indptr[1:])
+            if self._edge_count:
+                indices = np.concatenate(self._adjacency).astype(np.int64, copy=False)
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+            self._csr = (indptr, indices)
+        return self._csr
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` if the undirected edge ``{u, v}`` exists."""
@@ -198,7 +219,9 @@ class SpatialGraph:
                 raise VertexNotFoundError(vertex)
             coords[vertex, 0] = float(x)
             coords[vertex, 1] = float(y)
-        return SpatialGraph(self._adjacency, coords, self._labels)
+        moved = SpatialGraph(self._adjacency, coords, self._labels)
+        moved._csr = self._csr  # adjacency is shared, so the CSR view is too
+        return moved
 
     # ------------------------------------------------------------- subgraphs
     def induced_subgraph(self, vertices: Iterable[int]) -> "SpatialGraph":

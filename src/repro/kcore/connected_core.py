@@ -1,4 +1,4 @@
-"""Connected k-core (k-ĉore) extraction.
+"""Connected k-core (k-ĉore) extraction over the CSR adjacency.
 
 A k-core may be disconnected; its connected components are the *k-ĉores*.
 The communities returned by ``Global`` and used as feasible solutions inside
@@ -9,19 +9,116 @@ primitive here is therefore:
     subgraph induced by ``S`` contain a connected subgraph including ``q``
     whose minimum internal degree is at least ``k``?  If so, return it.
 
-This is answered by iterative peeling of ``G[S]`` (drop vertices with degree
-below ``k`` until a fixed point) followed by a BFS from ``q`` restricted to
-the surviving vertices.
+This feasibility probe is answered by round-based peeling of ``G[S]`` (drop
+every vertex whose induced degree fell below ``k``, repair neighbour degrees
+with one ``bincount``, repeat to a fixed point) followed by a frontier BFS
+from ``q`` restricted to the survivors.  Both phases work on boolean masks
+and the graph's cached ``(indptr, indices)`` CSR arrays, so a probe costs a
+handful of numpy calls rather than a Python loop per vertex — the hot-path
+contract the SAC algorithms and :class:`~repro.engine.QueryEngine` rely on.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterable, Optional, Set
 
-from repro.exceptions import InvalidParameterError
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, VertexNotFoundError
 from repro.graph.spatial_graph import SpatialGraph
-from repro.kcore.decomposition import core_numbers
+from repro.kcore.decomposition import core_numbers, gather_neighbors
+
+
+def _subset_array(graph: SpatialGraph, subset: Iterable[int]) -> np.ndarray:
+    """Normalise ``subset`` into a sorted, unique, bounds-checked int64 array."""
+    if isinstance(subset, np.ndarray):
+        members = np.unique(subset.astype(np.int64, copy=False))
+    else:
+        members = np.unique(np.fromiter((int(v) for v in subset), dtype=np.int64))
+    if members.size and (members[0] < 0 or members[-1] >= graph.num_vertices):
+        bad = members[0] if members[0] < 0 else members[-1]
+        raise VertexNotFoundError(int(bad))
+    return members
+
+
+def csr_peel_mask(
+    indptr: np.ndarray, indices: np.ndarray, num_vertices: int, members: np.ndarray, k: int
+) -> np.ndarray:
+    """Peel the subgraph induced by ``members`` to its k-core over a CSR graph.
+
+    ``members`` must be a unique int64 array of vertex ids valid for the CSR
+    arrays.  Returns the surviving ``(num_vertices,)`` bool mask.
+    """
+    alive = np.zeros(num_vertices, dtype=bool)
+    alive[members] = True
+    if k <= 0 or members.size == 0:
+        return alive
+
+    neighbors = gather_neighbors(indptr, indices, members)
+    owners = np.repeat(members, indptr[members + 1] - indptr[members])
+    deg = np.bincount(owners[alive[neighbors]], minlength=num_vertices)
+
+    peel = members[deg[members] < k]
+    pending = np.zeros(num_vertices, dtype=bool)  # dedup scratch
+    while peel.size:
+        alive[peel] = False
+        touched = gather_neighbors(indptr, indices, peel)
+        touched = touched[alive[touched]]
+        if touched.size == 0:
+            break
+        deg -= np.bincount(touched, minlength=num_vertices)
+        pending[touched[deg[touched] < k]] = True
+        peel = np.flatnonzero(pending)
+        pending[peel] = False
+    return alive
+
+
+def csr_component_mask(
+    indptr: np.ndarray, indices: np.ndarray, allowed: np.ndarray, source: int
+) -> np.ndarray:
+    """Frontier BFS from ``source`` restricted to the ``allowed`` bool mask.
+
+    Returns the bool mask of the connected component of ``source`` inside the
+    subgraph induced by ``allowed``; ``allowed[source]`` must be true.
+    """
+    seen = np.zeros(allowed.shape[0], dtype=bool)
+    seen[source] = True
+    pending = np.zeros_like(seen)  # dedup scratch
+    frontier = np.array([source], dtype=np.int64)
+    while frontier.size:
+        reached = gather_neighbors(indptr, indices, frontier)
+        reached = reached[allowed[reached] & ~seen[reached]]
+        if reached.size == 0:
+            break
+        pending[reached] = True
+        frontier = np.flatnonzero(pending)
+        pending[frontier] = False
+        seen[frontier] = True
+    return seen
+
+
+def subset_core_mask(graph: SpatialGraph, members: np.ndarray, k: int) -> np.ndarray:
+    """Peel ``G[members]`` to its k-core; return the surviving ``(n,)`` bool mask.
+
+    ``members`` must be a unique, in-bounds int64 array (see
+    :func:`_subset_array`).
+    """
+    indptr, indices = graph.csr
+    return csr_peel_mask(indptr, indices, graph.num_vertices, members, k)
+
+
+def component_mask(graph: SpatialGraph, allowed: np.ndarray, source: int) -> np.ndarray:
+    """Frontier BFS from ``source`` restricted to the ``allowed`` bool mask.
+
+    Returns the ``(n,)`` bool mask of the connected component of ``source``
+    inside ``G[allowed]``; ``allowed[source]`` must be true.
+    """
+    indptr, indices = graph.csr
+    return csr_component_mask(indptr, indices, allowed, source)
+
+
+def _mask_to_set(mask: np.ndarray) -> Set[int]:
+    return {int(v) for v in np.flatnonzero(mask)}
 
 
 def k_core_of_subset(graph: SpatialGraph, subset: Iterable[int], k: int) -> Set[int]:
@@ -32,45 +129,37 @@ def k_core_of_subset(graph: SpatialGraph, subset: Iterable[int], k: int) -> Set[
     """
     if k < 0:
         raise InvalidParameterError(f"k must be non-negative, got {k}")
-    alive = set(int(v) for v in subset)
-    if not alive:
+    members = _subset_array(graph, subset)
+    if members.size == 0:
         return set()
-
-    degree: Dict[int, int] = {}
-    for v in alive:
-        degree[v] = sum(1 for w in graph.neighbors(v) if int(w) in alive)
-
-    queue = deque(v for v, d in degree.items() if d < k)
-    removed: Set[int] = set()
-    while queue:
-        v = queue.popleft()
-        if v in removed or v not in alive:
-            continue
-        removed.add(v)
-        alive.discard(v)
-        for w in graph.neighbors(v):
-            w = int(w)
-            if w in alive and w not in removed:
-                degree[w] -= 1
-                if degree[w] < k:
-                    queue.append(w)
-    return alive
+    return _mask_to_set(subset_core_mask(graph, members, k))
 
 
 def connected_component(graph: SpatialGraph, vertices: Set[int], source: int) -> Set[int]:
     """Return the connected component of ``source`` inside the vertex set ``vertices``."""
     if source not in vertices:
         return set()
-    seen = {source}
-    queue = deque([source])
-    while queue:
-        v = queue.popleft()
-        for w in graph.neighbors(v):
-            w = int(w)
-            if w in vertices and w not in seen:
-                seen.add(w)
-                queue.append(w)
-    return seen
+    allowed = np.zeros(graph.num_vertices, dtype=bool)
+    allowed[_subset_array(graph, vertices)] = True
+    return _mask_to_set(component_mask(graph, allowed, int(source)))
+
+
+def connected_k_core_members(
+    graph: SpatialGraph, members: np.ndarray, query: int, k: int
+) -> Optional[np.ndarray]:
+    """Array-native feasibility probe: k-ĉore of ``query`` in ``G[members]``.
+
+    ``members`` must be a unique, in-bounds int64 array (order irrelevant).
+    Returns the surviving component as a sorted int64 array, or ``None``.
+    This is the hot-path variant of :func:`connected_k_core_in_subset` used
+    by the probe loops, which never materialise Python sets.
+    """
+    if members.size == 0 or not 0 <= query < graph.num_vertices:
+        return None
+    core = subset_core_mask(graph, members, k)
+    if not core[query]:
+        return None
+    return np.flatnonzero(component_mask(graph, core, query))
 
 
 def connected_k_core_in_subset(
@@ -84,11 +173,10 @@ def connected_k_core_in_subset(
     minimum degree ≥ k because peeling never separates a vertex from its
     ≥ k surviving neighbours.
     """
-    core = k_core_of_subset(graph, subset, k)
-    if query not in core:
+    members = connected_k_core_members(graph, _subset_array(graph, subset), query, k)
+    if members is None:
         return None
-    component = connected_component(graph, core, query)
-    return component if component else None
+    return {int(v) for v in members}
 
 
 def connected_k_core(graph: SpatialGraph, query: int, k: int) -> Optional[Set[int]]:
@@ -105,8 +193,7 @@ def connected_k_core(graph: SpatialGraph, query: int, k: int) -> Optional[Set[in
     cores = core_numbers(graph)
     if cores[query] < k:
         return None
-    members = {int(v) for v in range(graph.num_vertices) if cores[v] >= k}
-    return connected_component(graph, members, query)
+    return _mask_to_set(component_mask(graph, cores >= k, query))
 
 
 def minimum_internal_degree(graph: SpatialGraph, vertices: Set[int]) -> int:
@@ -116,17 +203,22 @@ def minimum_internal_degree(graph: SpatialGraph, vertices: Set[int]) -> int:
     """
     if len(vertices) <= 1:
         return 0
-    best = None
-    for v in vertices:
-        degree = sum(1 for w in graph.neighbors(v) if int(w) in vertices)
-        if best is None or degree < best:
-            best = degree
-    return int(best or 0)
+    members = _subset_array(graph, vertices)
+    mask = np.zeros(graph.num_vertices, dtype=bool)
+    mask[members] = True
+    indptr, indices = graph.csr
+    neighbors = gather_neighbors(indptr, indices, members)
+    owners = np.repeat(members, indptr[members + 1] - indptr[members])
+    deg = np.bincount(owners[mask[neighbors]], minlength=graph.num_vertices)
+    return int(deg[members].min())
 
 
 def is_connected(graph: SpatialGraph, vertices: Set[int]) -> bool:
     """Return ``True`` if the induced subgraph on ``vertices`` is connected (and non-empty)."""
     if not vertices:
         return False
-    start = next(iter(vertices))
-    return connected_component(graph, set(vertices), start) == set(vertices)
+    members = _subset_array(graph, vertices)
+    allowed = np.zeros(graph.num_vertices, dtype=bool)
+    allowed[members] = True
+    component = component_mask(graph, allowed, int(members[0]))
+    return bool(component[members].all())

@@ -81,7 +81,7 @@ class TestAppAccEdgeCases:
 
     def test_colocated_vertices_zero_radius(self):
         """All community members at the same point: radius 0 is optimal."""
-        from conftest import build_graph
+        from repro.testing import build_graph
 
         locations = {0: (0.5, 0.5), 1: (0.5, 0.5), 2: (0.5, 0.5), 3: (0.9, 0.9)}
         edges = [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)]

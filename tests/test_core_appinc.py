@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import brute_force_optimal_radius
+from repro.testing import brute_force_optimal_radius
 from repro.core.appinc import app_inc
 from repro.core.exact import exact
 from repro.exceptions import NoCommunityError

@@ -18,7 +18,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from conftest import brute_force_optimal_radius
+from repro.testing import brute_force_optimal_radius
 from repro.core.appacc import app_acc
 from repro.core.appfast import app_fast
 from repro.core.appinc import app_inc

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import brute_force_optimal_radius
+from repro.testing import brute_force_optimal_radius
 from repro.core.exact import exact
 from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
 from repro.metrics.structural import minimum_degree

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import brute_force_optimal_radius
+from repro.testing import brute_force_optimal_radius
 from repro.core.exact import exact
 from repro.core.exact_plus import exact_plus
 from repro.exceptions import InvalidParameterError, NoCommunityError
@@ -75,7 +75,7 @@ class TestExactPlusEdgeCases:
             exact_plus(star_graph, 0, 2)
 
     def test_colocated_vertices(self):
-        from conftest import build_graph
+        from repro.testing import build_graph
 
         locations = {0: (0.5, 0.5), 1: (0.5, 0.5), 2: (0.5, 0.5), 3: (0.9, 0.9)}
         edges = [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)]

@@ -1,0 +1,161 @@
+"""Unit tests for the CSR adjacency and the array-based k-core peeling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import powerlaw_spatial_graph
+from repro.exceptions import InvalidParameterError, VertexNotFoundError
+from repro.graph.spatial_graph import SpatialGraph
+from repro.kcore.connected_core import (
+    connected_component,
+    connected_k_core,
+    connected_k_core_in_subset,
+    k_core_of_subset,
+)
+from repro.kcore.decomposition import core_numbers, gather_neighbors
+from repro.testing import build_graph
+
+
+def _reference_core_numbers(graph: SpatialGraph) -> np.ndarray:
+    """Naive dict/set peeling used as ground truth for the array kernel."""
+    cores = np.zeros(graph.num_vertices, dtype=np.int64)
+    max_degree = max((graph.degree(v) for v in graph.vertices()), default=0)
+    for k in range(1, max_degree + 2):
+        alive = set(graph.vertices())
+        changed = True
+        while changed:
+            changed = False
+            for v in list(alive):
+                if sum(1 for w in graph.neighbors(v) if int(w) in alive) < k:
+                    alive.discard(v)
+                    changed = True
+        for v in alive:
+            cores[v] = k
+    return cores
+
+
+class TestCSRAdjacency:
+    def test_matches_adjacency_lists(self, two_triangle_graph):
+        indptr, indices = two_triangle_graph.csr
+        assert indptr.dtype == np.int64 and indices.dtype == np.int64
+        assert indptr.shape == (two_triangle_graph.num_vertices + 1,)
+        assert indices.shape == (2 * two_triangle_graph.num_edges,)
+        for v in two_triangle_graph.vertices():
+            np.testing.assert_array_equal(
+                indices[indptr[v] : indptr[v + 1]], two_triangle_graph.neighbors(v)
+            )
+
+    def test_cached_across_calls(self, two_triangle_graph):
+        first = two_triangle_graph.csr
+        second = two_triangle_graph.csr
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_shared_after_location_update(self, two_triangle_graph):
+        _ = two_triangle_graph.csr
+        moved = two_triangle_graph.with_updated_locations({0: (9.0, 9.0)})
+        assert moved.csr[0] is two_triangle_graph.csr[0]
+        assert moved.position(0) == (9.0, 9.0)
+
+    def test_edgeless_graph(self):
+        graph = build_graph({0: (0.0, 0.0), 1: (1.0, 1.0)}, [])
+        indptr, indices = graph.csr
+        np.testing.assert_array_equal(indptr, [0, 0, 0])
+        assert indices.size == 0
+
+    def test_gather_neighbors_concatenates_slices(self, two_triangle_graph):
+        indptr, indices = two_triangle_graph.csr
+        got = gather_neighbors(indptr, indices, np.array([0, 5], dtype=np.int64))
+        expected = np.concatenate(
+            [two_triangle_graph.neighbors(0), two_triangle_graph.neighbors(5)]
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_gather_neighbors_empty(self, two_triangle_graph):
+        indptr, indices = two_triangle_graph.csr
+        assert gather_neighbors(indptr, indices, np.zeros(0, dtype=np.int64)).size == 0
+
+
+class TestArrayCoreNumbers:
+    def test_matches_reference_on_fixtures(
+        self, two_triangle_graph, clique_grid_graph, disconnected_graph, star_graph
+    ):
+        for graph in (two_triangle_graph, clique_grid_graph, disconnected_graph, star_graph):
+            np.testing.assert_array_equal(core_numbers(graph), _reference_core_numbers(graph))
+
+    def test_matches_reference_on_random_graphs(self):
+        for seed in (1, 2, 3):
+            graph = powerlaw_spatial_graph(200, average_degree=6.0, seed=seed)
+            np.testing.assert_array_equal(core_numbers(graph), _reference_core_numbers(graph))
+
+    def test_empty_graph(self):
+        graph = SpatialGraph([], np.zeros((0, 2)))
+        assert core_numbers(graph).shape == (0,)
+
+    def test_isolated_vertices(self):
+        graph = build_graph({0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)}, [(0, 1)])
+        np.testing.assert_array_equal(core_numbers(graph), [1, 1, 0])
+
+
+class TestSubsetPeeling:
+    def test_empty_subset(self, two_triangle_graph):
+        assert k_core_of_subset(two_triangle_graph, [], 2) == set()
+
+    def test_k_zero_keeps_subset(self, two_triangle_graph):
+        assert k_core_of_subset(two_triangle_graph, [0, 1, 6], 0) == {0, 1, 6}
+
+    def test_duplicates_are_deduplicated(self, two_triangle_graph):
+        assert k_core_of_subset(two_triangle_graph, [0, 0, 1, 1, 2], 2) == {0, 1, 2}
+
+    def test_disconnected_core_is_returned_whole(self, disconnected_graph):
+        # Both triangles survive 2-core peeling even though they are disjoint.
+        result = k_core_of_subset(disconnected_graph, range(6), 2)
+        assert result == {0, 1, 2, 3, 4, 5}
+
+    def test_peeling_cascades(self, two_triangle_graph):
+        # Vertex 6 (degree 1) falls first, then 5 loses its third neighbour
+        # but keeps degree 2 via {3, 4}.
+        assert k_core_of_subset(two_triangle_graph, range(7), 2) == {0, 1, 2, 3, 4, 5}
+        assert k_core_of_subset(two_triangle_graph, range(7), 3) == set()
+
+    def test_out_of_range_subset_rejected(self, two_triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            k_core_of_subset(two_triangle_graph, [0, 99], 2)
+
+    def test_negative_k_rejected(self, two_triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            k_core_of_subset(two_triangle_graph, [0, 1], -1)
+
+
+class TestConnectedKCoreInSubset:
+    def test_query_outside_subset(self, two_triangle_graph):
+        assert connected_k_core_in_subset(two_triangle_graph, [1, 2], 0, 1) is None
+
+    def test_query_out_of_range(self, two_triangle_graph):
+        assert connected_k_core_in_subset(two_triangle_graph, [0, 1, 2], 99, 2) is None
+
+    def test_empty_subset(self, two_triangle_graph):
+        assert connected_k_core_in_subset(two_triangle_graph, [], 0, 2) is None
+
+    def test_returns_only_query_component(self, disconnected_graph):
+        result = connected_k_core_in_subset(disconnected_graph, range(6), 0, 2)
+        assert result == {0, 1, 2}
+
+    def test_empty_core(self, star_graph):
+        assert connected_k_core_in_subset(star_graph, range(8), 0, 2) is None
+
+    def test_matches_whole_graph_extraction(self, two_triangle_graph):
+        subset = list(two_triangle_graph.vertices())
+        assert connected_k_core_in_subset(
+            two_triangle_graph, subset, 0, 2
+        ) == connected_k_core(two_triangle_graph, 0, 2)
+
+
+class TestConnectedComponent:
+    def test_source_not_in_set(self, disconnected_graph):
+        assert connected_component(disconnected_graph, {1, 2}, 0) == set()
+
+    def test_restricted_bfs(self, two_triangle_graph):
+        # Without vertex 0 the two triangles are separate components.
+        vertices = {1, 2, 3, 4, 5}
+        assert connected_component(two_triangle_graph, vertices, 1) == {1, 2}
+        assert connected_component(two_triangle_graph, vertices, 3) == {3, 4, 5}

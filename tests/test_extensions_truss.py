@@ -4,7 +4,7 @@ from itertools import combinations
 
 import pytest
 
-from conftest import build_graph
+from repro.testing import build_graph
 from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
 from repro.extensions.truss import (
     connected_k_truss,
