@@ -58,6 +58,7 @@ def _dict_based_k_core(adjacency, subset, query, k):
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_grid_vs_linear_scan(benchmark, datasets):
+    """Time grid-index circular range queries against a linear coordinate scan."""
     graph = datasets["foursquare"]
     coords = graph.coordinates
     grid = GridIndex(coords)
@@ -93,6 +94,7 @@ def test_ablation_grid_vs_linear_scan(benchmark, datasets):
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_feasibility_probe(benchmark, datasets):
+    """Time the CSR mask-peeling probe against a set-based reimplementation."""
     graph = datasets["brightkite"]
     adjacency = [set(int(w) for w in graph.neighbors(v)) for v in range(graph.num_vertices)]
     rng = np.random.default_rng(5)

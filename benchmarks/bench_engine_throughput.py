@@ -119,6 +119,7 @@ def run_benchmark(
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="small CI smoke workload (~15 s)"

@@ -46,6 +46,7 @@ def _actual_ratios(graph, optimal_radii, run_algorithm):
 
 @pytest.mark.benchmark(group="fig09")
 def test_fig09a_appfast_ratio(benchmark, datasets, workloads):
+    """Figure 9(a): AppFast approximation ratio as epsilon_f varies."""
     def run():
         rows = []
         for name in QUALITY_DATASETS:
@@ -83,6 +84,7 @@ def test_fig09a_appfast_ratio(benchmark, datasets, workloads):
 
 @pytest.mark.benchmark(group="fig09")
 def test_fig09b_appacc_ratio(benchmark, datasets, workloads):
+    """Figure 9(b): AppAcc approximation ratio as epsilon_a varies."""
     def run():
         rows = []
         for name in QUALITY_DATASETS:

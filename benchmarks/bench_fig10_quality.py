@@ -48,6 +48,7 @@ def _evaluate(graph, queries, method):
 
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_quality_comparison(benchmark, datasets, workloads):
+    """Figure 10: community quality (radius, distPr) of SAC vs the baselines."""
     def run():
         rows = []
         for name in QUALITY_DATASETS:

@@ -35,6 +35,7 @@ THETA_VALUES = tuple(DEFAULT_SWEEPS["theta"].values) + (1e-1, 2.0)
 
 @pytest.mark.benchmark(group="fig11")
 def test_fig11a_percentage_of_nonempty_queries(benchmark, datasets, workloads):
+    """Figure 11(a): fraction of theta-SAC queries that find a community."""
     def run():
         rows = []
         for name in QUALITY_DATASETS:
@@ -70,6 +71,7 @@ def test_fig11a_percentage_of_nonempty_queries(benchmark, datasets, workloads):
 
 @pytest.mark.benchmark(group="fig11")
 def test_fig11b_radius_of_theta_sac_vs_exact_plus(benchmark, datasets, workloads):
+    """Figure 11(b): theta-SAC radius against the unconstrained Exact+ radius."""
     def run():
         rows = []
         for name in QUALITY_DATASETS:
@@ -119,6 +121,7 @@ def test_fig11b_radius_of_theta_sac_vs_exact_plus(benchmark, datasets, workloads
 
 @pytest.mark.benchmark(group="fig11")
 def test_fig11_extra_radius_only_average_degree(benchmark, datasets, workloads):
+    """Strawman check: average internal degree of radius-only "communities"."""
     def run():
         rows = []
         for name in QUALITY_DATASETS:

@@ -24,6 +24,7 @@ ETA_DAYS = (0.25, 0.5, 1.0, 3.0, 5.0, 7.0, 10.0, 15.0)
 
 @pytest.mark.benchmark(group="fig13")
 def test_fig13_dynamic_overlap(benchmark, datasets):
+    """Figure 13: CJS/CAO overlap of tracked communities vs time gap eta."""
     def run():
         graph = datasets["brightkite"]
         generator = CheckinGenerator(

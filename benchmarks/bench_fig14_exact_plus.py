@@ -34,6 +34,7 @@ K_DEFAULT = 4
 
 @pytest.mark.benchmark(group="fig14")
 def test_fig14_exact_plus_epsilon_sweep(benchmark, datasets, workloads):
+    """Figure 14: Exact+ running time and ratio as epsilon_a sweeps."""
     def run():
         rows = []
         for name in ("brightkite", "gowalla"):

@@ -16,6 +16,7 @@ from repro.graph.stats import summarize
 
 @pytest.mark.benchmark(group="table4")
 def test_table4_dataset_statistics(benchmark, datasets):
+    """Table 4: vertex/edge counts and degree statistics of every dataset."""
     def build_table():
         rows = []
         for name, graph in datasets.items():

@@ -27,6 +27,9 @@ Public surface
 * :class:`repro.QueryEngine` — shared-preprocessing engine serving many
   queries over one graph (cached core decomposition, k-ĉore components,
   per-component spatial indexes).
+* :class:`repro.IncrementalEngine` — the dynamic variant: applies check-ins
+  and edge updates to its bound graph in place and repairs the caches
+  incrementally instead of rebuilding them.
 * :class:`repro.BatchSACProcessor` — engine-backed batch query processing.
 * :mod:`repro.core` — ``exact``, ``exact_plus``, ``app_inc``, ``app_fast``,
   ``app_acc``, ``theta_sac``.
@@ -50,7 +53,7 @@ from repro.core import (
     exact_plus,
     theta_sac,
 )
-from repro.engine import EngineStats, QueryEngine
+from repro.engine import EngineStats, IncrementalEngine, QueryEngine
 from repro.extensions.batch import BatchResult, BatchSACProcessor
 from repro.exceptions import (
     DatasetError,
@@ -62,7 +65,7 @@ from repro.exceptions import (
 )
 from repro.graph import GraphBuilder, SpatialGraph
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -71,6 +74,7 @@ __all__ = [
     "SACSearcher",
     "SACResult",
     "QueryEngine",
+    "IncrementalEngine",
     "EngineStats",
     "BatchSACProcessor",
     "BatchResult",

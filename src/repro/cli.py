@@ -16,6 +16,13 @@ Three subcommands cover the common workflows of a downstream user:
     batch processor, sharing the per-graph preprocessing, and print a
     throughput summary.
 
+``track``
+    Replay a check-in stream (from a file, or synthesised on the fly) and
+    re-run SAC search for tracked users at each of their check-ins — the
+    paper's dynamic scenario (Figure 13).  Served through the
+    :class:`repro.engine.IncrementalEngine` unless ``--no-incremental`` is
+    given, in which case every tracked check-in rebuilds all per-graph state.
+
 ``stats``
     Print the Table-4 style summary of a graph file.
 
@@ -26,7 +33,10 @@ Examples
     python -m repro.cli generate --kind geosocial --vertices 5000 --out graph.npz
     python -m repro.cli query graph.npz --vertex 42 --k 4 --algorithm exact+
     python -m repro.cli batch graph.npz --count 64 --k 4 --algorithm appfast
+    python -m repro.cli track graph.npz --track-count 8 --k 4
     python -m repro.cli stats graph.npz
+
+See ``docs/cli.md`` for the full manual.
 """
 
 from __future__ import annotations
@@ -92,6 +102,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--epsilon-f", type=float, default=0.5, help="AppFast slack")
     batch.add_argument("--epsilon-a", type=float, default=0.5, help="AppAcc / Exact+ accuracy")
+
+    track = subparsers.add_parser(
+        "track", help="replay a check-in stream and track users' communities"
+    )
+    track.add_argument("graph", help="graph .npz file produced by `generate`")
+    track.add_argument(
+        "--checkins",
+        help="check-in file (`user timestamp x y` per line); synthesised when omitted",
+    )
+    track.add_argument(
+        "--users",
+        help="comma-separated labels of users to track (default: the --track-count most mobile)",
+    )
+    track.add_argument(
+        "--track-count", type=int, default=8, help="number of most-mobile users to track"
+    )
+    track.add_argument(
+        "--min-friends", type=int, default=8, help="degree floor for auto-selected users"
+    )
+    track.add_argument("--k", type=int, default=4, help="minimum degree threshold")
+    track.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="appfast", help="SAC algorithm"
+    )
+    track.add_argument("--epsilon-f", type=float, default=0.5, help="AppFast slack")
+    track.add_argument("--epsilon-a", type=float, default=0.5, help="AppAcc / Exact+ accuracy")
+    track.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="rebuild all per-graph state at every tracked check-in instead of "
+        "repairing one incremental engine in place",
+    )
+    track.add_argument(
+        "--generate-users",
+        type=int,
+        default=500,
+        help="users emitting synthetic check-ins when no --checkins file is given",
+    )
+    track.add_argument(
+        "--checkins-per-user", type=int, default=8, help="synthetic check-ins per user"
+    )
+    track.add_argument(
+        "--duration-days", type=float, default=40.0, help="synthetic stream duration"
+    )
+    track.add_argument("--seed", type=int, default=13, help="synthetic stream seed")
 
     stats = subparsers.add_parser("stats", help="print summary statistics of a graph file")
     stats.add_argument("graph", help="graph .npz file")
@@ -185,6 +239,90 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0 if batch.answered else 1
 
 
+def _command_track(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.datasets.geosocial import CheckinGenerator, TravelProfile
+    from repro.dynamic.evaluation import select_mobile_queries
+    from repro.dynamic.stream import LocationStream
+    from repro.dynamic.tracker import SACTracker
+    from repro.graph.io import Checkin, read_checkins
+
+    graph = load_graph_npz(args.graph)
+    generator = CheckinGenerator(graph, TravelProfile(), seed=args.seed)
+    if args.checkins:
+        # Check-in files identify users by their graph label (like every
+        # other CLI surface); the stream machinery addresses vertices by
+        # internal index, so translate here.  Unknown labels exit 2.
+        checkins = [
+            Checkin(
+                user=graph.index_of(record.user),
+                timestamp=record.timestamp,
+                x=record.x,
+                y=record.y,
+            )
+            for record in read_checkins(args.checkins)
+        ]
+    else:
+        emitters = list(range(min(graph.num_vertices, args.generate_users)))
+        checkins = generator.generate(
+            emitters,
+            checkins_per_user=args.checkins_per_user,
+            duration_days=args.duration_days,
+        )
+    if not checkins:
+        raise InvalidParameterError("the check-in stream is empty")
+
+    if args.users:
+        labels = dict.fromkeys(_parse_label(part) for part in args.users.split(","))
+        tracked = [graph.index_of(label) for label in labels]
+    else:
+        travel = generator.total_travel_distance(checkins)
+        tracked = select_mobile_queries(
+            graph, checkins, travel, count=args.track_count, min_friends=args.min_friends
+        )
+        if not tracked:
+            raise InvalidParameterError(
+                f"no check-in users with at least {args.min_friends} friends; "
+                "lower --min-friends or pass --users"
+            )
+
+    tracker = SACTracker(
+        LocationStream(graph, checkins),
+        args.k,
+        algorithm=args.algorithm,
+        algorithm_params=_algorithm_params(args),
+        incremental=not args.no_incremental,
+    )
+    start = time.perf_counter()
+    timelines = tracker.track(tracked)
+    elapsed = time.perf_counter() - start
+
+    total_queries = sum(len(snapshots) for snapshots in timelines.values())
+    mode = "rebuild-per-checkin" if args.no_incremental else "incremental"
+    print(f"algorithm      : {args.algorithm} (k={args.k}, {mode})")
+    print(f"check-ins      : {len(checkins)} replayed, {total_queries} tracked queries")
+    print(f"total time     : {elapsed:.4f}s")
+    if elapsed > 0:
+        print(f"replay rate    : {len(checkins) / elapsed:.1f} check-ins/s")
+    if tracker.last_engine is not None:
+        stats = tracker.last_engine.stats
+        print(
+            f"engine         : {stats.bundles_patched} bundle patches, "
+            f"{stats.components_materialised} bundles built, "
+            f"{stats.core_decompositions} core decomposition(s)"
+        )
+    for user in sorted(timelines):
+        snapshots = timelines[user]
+        found = [snap for snap in snapshots if snap.found]
+        sizes = ", ".join(str(len(snap.members)) for snap in snapshots) or "-"
+        print(
+            f"  user {graph.label_of(user)!s:>8}: {len(snapshots)} check-ins, "
+            f"{len(found)} with a community (sizes: {sizes})"
+        )
+    return 0 if total_queries else 1
+
+
 def _parse_label(text: str):
     """Interpret a CLI vertex label: integer when possible, else the raw string."""
     text = text.strip()
@@ -210,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "query": _command_query,
         "batch": _command_batch,
+        "track": _command_track,
         "stats": _command_stats,
     }
     try:

@@ -89,8 +89,12 @@ class CandidateArtifacts:
     Built once per ``(graph, k, component)`` by
     :class:`repro.engine.QueryEngine` and shared by every
     :class:`QueryContext` the engine hands out; the legacy single-query path
-    builds a private instance per query.  All fields are shared, so treat
-    them as immutable.
+    builds a private instance per query.  All fields are shared, so callers
+    must never mutate them; the one sanctioned writer is
+    :meth:`repro.engine.IncrementalEngine.apply_checkin`, which patches
+    ``candidate_coords`` rows through ``grid.move_point`` (the grid's backing
+    array *is* ``candidate_coords``) so cached bundles track location
+    updates without a rebuild.
     """
 
     candidates: FrozenSet[int]

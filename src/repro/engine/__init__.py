@@ -4,8 +4,18 @@ The engine boundary for serving many SAC queries against one graph: compute
 the per-graph artifacts (core decomposition, k-ĉore component labelling,
 per-component spatial indexes) once, then answer each query with a
 lightweight :class:`~repro.core.base.QueryContext` built from the cache.
+
+Two engines share that cache design:
+
+* :class:`QueryEngine` — for a graph that does not change; the cache only
+  ever grows.
+* :class:`IncrementalEngine` — for dynamic location streams and edge
+  updates; it mutates its bound graph in place and repairs (check-ins) or
+  selectively invalidates (edge updates) the cached artifacts, so replaying
+  a stream never pays for a full rebuild.
 """
 
 from repro.engine.engine import EngineStats, QueryEngine
+from repro.engine.incremental import IncrementalEngine
 
-__all__ = ["QueryEngine", "EngineStats"]
+__all__ = ["QueryEngine", "IncrementalEngine", "EngineStats"]

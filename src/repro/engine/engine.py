@@ -12,9 +12,20 @@ Results are bit-identical to the per-query API: the cached artifacts are
 built with exactly the arithmetic the legacy ``QueryContext`` constructor
 uses, and the algorithms themselves are unchanged.
 
-The engine is bound to one immutable :class:`~repro.graph.SpatialGraph`;
-after a dynamic location update (which produces a new graph object), create
-a new engine for the new graph.
+The engine is bound to one :class:`~repro.graph.SpatialGraph` and assumes
+the graph does not change behind its back.  For dynamic workloads — location
+streams, friendship edges appearing and disappearing — use
+:class:`~repro.engine.IncrementalEngine`, which owns the mutation of its
+bound graph and repairs or selectively invalidates the cached artifacts
+instead of throwing them away.
+
+Cached ``(k, component)`` artifact bundles are keyed by the component's
+*representative* — its minimum vertex index — rather than its positional
+component id.  Component ids are assigned by flood-fill order and shift
+whenever a labelling is recomputed; the representative is stable for any
+component whose member set did not change, which is what lets the
+incremental engine drop one labelling while keeping every untouched
+component's bundle.
 """
 
 from __future__ import annotations
@@ -34,12 +45,43 @@ from repro.kcore.decomposition import core_numbers, gather_neighbors
 
 @dataclass
 class EngineStats:
-    """Cache and traffic counters of one :class:`QueryEngine`.
+    """Cache, traffic, and invalidation counters of one :class:`QueryEngine`.
 
-    ``contexts_served`` counts the query contexts handed out;
-    ``components_materialised`` counts how many (k, component) artifact
-    bundles were actually built — the gap between the two is the work the
-    engine saved.
+    Attributes
+    ----------
+    queries_served:
+        SAC queries answered through :meth:`QueryEngine.search`.
+    contexts_served:
+        Query contexts handed out from the caches.
+    components_materialised:
+        ``(k, component)`` artifact bundles actually built — the gap to
+        ``contexts_served`` is the work the engine saved.
+    core_decompositions:
+        Full graph-wide core decompositions performed (stays at 1 for a
+        static graph; the incremental engine repairs core numbers in place
+        instead of incrementing this).
+    ks_labelled:
+        Every ``k`` whose k-ĉores were labelled, in order; a ``k`` appears
+        again each time its labelling is rebuilt after an invalidation.
+    location_updates:
+        Check-ins applied via :meth:`IncrementalEngine.apply_checkin`.
+    edge_updates:
+        Edge insertions/deletions applied via
+        :meth:`IncrementalEngine.apply_edge`.
+    bundles_patched:
+        Artifact bundles repaired *in place* by a location update (the moved
+        vertex's coordinate row and grid cell — nothing was rebuilt).
+    bundles_invalidated:
+        Artifact bundles dropped because an edge update changed (or may have
+        changed) their component's member set or induced adjacency; they are
+        rebuilt lazily on the next query that needs them.
+    labelings_invalidated:
+        Per-``k`` component labellings dropped after an edge update
+        (membership change, component merge, or possible split).
+    cores_promoted / cores_demoted:
+        Vertices whose core number actually rose / fell during incremental
+        edge updates (the subcore peeling may scan more vertices than it
+        ends up changing; only the changes are counted here).
     """
 
     queries_served: int = 0
@@ -47,6 +89,13 @@ class EngineStats:
     components_materialised: int = 0
     core_decompositions: int = 0
     ks_labelled: List[int] = field(default_factory=list)
+    location_updates: int = 0
+    edge_updates: int = 0
+    bundles_patched: int = 0
+    bundles_invalidated: int = 0
+    labelings_invalidated: int = 0
+    cores_promoted: int = 0
+    cores_demoted: int = 0
 
 
 class QueryEngine:
@@ -74,6 +123,12 @@ class QueryEngine:
         self._cores: Optional[np.ndarray] = None
         # k -> (component labels array with -1 outside the k-core, #components)
         self._labels: Dict[int, Tuple[np.ndarray, int]] = {}
+        # k -> per-component representative (minimum member vertex); aligned
+        # with the component ids of self._labels[k] and dropped with it.
+        self._reps: Dict[int, np.ndarray] = {}
+        # (k, representative) -> bundle.  Keyed by representative, not
+        # component id, so bundles survive a labelling rebuild (see module
+        # docstring).
         self._artifacts: Dict[Tuple[int, int], CandidateArtifacts] = {}
 
     # --------------------------------------------------------- shared artefacts
@@ -99,13 +154,17 @@ class QueryEngine:
         labels = np.full(self.graph.num_vertices, -1, dtype=np.int64)
         indptr, indices = self.graph.csr
         count = 0
+        reps: List[int] = []
         # One flood-fill pass: the labels array doubles as the visited set,
         # so total work is O(n + m) regardless of how many components the
-        # k-core splinters into.
+        # k-core splinters into.  Seeds are visited in ascending order, so
+        # each component's seed is its minimum member — the representative
+        # that keys the artifact cache.
         for seed in np.flatnonzero(mask):
             if labels[seed] >= 0:
                 continue
             labels[seed] = count
+            reps.append(int(seed))
             frontier = np.array([seed], dtype=np.int64)
             while frontier.size:
                 reached = gather_neighbors(indptr, indices, frontier)
@@ -116,6 +175,7 @@ class QueryEngine:
                 labels[frontier] = count
             count += 1
         self._labels[k] = (labels, count)
+        self._reps[k] = np.asarray(reps, dtype=np.int64)
         self.stats.ks_labelled.append(k)
         return self._labels[k]
 
@@ -124,10 +184,10 @@ class QueryEngine:
         return self.component_labels(k)[1]
 
     def _component_artifacts(self, k: int, component: int) -> CandidateArtifacts:
-        key = (k, component)
+        labels, _ = self.component_labels(k)
+        key = (k, int(self._reps[k][component]))
         artifacts = self._artifacts.get(key)
         if artifacts is None:
-            labels, _ = self.component_labels(k)
             members = np.flatnonzero(labels == component)
             artifacts = CandidateArtifacts.from_candidates(
                 self.graph, {int(v) for v in members}

@@ -1,0 +1,218 @@
+"""The :class:`IncrementalEngine` — survive dynamic updates without rebuilds.
+
+The paper's dynamic scenario (Section 5.2.3, Figure 13) replays a check-in
+stream: every record moves one user and re-queries their community.  A
+:class:`~repro.engine.engine.QueryEngine` bound to a static graph would have
+to be thrown away at each record, discarding the core decomposition, every
+k-ĉore labelling, and every per-component artifact bundle.  This engine
+instead **owns** the mutation of its bound graph and repairs the caches:
+
+* **Check-ins** (:meth:`IncrementalEngine.apply_checkin`) — core numbers and
+  k-ĉore labellings are location-independent, so *nothing* structural is
+  invalidated.  The vertex's coordinate row moves (in the graph and in every
+  cached bundle whose component contains it) and its grid cell is spliced in
+  place; the per-query distance vector was never cached to begin with.
+* **Edge updates** (:meth:`IncrementalEngine.apply_edge`) — core numbers are
+  repaired with the subcore-confined peeling of
+  :mod:`repro.kcore.maintenance` (a single edge changes core numbers by at
+  most 1, and only inside the subcore of its lower endpoint).  Labellings
+  and bundles are invalidated *selectively*: only the ``k`` levels whose
+  k-core subgraph actually contains the edge or whose membership changed,
+  and within those only the bundles whose component was touched.  Everything
+  dropped is rebuilt lazily by the next query that needs it.
+
+Queries answered between updates are bit-identical to tearing the engine
+down and rebuilding it from scratch on the mutated graph — the property
+tests in ``tests/test_incremental_engine.py`` interleave random check-ins,
+edge flips, and queries to enforce exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.engine.engine import QueryEngine
+from repro.exceptions import InvalidParameterError
+from repro.kcore.decomposition import gather_neighbors
+from repro.kcore.maintenance import demote_after_delete, promote_after_insert
+
+
+class IncrementalEngine(QueryEngine):
+    """A :class:`~repro.engine.engine.QueryEngine` with an in-place update API.
+
+    The engine takes ownership of its graph: all mutations must flow through
+    :meth:`apply_checkin` / :meth:`apply_edge` so the caches can be repaired.
+    Callers that need the original graph untouched should bind the engine to
+    :meth:`graph.mutable_copy() <repro.graph.SpatialGraph.mutable_copy>`, as
+    :class:`repro.dynamic.SACTracker` does.
+
+    Examples
+    --------
+    >>> engine = IncrementalEngine(graph.mutable_copy())    # doctest: +SKIP
+    >>> engine.apply_checkin(42, 0.31, 0.77)                # doctest: +SKIP
+    >>> engine.apply_edge(42, 99, "insert")                 # doctest: +SKIP
+    >>> engine.search(42, k=4, algorithm="appfast")         # doctest: +SKIP
+    """
+
+    # ------------------------------------------------------------- check-ins
+    def apply_checkin(self, user: int, x: float, y: float) -> None:
+        """Move ``user`` to ``(x, y)``, repairing every cached artifact in place.
+
+        Core numbers and component labellings are location-independent and
+        stay valid untouched.  Each cached bundle whose candidate set
+        contains the user has its coordinate row and grid cell patched via
+        :meth:`repro.geometry.GridIndex.move_point`; bundles of other
+        components are not even inspected beyond one binary search.
+        """
+        user = int(user)
+        x, y = float(x), float(y)
+        self.graph.update_location(user, x, y)  # validates the vertex
+        for bundle in self._artifacts.values():
+            candidates = bundle.candidate_array
+            position = int(np.searchsorted(candidates, user))
+            if position < candidates.size and candidates[position] == user:
+                # The bundle's grid shares its coordinate matrix, so one
+                # move_point updates both the cell layout and the row that
+                # future distance vectors will read.
+                bundle.grid.move_point(position, x, y)
+                self.stats.bundles_patched += 1
+        self.stats.location_updates += 1
+
+    # ----------------------------------------------------------- edge updates
+    def apply_edge(self, u: int, v: int, op: str = "insert") -> np.ndarray:
+        """Insert or delete edge ``{u, v}`` and repair the caches incrementally.
+
+        ``op`` is ``"insert"`` or ``"delete"``.  Returns the (possibly
+        empty) sorted array of vertices whose core number changed.
+        Invalid operations (duplicate insert,
+        missing delete, self-loop) raise
+        :class:`~repro.exceptions.GraphConstructionError` before anything is
+        modified.
+
+        Invalidation is the minimum the update can justify:
+
+        * core numbers are repaired in place (subcore peeling), never
+          recomputed graph-wide;
+        * a labelling at level ``k`` is dropped only when the k-core's
+          membership changed at that level, when two components merged, or
+          when a deletion may have split one;
+        * a bundle is dropped only when the update touched its candidate set
+          (endpoint inside it for an in-k-core edge, or adjacency to a
+          promoted/demoted vertex); all other bundles — including every
+          bundle at unaffected ``k`` levels — survive, which is what the
+          representative keying of the cache exists for.
+        """
+        if op not in ("insert", "delete"):
+            raise InvalidParameterError(
+                f"op must be 'insert' or 'delete', got {op!r}"
+            )
+        insert = op == "insert"
+        u, v = int(u), int(v)
+
+        had_cores = self._cores is not None
+        if had_cores:
+            old_min = int(min(self._cores[u], self._cores[v]))
+        if insert:
+            self.graph.add_edge(u, v)
+        else:
+            self.graph.remove_edge(u, v)
+        self.stats.edge_updates += 1
+        if not had_cores:
+            # Invariant: labellings and bundles only exist downstream of the
+            # core decomposition, so with no cores there is nothing to repair.
+            return np.zeros(0, dtype=np.int64)
+
+        indptr, indices = self.graph.csr
+        if insert:
+            changed = promote_after_insert(indptr, indices, self._cores, u, v)
+            self.stats.cores_promoted += int(changed.size)
+            changed_level = old_min + 1
+            # The new edge exists inside the k-core subgraph for every
+            # k <= min of the *new* endpoint core numbers.
+            edge_level = int(min(self._cores[u], self._cores[v]))
+        else:
+            changed = demote_after_delete(indptr, indices, self._cores, u, v)
+            self.stats.cores_demoted += int(changed.size)
+            changed_level = old_min
+            # The old edge existed inside the k-core subgraph for every
+            # k <= min of the *old* endpoint core numbers.
+            edge_level = old_min
+
+        self._invalidate_for_edge(u, v, insert, changed, changed_level, edge_level)
+        return changed
+
+    def insert_edge(self, u: int, v: int) -> np.ndarray:
+        """Shorthand for :meth:`apply_edge` with ``op="insert"``."""
+        return self.apply_edge(u, v, "insert")
+
+    def delete_edge(self, u: int, v: int) -> np.ndarray:
+        """Shorthand for :meth:`apply_edge` with ``op="delete"``."""
+        return self.apply_edge(u, v, "delete")
+
+    # ----------------------------------------------------------- invalidation
+    def _invalidate_for_edge(
+        self,
+        u: int,
+        v: int,
+        insert: bool,
+        changed: np.ndarray,
+        changed_level: int,
+        edge_level: int,
+    ) -> None:
+        """Drop exactly the labellings and bundles the edge update touched."""
+        # Vertices whose components' bundles are stale, per k level.  For an
+        # in-k-core edge the endpoints' components merge / gain an internal
+        # edge / may split, so any bundle containing an endpoint goes.  At
+        # the membership-change level, components adjacent to a promoted
+        # vertex absorb it (insert), and components of a demoted vertex lose
+        # it (delete) — demotions are always inside an endpoint's component,
+        # but promotions can graft onto components that contain neither
+        # endpoint, so adjacency must be checked explicitly.
+        if changed.size:
+            if insert:
+                touched_by_change = np.unique(
+                    gather_neighbors(*self.graph.csr, changed)
+                )
+            else:
+                touched_by_change = changed
+        else:
+            touched_by_change = np.zeros(0, dtype=np.int64)
+        endpoints = np.array(sorted((u, v)), dtype=np.int64)
+
+        for key in list(self._artifacts):
+            k, _rep = key
+            probes = []
+            if k <= edge_level:
+                probes.append(endpoints)
+            if changed.size and k == changed_level:
+                probes.append(touched_by_change)
+            if probes and self._bundle_contains_any(key, np.concatenate(probes)):
+                del self._artifacts[key]
+                self.stats.bundles_invalidated += 1
+
+        for k in list(self._labels):
+            drop = False
+            if changed.size and k == changed_level:
+                drop = True  # k-core membership changed at this level
+            elif k <= edge_level:
+                if insert:
+                    labels, _ = self._labels[k]
+                    # Endpoints in distinct components: the edge merges them.
+                    # Same component: an internal edge never changes the
+                    # labelling, only the (already dropped) bundle.
+                    drop = labels[u] != labels[v]
+                else:
+                    drop = True  # removing an in-core edge may split
+            if drop:
+                del self._labels[k]
+                del self._reps[k]
+                self.stats.labelings_invalidated += 1
+
+    def _bundle_contains_any(self, key: Tuple[int, int], vertices: np.ndarray) -> bool:
+        """Whether the bundle's sorted candidate array intersects ``vertices``."""
+        candidates = self._artifacts[key].candidate_array
+        positions = np.searchsorted(candidates, vertices)
+        inside = positions < candidates.size
+        return bool((candidates[positions[inside]] == vertices[inside]).any())

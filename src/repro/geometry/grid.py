@@ -23,13 +23,24 @@ import numpy as np
 
 
 class GridIndex:
-    """A uniform grid over a static set of 2-D points.
+    """A uniform grid over a set of 2-D points.
+
+    The point *count* is fixed at construction, but individual points may be
+    relocated afterwards through :meth:`move_point`, which repairs the bucket
+    layout in place — the primitive behind the incremental location updates
+    of :class:`repro.engine.IncrementalEngine`.  Grid geometry (origin, cell
+    size, column/row counts) is frozen at construction; points that move
+    outside the original bounding box are clamped into the edge cells, which
+    keeps every range query exact because the final distance filter always
+    re-checks true coordinates.
 
     Parameters
     ----------
     coordinates:
         ``(n, 2)`` array of point coordinates.  The index refers to points by
-        their row index.
+        their row index.  When a float64 ``(n, 2)`` array is passed it is
+        *shared*, not copied, so :meth:`move_point` updates the caller's
+        array as well.
     cell_size:
         Side length of each grid cell.  When omitted, a heuristic of
         ``extent / sqrt(n)`` is used, which keeps the expected number of
@@ -116,6 +127,48 @@ class GridIndex:
         ends = np.cumsum(counts)
         flat = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
         return self._order[flat]
+
+    def move_point(self, index: int, x: float, y: float) -> None:
+        """Relocate point ``index`` to ``(x, y)``, repairing the index in place.
+
+        The coordinate row is overwritten (mutating the array shared with the
+        caller) and, when the point changes grid cell, it is spliced out of
+        its old bucket and into the new one.  Buckets keep their ascending
+        point-index order, so :meth:`query_circle_array` and friends behave
+        exactly as on a freshly built index over the same coordinates.  Cost
+        is one ``O(n)`` memmove of the order array in the worst case — far
+        below a full rebuild, which also re-sorts and re-buckets every point.
+        """
+        if not 0 <= index < self._coords.shape[0]:
+            raise IndexError(f"point index {index} out of range")
+        old_col, old_row = self._cell_of(
+            float(self._coords[index, 0]), float(self._coords[index, 1])
+        )
+        self._coords[index, 0] = float(x)
+        self._coords[index, 1] = float(y)
+        new_col, new_row = self._cell_of(float(x), float(y))
+        old_cell = old_col * self._rows + old_row
+        new_cell = new_col * self._rows + new_row
+        if old_cell == new_cell:
+            return
+        # Positions computed against the *original* order array: the point's
+        # slot inside each (ascending) bucket is found by binary search.  The
+        # element then slides from one slot to the other with a single
+        # overlapping slice shift — no reallocation, so a move costs a
+        # memmove of the span between the two cells.
+        order = self._order
+        old_bucket = order[self._starts[old_cell] : self._starts[old_cell + 1]]
+        delete_at = int(self._starts[old_cell] + np.searchsorted(old_bucket, index))
+        new_bucket = order[self._starts[new_cell] : self._starts[new_cell + 1]]
+        insert_at = int(self._starts[new_cell] + np.searchsorted(new_bucket, index))
+        if new_cell > old_cell:
+            order[delete_at : insert_at - 1] = order[delete_at + 1 : insert_at]
+            order[insert_at - 1] = index
+            self._starts[old_cell + 1 : new_cell + 1] -= 1
+        else:
+            order[insert_at + 1 : delete_at + 1] = order[insert_at:delete_at]
+            order[insert_at] = index
+            self._starts[new_cell + 1 : old_cell + 1] += 1
 
     def query_circle_array(self, x: float, y: float, radius: float) -> np.ndarray:
         """As :meth:`query_circle` but returning an int64 array (hot path)."""

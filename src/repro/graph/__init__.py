@@ -4,9 +4,11 @@ The paper's algorithms are evaluated on geo-social graphs with up to millions
 of vertices.  networkx's per-edge Python objects are too slow at that scale,
 so this package implements a compact, purpose-built structure:
 
-* :class:`~repro.graph.spatial_graph.SpatialGraph` — immutable undirected
-  graph with integer-indexed vertices, numpy adjacency arrays, an ``(n, 2)``
-  coordinate matrix, and a built-in :class:`~repro.geometry.grid.GridIndex`.
+* :class:`~repro.graph.spatial_graph.SpatialGraph` — undirected graph with
+  integer-indexed vertices, numpy adjacency arrays, an ``(n, 2)`` coordinate
+  matrix, and a built-in :class:`~repro.geometry.grid.GridIndex`; supports
+  copy-on-write snapshots and the in-place update API behind
+  :class:`repro.engine.IncrementalEngine`.
 * :class:`~repro.graph.builder.GraphBuilder` — incremental construction with
   de-duplication and validation, accepting arbitrary hashable vertex labels.
 * :mod:`~repro.graph.io` — readers and writers for edge-list + location files

@@ -77,7 +77,7 @@ class GraphBuilder:
         return len(self._edges)
 
     def build(self, *, drop_unlocated: bool = False, build_index: bool = False) -> SpatialGraph:
-        """Construct the immutable :class:`SpatialGraph`.
+        """Construct the :class:`SpatialGraph`.
 
         Parameters
         ----------

@@ -9,9 +9,16 @@ numpy ``int32`` array per vertex (sorted), which keeps neighbour iteration
 allocation-free and makes degree lookups O(1).  Coordinates live in a single
 ``(n, 2)`` float64 matrix shared with the spatial grid index.
 
-The structure is immutable after construction; location updates (needed by
-the dynamic experiments of Section 5.2.3) produce cheap copies that share the
-adjacency arrays and only replace the coordinate matrix and grid index.
+The structure supports two update styles.  The *copy-on-write* style
+(:meth:`SpatialGraph.with_updated_locations`) produces cheap copies that
+share the adjacency arrays and only replace the coordinate matrix — the
+right tool for one-off snapshots.  The *in-place* style
+(:meth:`~SpatialGraph.update_location`, :meth:`~SpatialGraph.add_edge`,
+:meth:`~SpatialGraph.remove_edge`) mutates the bound arrays directly so that
+long-lived caches over the graph (notably
+:class:`repro.engine.IncrementalEngine`) can be repaired incrementally
+instead of rebuilt; edge mutations allocate fresh CSR arrays, so snapshots
+sharing the previous CSR tuple are never corrupted.
 """
 
 from __future__ import annotations
@@ -205,7 +212,103 @@ class SpatialGraph:
         """Return all vertex indices located within ``radius`` of ``(x, y)``."""
         return self.grid.query_circle(x, y, radius)
 
-    # --------------------------------------------------------------- updates
+    # ------------------------------------------------------ in-place updates
+    def update_location(self, vertex: int, x: float, y: float) -> None:
+        """Move ``vertex`` to ``(x, y)``, mutating the graph in place.
+
+        The coordinate matrix row is overwritten and, when the spatial grid
+        index has been built, the point is relocated inside it via
+        :meth:`repro.geometry.GridIndex.move_point` (the grid shares the
+        coordinate matrix, so the two stay consistent by construction).
+        Adjacency, degrees, and the CSR view are untouched — core numbers are
+        location-independent.  Callers holding per-query state derived from
+        the old coordinates (e.g. a ``QueryContext`` distance vector) must
+        discard it; :class:`repro.engine.IncrementalEngine` does this
+        bookkeeping automatically.
+        """
+        if not 0 <= vertex < self.num_vertices:
+            raise VertexNotFoundError(vertex)
+        if self._grid is not None:
+            self._grid.move_point(vertex, float(x), float(y))
+        else:
+            self._coords[vertex, 0] = float(x)
+            self._coords[vertex, 1] = float(y)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge ``{u, v}``, mutating the graph in place.
+
+        The two adjacency rows are *replaced* with freshly allocated sorted
+        arrays and, when the CSR view has been built, new ``(indptr,
+        indices)`` arrays are spliced together — never mutated — so graph
+        copies sharing the previous CSR tuple (snapshots from
+        :meth:`with_updated_locations`) remain valid.  Raises
+        :class:`~repro.exceptions.GraphConstructionError` for self-loops and
+        duplicate edges.
+        """
+        self._splice_edge(u, v, insert=True)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``{u, v}``, mutating the graph in place.
+
+        Mirror image of :meth:`add_edge`; raises
+        :class:`~repro.exceptions.GraphConstructionError` when the edge does
+        not exist.
+        """
+        self._splice_edge(u, v, insert=False)
+
+    def _splice_edge(self, u: int, v: int, *, insert: bool) -> None:
+        """Shared implementation of :meth:`add_edge` / :meth:`remove_edge`."""
+        for vertex in (u, v):
+            if not 0 <= vertex < self.num_vertices:
+                raise VertexNotFoundError(vertex)
+        if u == v:
+            raise GraphConstructionError("self-loops are not supported")
+        exists = self.has_edge(u, v)
+        if insert and exists:
+            raise GraphConstructionError(f"edge ({u}, {v}) already exists")
+        if not insert and not exists:
+            raise GraphConstructionError(f"edge ({u}, {v}) does not exist")
+
+        positions = {}
+        for a, b in ((u, v), (v, u)):
+            row = self._adjacency[a]
+            position = int(np.searchsorted(row, b))
+            positions[a] = position
+            if insert:
+                self._adjacency[a] = np.insert(row, position, np.int32(b))
+            else:
+                self._adjacency[a] = np.delete(row, position)
+        delta = 1 if insert else -1
+        self._degrees[u] += delta
+        self._degrees[v] += delta
+        self._edge_count += delta
+
+        if self._csr is not None:
+            indptr, indices = self._csr
+            # Flat positions are computed against the *old* indices array;
+            # np.insert/np.delete interpret a sequence of offsets that way.
+            flat = [indptr[u] + positions[u], indptr[v] + positions[v]]
+            if insert:
+                new_indices = np.insert(indices, flat, [v, u])
+            else:
+                new_indices = np.delete(indices, flat)
+            new_indptr = indptr.copy()
+            new_indptr[u + 1 :] += delta
+            new_indptr[v + 1 :] += delta
+            self._csr = (new_indptr, new_indices)
+
+    def mutable_copy(self) -> "SpatialGraph":
+        """Return a copy safe to mutate without affecting this graph.
+
+        The coordinate matrix is copied; adjacency rows, labels, and the CSR
+        view are shared (in-place mutation never rewrites shared arrays, see
+        :meth:`add_edge`).  This is how :class:`repro.dynamic.SACTracker`
+        obtains the working graph it binds to an
+        :class:`~repro.engine.IncrementalEngine`.
+        """
+        return self.with_updated_locations({})
+
+    # --------------------------------------------------- copy-on-write updates
     def with_updated_locations(self, updates: Mapping[int, Tuple[float, float]]) -> "SpatialGraph":
         """Return a copy of the graph with some vertex locations replaced.
 

@@ -11,7 +11,10 @@ community (Definition 1).  This package provides:
 * :func:`~repro.kcore.connected_core.connected_k_core` — the *connected*
   component of the ``k``-core containing a query vertex (a k-ĉore), also
   restricted to arbitrary candidate vertex subsets, which is the feasibility
-  test every SAC algorithm performs.
+  test every SAC algorithm performs;
+* :mod:`repro.kcore.maintenance` — subcore-confined repair of core numbers
+  after a single edge insertion or deletion, the primitive behind
+  :class:`repro.engine.IncrementalEngine`'s edge-update path.
 """
 
 from repro.kcore.connected_core import (
@@ -20,6 +23,7 @@ from repro.kcore.connected_core import (
     k_core_of_subset,
 )
 from repro.kcore.decomposition import core_decomposition, core_numbers, k_core_vertices
+from repro.kcore.maintenance import demote_after_delete, promote_after_insert, subcore_mask
 
 __all__ = [
     "core_numbers",
@@ -28,4 +32,7 @@ __all__ = [
     "connected_k_core",
     "connected_k_core_in_subset",
     "k_core_of_subset",
+    "promote_after_insert",
+    "demote_after_delete",
+    "subcore_mask",
 ]

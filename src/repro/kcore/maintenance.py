@@ -1,0 +1,159 @@
+"""Incremental k-core maintenance under single-edge updates.
+
+A full core decomposition costs ``O(n + m)``; re-running it after every edge
+update would dominate any dynamic workload.  The classic incremental insight
+(Sarıyüce et al., *Streaming Algorithms for k-Core Decomposition*, PVLDB
+2013; Li, Yu & Mao, TKDE 2014) bounds the damage of a single update:
+
+* inserting or deleting one edge changes any core number by **at most 1**;
+* only vertices in the **subcore** of the update can change — the vertices
+  with core number ``K = min(core(u), core(v))`` reachable from the
+  endpoint(s) of core ``K`` through paths of core-``K`` vertices.
+
+Both repair routines therefore (1) flood-fill the subcore, (2) compute for
+each member a *candidate degree* — how many of its neighbours could sit in
+the target core — and (3) peel to a fixed point exactly like the global
+decomposition, but confined to the subcore.  Everything runs on the graph's
+cached CSR arrays with the same whole-array numpy operations as
+:mod:`repro.kcore.decomposition`, so a repair touches work proportional to
+the subcore, not the graph.
+
+Both routines **mutate the supplied core-number array in place** and must be
+called *after* the CSR arrays reflect the update (edge already inserted /
+already removed); :class:`repro.engine.IncrementalEngine` owns that ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.kcore.decomposition import gather_neighbors
+
+__all__ = ["subcore_mask", "promote_after_insert", "demote_after_delete"]
+
+
+def subcore_mask(
+    indptr: np.ndarray, indices: np.ndarray, core: np.ndarray, seeds: Sequence[int], k: int
+) -> np.ndarray:
+    """Bool mask of the subcore: core-``k`` vertices reachable from ``seeds``.
+
+    Seeds whose core number differs from ``k`` are ignored; traversal only
+    crosses vertices of core exactly ``k``, per the subcore theorem.
+    """
+    mask = np.zeros(core.size, dtype=bool)
+    eligible = core == k
+    roots = np.array([s for s in seeds if eligible[s]], dtype=np.int64)
+    if roots.size == 0:
+        return mask
+    mask[roots] = True
+    frontier = np.unique(roots)
+    while frontier.size:
+        reached = gather_neighbors(indptr, indices, frontier)
+        reached = reached[eligible[reached] & ~mask[reached]]
+        if reached.size == 0:
+            break
+        frontier = np.unique(reached)
+        mask[frontier] = True
+    return mask
+
+
+def _candidate_degrees(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    members: np.ndarray,
+    supports: np.ndarray,
+) -> np.ndarray:
+    """Per-vertex count of supporting neighbours, as a full ``(n,)`` array.
+
+    ``supports`` is a bool mask over vertices; ``cd[w]`` for ``w`` in
+    ``members`` counts the neighbours of ``w`` (with multiplicity from the
+    CSR rows) that the mask marks as supporting.  Entries outside ``members``
+    are zero.
+    """
+    neighbors = gather_neighbors(indptr, indices, members)
+    owners = np.repeat(members, indptr[members + 1] - indptr[members])
+    return np.bincount(owners[supports[neighbors]], minlength=supports.size)
+
+
+def promote_after_insert(
+    indptr: np.ndarray, indices: np.ndarray, core: np.ndarray, u: int, v: int
+) -> np.ndarray:
+    """Repair core numbers after inserting edge ``{u, v}``; return promotions.
+
+    The CSR arrays must already contain the new edge; ``core`` holds the
+    pre-insertion numbers and is updated in place.  Returns the sorted array
+    of vertices whose core number rose by 1 (possibly empty).
+
+    With ``K = min(core(u), core(v))``, only subcore vertices can climb to
+    ``K + 1``.  A subcore vertex survives iff it keeps at least ``K + 1``
+    neighbours that are themselves promotable or already sit above ``K`` —
+    computed by peeling the subcore with that candidate degree.
+    """
+    k = int(min(core[u], core[v]))
+    candidates = subcore_mask(indptr, indices, core, (u, v), k)
+    members = np.flatnonzero(candidates)
+    if members.size == 0:
+        return members
+    # Supporting neighbours for promotion to K + 1: anything already in the
+    # (K + 1)-core, or a fellow subcore candidate that might be promoted too.
+    cd = _candidate_degrees(indptr, indices, members, (core > k) | candidates)
+    alive = candidates.copy()
+    peel = members[cd[members] <= k]
+    pending = np.zeros(core.size, dtype=bool)  # dedup scratch
+    while peel.size:
+        alive[peel] = False
+        touched = gather_neighbors(indptr, indices, peel)
+        touched = touched[alive[touched]]
+        if touched.size == 0:
+            break
+        cd -= np.bincount(touched, minlength=core.size)
+        pending[touched[cd[touched] <= k]] = True
+        peel = np.flatnonzero(pending)
+        pending[peel] = False
+    promoted = np.flatnonzero(alive)
+    core[promoted] += 1
+    return promoted
+
+
+def demote_after_delete(
+    indptr: np.ndarray, indices: np.ndarray, core: np.ndarray, u: int, v: int
+) -> np.ndarray:
+    """Repair core numbers after deleting edge ``{u, v}``; return demotions.
+
+    The CSR arrays must already lack the edge; ``core`` holds the
+    pre-deletion numbers and is updated in place.  Returns the sorted array
+    of vertices whose core number dropped by 1 (possibly empty).
+
+    With ``K = min(core(u), core(v))``, only subcore vertices can fall to
+    ``K - 1``.  A subcore vertex keeps core ``K`` iff it retains at least
+    ``K`` neighbours of (new) core ≥ ``K``; peeling the subcore against that
+    support count finds the exact demotion set.  When the endpoints had equal
+    core numbers the subcore is seeded from both, since the deleted edge no
+    longer connects them.
+    """
+    k = int(min(core[u], core[v]))
+    candidates = subcore_mask(indptr, indices, core, (u, v), k)
+    members = np.flatnonzero(candidates)
+    if members.size == 0:
+        return members
+    # Support at level K: every neighbour whose (old) core is at least K.
+    # Neighbours of core exactly K outside the subcore are guaranteed to keep
+    # core K, so counting them once and never decrementing is exact.
+    cd = _candidate_degrees(indptr, indices, members, core >= k)
+    alive = candidates.copy()
+    peel = members[cd[members] < k]
+    pending = np.zeros(core.size, dtype=bool)  # dedup scratch
+    while peel.size:
+        alive[peel] = False
+        touched = gather_neighbors(indptr, indices, peel)
+        touched = touched[alive[touched]]
+        if touched.size:
+            cd -= np.bincount(touched, minlength=core.size)
+            pending[touched[cd[touched] < k]] = True
+        peel = np.flatnonzero(pending)
+        pending[peel] = False
+    demoted = members[~alive[members]]
+    core[demoted] -= 1
+    return demoted

@@ -111,6 +111,76 @@ class TestQuery:
         assert "exact+" in capsys.readouterr().out
 
 
+class TestTrack:
+    TRACK_ARGS = [
+        "--k",
+        "3",
+        "--track-count",
+        "3",
+        "--min-friends",
+        "4",
+        "--generate-users",
+        "120",
+        "--checkins-per-user",
+        "4",
+    ]
+
+    def test_track_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["track", "g.npz"])
+        assert args.algorithm == "appfast"
+        assert not args.no_incremental
+
+    def test_track_incremental_replay(self, graph_file, capsys):
+        assert main(["track", str(graph_file), *self.TRACK_ARGS]) == 0
+        output = capsys.readouterr().out
+        assert "incremental" in output
+        assert "check-ins" in output
+        assert "bundle patches" in output
+
+    def test_track_rebuild_matches_incremental(self, graph_file, capsys):
+        assert main(["track", str(graph_file), *self.TRACK_ARGS]) == 0
+        incremental_output = capsys.readouterr().out
+        assert main(["track", str(graph_file), *self.TRACK_ARGS, "--no-incremental"]) == 0
+        rebuild_output = capsys.readouterr().out
+        assert "rebuild-per-checkin" in rebuild_output
+        # The per-user timeline lines (everything after the header block) must
+        # agree between the two replay modes.
+        tail = lambda text: [line for line in text.splitlines() if line.startswith("  user")]
+        assert tail(incremental_output) == tail(rebuild_output)
+        assert tail(incremental_output)
+
+    def test_track_checkin_file_users_are_labels(self, graph_file, tmp_path, capsys):
+        graph = load_graph_npz(graph_file)
+        label = graph.label_of(5)
+        x, y = graph.position(5)
+        stream = tmp_path / "checkins.txt"
+        stream.write_text(
+            "".join(f"{label} {t}.0 {x + 0.001 * t} {y}\n" for t in range(3))
+        )
+        assert (
+            main(["track", str(graph_file), "--checkins", str(stream),
+                  "--users", str(label), "--k", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 replayed, 3 tracked queries" in out
+
+    def test_track_checkin_file_unknown_label_errors(self, graph_file, tmp_path, capsys):
+        stream = tmp_path / "checkins.txt"
+        stream.write_text("987654 1.0 0.5 0.5\n")
+        assert main(["track", str(graph_file), "--checkins", str(stream), "--k", "2"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_track_explicit_users(self, graph_file, capsys):
+        graph = load_graph_npz(graph_file)
+        label = str(graph.label_of(0))
+        assert (
+            main(["track", str(graph_file), "--users", label, "--k", "2",
+                  "--generate-users", "50", "--checkins-per-user", "3"]) == 0
+        )
+        assert f"user {label:>8}" in capsys.readouterr().out
+
+
 class TestStats:
     def test_stats_output(self, graph_file, capsys):
         assert main(["stats", str(graph_file)]) == 0

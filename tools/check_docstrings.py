@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Enforce docstring presence on the public surface of ``src/repro``.
+
+A stdlib-only stand-in for the ``pydocstyle``/``ruff D1xx`` presence rules
+(D100 module, D101 class, D102 method, D103 function), so the check runs in
+CI and locally without any extra dependency.  Rules:
+
+* every module needs a module docstring;
+* every public class, function, and method (name not starting with ``_``)
+  needs a docstring;
+* ``__init__`` and other dunders are exempt (their contract belongs to the
+  class docstring), as are nested functions and anything underscored;
+* a method may inherit silence only via ``@property``-less overrides —
+  there is deliberately **no** override exemption, because readers meet the
+  subclass first.
+
+Exit status 0 when clean; 1 with a ``path:line: message`` listing otherwise.
+
+Usage::
+
+    python tools/check_docstrings.py [root ...]
+
+Defaults to ``src/repro``, ``benchmarks``, and ``tools`` relative to the
+repository root.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ROOTS = [
+    REPO_ROOT / "src" / "repro",
+    REPO_ROOT / "benchmarks",
+    REPO_ROOT / "tools",
+]
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_public(name: str) -> bool:
+    """Public means no leading underscore; dunders are handled separately."""
+    return not name.startswith("_")
+
+
+def iter_missing(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, message)`` for every missing docstring in a module tree."""
+    if ast.get_docstring(tree) is None:
+        yield (1, "missing module docstring (D100)")
+    for node in tree.body:
+        if isinstance(node, FunctionNode) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                yield (node.lineno, f"missing docstring on function {node.name!r} (D103)")
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                yield (node.lineno, f"missing docstring on class {node.name!r} (D101)")
+            for member in node.body:
+                if not isinstance(member, FunctionNode):
+                    continue
+                if not _is_public(member.name):
+                    continue
+                if ast.get_docstring(member) is None:
+                    yield (
+                        member.lineno,
+                        f"missing docstring on method {node.name}.{member.name} (D102)",
+                    )
+
+
+def check_paths(roots: List[Path]) -> List[str]:
+    """Collect all violations under ``roots`` as ``path:line: message`` strings."""
+    problems: List[str] = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            relative = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+            for line, message in iter_missing(tree):
+                problems.append(f"{relative}:{line}: {message}")
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    roots = [Path(arg).resolve() for arg in argv] if argv else DEFAULT_ROOTS
+    problems = check_paths(roots)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} public definition(s) without docstrings", file=sys.stderr)
+        return 1
+    print("docstring check: all public modules, classes, and functions documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
