@@ -1,0 +1,221 @@
+"""Sharded + cached batch serving benchmark vs. the serial engine path.
+
+Models the paper's Table-4-style serving scenario: the same batch of popular
+query vertices is answered repeatedly (applications re-query every refresh).
+Three execution paths answer the identical workload:
+
+* **serial** — one :class:`repro.engine.QueryEngine`, every query answered
+  in-process, every round recomputed (the pre-service state of the art);
+* **sharded** — :class:`repro.service.ShardedExecutor` with a process pool,
+  batches partitioned by k-ĉore component, no answer cache;
+* **service** — :class:`repro.service.SACService` with the pool *and* the
+  persistent answer cache, so repeat rounds are served from cache.
+
+All three must return bit-identical results (member sets, circle floats,
+stats) — the benchmark exits non-zero if they ever diverge.  Throughput is
+reported per path; the headline ``service`` speedup comes from sharding on
+multi-core machines plus cache hits on repeat rounds, and the benchmark
+prints whether the ≥2× target over the serial path was met.
+
+Run standalone::
+
+    python benchmarks/bench_sharded_batch.py                 # full workload
+    python benchmarks/bench_sharded_batch.py --quick         # CI smoke
+    python benchmarks/bench_sharded_batch.py --workers 4 --rounds 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_here = Path(__file__).resolve().parent
+sys.path.insert(0, str(_here))
+sys.path.insert(1, str(_here.parent / "src"))  # uninstalled checkout fallback
+
+from bench_common import write_result
+from repro.datasets.registry import load_dataset
+from repro.engine import QueryEngine
+from repro.experiments.queries import select_query_vertices
+from repro.service import SACService, ShardedExecutor
+
+
+def _identical(first, second) -> bool:
+    """Bitwise comparison of two SACResults (members, circle, stats)."""
+    return (
+        first.members == second.members
+        and first.circle.radius == second.circle.radius
+        and first.circle.center.x == second.circle.center.x
+        and first.circle.center.y == second.circle.center.y
+        and first.stats == second.stats
+    )
+
+
+def _time_serial(graph, queries, k, rounds, epsilon_f):
+    """Serial engine path: recompute every query every round."""
+    engine = QueryEngine(graph)
+    results = {}
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            results[query] = engine.search(
+                query, k, algorithm="appfast", epsilon_f=epsilon_f
+            )
+    return results, time.perf_counter() - start
+
+
+def _time_sharded(graph, queries, k, rounds, epsilon_f, workers):
+    """Sharded pool path, cache off: every round pays the pool."""
+    executor = ShardedExecutor(QueryEngine(graph), workers=workers)
+    results = {}
+    start = time.perf_counter()
+    for _ in range(rounds):
+        batch = executor.run(queries, k, algorithm="appfast", epsilon_f=epsilon_f)
+        results.update(batch.results)
+    elapsed = time.perf_counter() - start
+    executor.close()
+    return results, elapsed, executor.stats
+
+
+def _time_service(graph, queries, k, rounds, epsilon_f, workers):
+    """Full serving layer: pool + persistent answer cache across rounds."""
+    service = SACService(graph, workers=workers)
+    results = {}
+    cache_hits = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        batch = service.submit_batch(queries, k, algorithm="appfast", epsilon_f=epsilon_f)
+        results.update(batch.results)
+        cache_hits += batch.cache_hits
+    elapsed = time.perf_counter() - start
+    service.close()
+    return results, elapsed, cache_hits
+
+
+def run_benchmark(dataset_names, *, scale, queries_per_dataset, k, epsilon_f, rounds, workers):
+    """Time the three paths per dataset; returns ``(rows, all_identical)``."""
+    rows = []
+    identical = True
+    totals = {"queries": 0, "serial": 0.0, "sharded": 0.0, "service": 0.0}
+
+    for name in dataset_names:
+        graph = load_dataset(name, scale=scale)
+        queries = select_query_vertices(
+            graph, count=queries_per_dataset, min_core=k, seed=9
+        )
+        if not queries:
+            print(f"  {name}: no queries with core number >= {k}, skipped")
+            continue
+        total_queries = len(queries) * rounds
+
+        serial_results, serial_time = _time_serial(graph, queries, k, rounds, epsilon_f)
+        sharded_results, sharded_time, _stats = _time_sharded(
+            graph, queries, k, rounds, epsilon_f, workers
+        )
+        service_results, service_time, cache_hits = _time_service(
+            graph, queries, k, rounds, epsilon_f, workers
+        )
+
+        matches = set(serial_results) == set(sharded_results) == set(service_results)
+        if matches:
+            matches = all(
+                _identical(serial_results[q], sharded_results[q])
+                and _identical(serial_results[q], service_results[q])
+                for q in serial_results
+            )
+        identical &= matches
+        totals["queries"] += total_queries
+        totals["serial"] += serial_time
+        totals["sharded"] += sharded_time
+        totals["service"] += service_time
+        rows.append(
+            {
+                "dataset": name,
+                "vertices": graph.num_vertices,
+                "queries": total_queries,
+                "serial_qps": round(total_queries / serial_time, 2),
+                "sharded_qps": round(total_queries / sharded_time, 2),
+                "service_qps": round(total_queries / service_time, 2),
+                "sharded_speedup": round(serial_time / sharded_time, 2),
+                "service_speedup": round(serial_time / service_time, 2),
+                "cache_hits": cache_hits,
+                "identical": matches,
+            }
+        )
+
+    if totals["service"] > 0:
+        rows.append(
+            {
+                "dataset": "OVERALL",
+                "vertices": "",
+                "queries": totals["queries"],
+                "serial_qps": round(totals["queries"] / totals["serial"], 2),
+                "sharded_qps": round(totals["queries"] / totals["sharded"], 2),
+                "service_qps": round(totals["queries"] / totals["service"], 2),
+                "sharded_speedup": round(totals["serial"] / totals["sharded"], 2),
+                "service_speedup": round(totals["serial"] / totals["service"], 2),
+                "cache_hits": "",
+                "identical": identical,
+            }
+        )
+    return rows, identical
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI smoke workload")
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale multiplier")
+    parser.add_argument("--queries", type=int, default=None, help="queries per batch")
+    parser.add_argument("--rounds", type=int, default=None, help="repeat rounds per batch")
+    parser.add_argument("--workers", type=int, default=4, help="process-pool size")
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--epsilon-f", type=float, default=0.5)
+    parser.add_argument(
+        "--datasets",
+        default="brightkite,gowalla,syn1",
+        help="comma-separated registry dataset names",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.5 if args.quick else 2.0)
+    queries = args.queries if args.queries is not None else (16 if args.quick else 48)
+    rounds = args.rounds if args.rounds is not None else (3 if args.quick else 4)
+    names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+
+    print(
+        f"sharded batch benchmark: datasets={names} scale={scale} queries={queries} "
+        f"rounds={rounds} workers={args.workers} k={args.k}"
+    )
+    rows, identical = run_benchmark(
+        names,
+        scale=scale,
+        queries_per_dataset=queries,
+        k=args.k,
+        epsilon_f=args.epsilon_f,
+        rounds=rounds,
+        workers=args.workers,
+    )
+    write_result(
+        "sharded_batch",
+        "Serving-layer batch throughput (serial vs sharded vs cached service)",
+        rows,
+    )
+    if not identical:
+        print("FAIL: execution paths returned diverging results", file=sys.stderr)
+        return 1
+    overall = next((r for r in rows if r["dataset"] == "OVERALL"), None)
+    if overall is not None:
+        target = "met" if overall["service_speedup"] >= 2.0 else "NOT met (machine-dependent)"
+        print(
+            f"overall: sharded {overall['sharded_speedup']}x, "
+            f"service {overall['service_speedup']}x vs serial "
+            f"({overall['service_qps']} q/s) — >=2x target {target}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

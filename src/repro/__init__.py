@@ -31,6 +31,10 @@ Public surface
   and edge updates to its bound graph in place and repairs the caches
   incrementally instead of rebuilding them.
 * :class:`repro.BatchSACProcessor` — engine-backed batch query processing.
+* :class:`repro.SACService` — the serving layer: sharded parallel batch
+  execution over a process pool plus a persistent, component-version
+  invalidated answer cache (:class:`repro.ShardedExecutor`,
+  :class:`repro.AnswerCache`).
 * :mod:`repro.core` — ``exact``, ``exact_plus``, ``app_inc``, ``app_fast``,
   ``app_acc``, ``theta_sac``.
 * :mod:`repro.graph` — the :class:`~repro.graph.SpatialGraph` substrate.
@@ -55,6 +59,7 @@ from repro.core import (
 )
 from repro.engine import EngineStats, IncrementalEngine, QueryEngine
 from repro.extensions.batch import BatchResult, BatchSACProcessor
+from repro.service import AnswerCache, SACService, ShardedExecutor
 from repro.exceptions import (
     DatasetError,
     GraphConstructionError,
@@ -65,7 +70,7 @@ from repro.exceptions import (
 )
 from repro.graph import GraphBuilder, SpatialGraph
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -78,6 +83,9 @@ __all__ = [
     "EngineStats",
     "BatchSACProcessor",
     "BatchResult",
+    "SACService",
+    "ShardedExecutor",
+    "AnswerCache",
     "exact",
     "exact_plus",
     "app_inc",

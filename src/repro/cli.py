@@ -16,6 +16,12 @@ Three subcommands cover the common workflows of a downstream user:
     batch processor, sharing the per-graph preprocessing, and print a
     throughput summary.
 
+``serve-batch``
+    Run repeated batches through the full serving layer
+    (:class:`repro.service.SACService`): shards execute on a process pool
+    partitioned by k-ĉore component, and an answer cache persists across
+    rounds.  Prints per-round throughput plus shard/cache statistics.
+
 ``track``
     Replay a check-in stream (from a file, or synthesised on the fly) and
     re-run SAC search for tracked users at each of their check-ins — the
@@ -33,6 +39,7 @@ Examples
     python -m repro.cli generate --kind geosocial --vertices 5000 --out graph.npz
     python -m repro.cli query graph.npz --vertex 42 --k 4 --algorithm exact+
     python -m repro.cli batch graph.npz --count 64 --k 4 --algorithm appfast
+    python -m repro.cli serve-batch graph.npz --count 64 --k 4 --workers 4 --rounds 3
     python -m repro.cli track graph.npz --track-count 8 --k 4
     python -m repro.cli stats graph.npz
 
@@ -102,6 +109,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--epsilon-f", type=float, default=0.5, help="AppFast slack")
     batch.add_argument("--epsilon-a", type=float, default=0.5, help="AppAcc / Exact+ accuracy")
+
+    serve = subparsers.add_parser(
+        "serve-batch",
+        help="run repeated batches through the sharded, answer-cached serving layer",
+    )
+    serve.add_argument("graph", help="graph .npz file produced by `generate`")
+    serve.add_argument(
+        "--vertices",
+        help="comma-separated query vertex labels (default: sample --count eligible vertices)",
+    )
+    serve.add_argument(
+        "--count", type=int, default=64, help="number of random eligible query vertices"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="sampling seed for --count")
+    serve.add_argument("--k", type=int, default=4, help="minimum degree threshold")
+    serve.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="appfast", help="SAC algorithm"
+    )
+    serve.add_argument("--epsilon-f", type=float, default=0.5, help="AppFast slack")
+    serve.add_argument("--epsilon-a", type=float, default=0.5, help="AppAcc / Exact+ accuracy")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="process-pool size for sharded execution (0 serves serially)",
+    )
+    serve.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="times the batch is submitted; rounds after the first exercise the cache",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the answer cache (every round recomputes)",
+    )
 
     track = subparsers.add_parser(
         "track", help="replay a check-in stream and track users' communities"
@@ -200,24 +244,34 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_queries(args: argparse.Namespace, graph) -> list:
+    """Resolve the query vertices of a batch-style subcommand.
+
+    Explicit ``--vertices`` labels win; otherwise ``--count`` eligible
+    vertices are sampled with ``--seed``.  Shared by ``batch`` and
+    ``serve-batch``.
+    """
+    if args.vertices:
+        labels = dict.fromkeys(_parse_label(part) for part in args.vertices.split(","))
+        return [graph.index_of(label) for label in labels]
+    from repro.experiments.queries import select_query_vertices
+
+    queries = select_query_vertices(
+        graph, count=args.count, min_core=args.k, seed=args.seed
+    )
+    if not queries:
+        raise InvalidParameterError(
+            f"graph has no vertices with core number >= {args.k}"
+        )
+    return queries
+
+
 def _command_batch(args: argparse.Namespace) -> int:
     graph = load_graph_npz(args.graph)
     processor = BatchSACProcessor(
         graph, args.k, algorithm=args.algorithm, algorithm_params=_algorithm_params(args)
     )
-    if args.vertices:
-        labels = dict.fromkeys(_parse_label(part) for part in args.vertices.split(","))
-        queries = [graph.index_of(label) for label in labels]
-    else:
-        from repro.experiments.queries import select_query_vertices
-
-        queries = select_query_vertices(
-            graph, count=args.count, min_core=args.k, seed=args.seed
-        )
-        if not queries:
-            raise InvalidParameterError(
-                f"graph has no vertices with core number >= {args.k}"
-            )
+    queries = _batch_queries(args, graph)
     batch = processor.run(queries)
     print(f"algorithm      : {args.algorithm} (k={args.k})")
     print(f"queries        : {len(queries)} ({batch.answered} answered, {len(batch.failed)} without community)")
@@ -237,6 +291,60 @@ def _command_batch(args: argparse.Namespace) -> int:
             f"radius {result.radius:.6f}"
         )
     return 0 if batch.answered else 1
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import SACService
+
+    if args.rounds < 1:
+        raise InvalidParameterError(f"--rounds must be at least 1, got {args.rounds}")
+    graph = load_graph_npz(args.graph)
+    service = SACService(graph, workers=args.workers, use_cache=not args.no_cache)
+    queries = _batch_queries(args, graph)
+    params = _algorithm_params(args)
+
+    mode = f"{args.workers} workers" if args.workers and args.workers >= 2 else "serial"
+    cache_mode = "no cache" if args.no_cache else "answer cache on"
+    print(f"algorithm      : {args.algorithm} (k={args.k}, {mode}, {cache_mode})")
+    print(f"queries        : {len(queries)} per round, {args.rounds} round(s)")
+    answered = 0
+    try:
+        for round_index in range(args.rounds):
+            start = time.perf_counter()
+            batch = service.submit_batch(
+                queries, args.k, algorithm=args.algorithm, **params
+            )
+            elapsed = time.perf_counter() - start
+            answered = batch.answered
+            rate = batch.answered / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"  round {round_index + 1}: {batch.answered} answered, "
+                f"{len(batch.failed)} without community, {len(batch.errors)} errors, "
+                f"{batch.cache_hits} cache hits, {elapsed:.4f}s ({rate:.1f} q/s)"
+            )
+            for query, message in sorted(batch.errors.items()):
+                print(f"    error vertex {query}: {message}", file=sys.stderr)
+    finally:
+        service.close()
+    stats = service.stats()
+    print(
+        f"executor       : {stats.executor.shards_executed} shards, "
+        f"{stats.executor.batches_parallel} parallel / "
+        f"{stats.executor.batches_serial} serial batches, "
+        f"{stats.executor.serial_fallbacks} fallbacks"
+    )
+    if stats.cache is not None:
+        print(
+            f"cache          : {stats.cache.hits} hits, {stats.cache.misses} misses, "
+            f"{stats.cache.invalidations} invalidations, {stats.cache.evictions} evictions"
+        )
+    print(
+        f"engine         : {stats.engine.components_materialised} bundles built, "
+        f"{stats.engine.core_decompositions} core decomposition(s)"
+    )
+    return 0 if answered else 1
 
 
 def _command_track(args: argparse.Namespace) -> int:
@@ -348,6 +456,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "query": _command_query,
         "batch": _command_batch,
+        "serve-batch": _command_serve_batch,
         "track": _command_track,
         "stats": _command_stats,
     }

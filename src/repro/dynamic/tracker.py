@@ -1,15 +1,17 @@
 """Tracking a user's SAC over time as their location changes.
 
 The replay loop comes in two flavours.  The **incremental** path (default)
-binds one :class:`repro.engine.IncrementalEngine` to a private mutable copy
-of the graph, feeds every check-in through
-:meth:`~repro.engine.IncrementalEngine.apply_checkin`, and answers each
-tracked user's query from the engine's caches — the core decomposition,
-k-ĉore labellings, and per-component artifacts are built once and merely
-*patched* as locations move.  The **rebuild** path (``incremental=False``)
-reproduces the naive baseline: materialise a coordinate snapshot and run the
-algorithm from scratch at every tracked check-in.  Both paths return
-bit-identical timelines; the benchmark
+binds a :class:`repro.service.SACService` to an
+:class:`repro.engine.IncrementalEngine` over a private mutable copy of the
+graph, feeds every check-in through
+:meth:`~repro.service.SACService.apply_checkin`, and answers each tracked
+user's query through the service — the core decomposition, k-ĉore
+labellings, and per-component artifacts are built once and merely *patched*
+as locations move, and the service's answer cache serves repeat queries
+whose component no intervening check-in touched.  The **rebuild** path
+(``incremental=False``) reproduces the naive baseline: materialise a
+coordinate snapshot and run the algorithm from scratch at every tracked
+check-in.  Both paths return bit-identical timelines; the benchmark
 ``benchmarks/bench_incremental_dynamic.py`` measures the gap between them.
 """
 
@@ -24,6 +26,7 @@ from repro.dynamic.stream import LocationStream
 from repro.engine import IncrementalEngine
 from repro.exceptions import InvalidParameterError, NoCommunityError
 from repro.geometry.circle import Circle
+from repro.service import SACService
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,11 @@ class SACTracker:
         The :class:`~repro.engine.IncrementalEngine` used by the most recent
         incremental :meth:`track` call (``None`` before the first call or on
         the rebuild path); its ``stats`` expose the cache-repair counters.
+    last_service:
+        The :class:`~repro.service.SACService` wrapping that engine for the
+        most recent incremental replay; its :meth:`~repro.service.SACService.stats`
+        expose the answer-cache hit/invalidation counters alongside the
+        engine's.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class SACTracker:
         self.algorithm_params = dict(algorithm_params or {})
         self.incremental = incremental
         self.last_engine: Optional[IncrementalEngine] = None
+        self.last_service: Optional[SACService] = None
 
     def track(self, users: Sequence[int]) -> Dict[int, List[CommunitySnapshot]]:
         """Replay the stream and return each tracked user's community timeline.
@@ -142,18 +151,26 @@ class SACTracker:
     def _track_incremental(
         self, tracked: Set[int], timelines: Dict[int, List[CommunitySnapshot]]
     ) -> None:
-        """One engine absorbs the whole stream; queries hit warm caches."""
+        """One service absorbs the whole stream; queries hit warm caches.
+
+        Check-ins and queries both flow through a :class:`SACService`, so the
+        engine's artifact repair and the answer cache's component-version
+        invalidation stay in lockstep: a tracked user's own check-in bumps
+        their component and forces a fresh answer, while queries untouched by
+        intervening moves are served from the cache bit-identically.
+        """
         work = self.stream.snapshot().mutable_copy()
-        engine = IncrementalEngine(work)
-        self.last_engine = engine
+        service = SACService(engine=IncrementalEngine(work))
+        self.last_engine = service.engine
+        self.last_service = service
         for record in self.stream.replay():
-            engine.apply_checkin(record.user, record.x, record.y)
+            service.apply_checkin(record.user, record.x, record.y)
             if record.user not in tracked:
                 continue
             self._append_snapshot(
                 timelines,
                 record,
-                lambda: engine.search(
+                lambda: service.search(
                     record.user, self.k, algorithm=self.algorithm, **self.algorithm_params
                 ),
             )

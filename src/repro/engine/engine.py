@@ -31,6 +31,7 @@ component's bundle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,9 +39,15 @@ import numpy as np
 from repro.core.base import CandidateArtifacts, QueryContext, validate_query
 from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
-from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
 from repro.graph.spatial_graph import Label, SpatialGraph
 from repro.kcore.decomposition import core_numbers, gather_neighbors
+
+#: Monotone source of :attr:`QueryEngine.cache_token` values.  Tokens are
+#: process-unique (unlike ``id()``, which the allocator recycles), so an
+#: external answer cache can key entries by engine without ever confusing a
+#: dead engine's answers with a new engine bound to a different graph.
+_CACHE_TOKENS = count()
 
 
 @dataclass
@@ -120,6 +127,9 @@ class QueryEngine:
     def __init__(self, graph: SpatialGraph) -> None:
         self.graph = graph
         self.stats = EngineStats()
+        #: Process-unique identity of this engine, used by
+        #: :class:`repro.service.AnswerCache` to namespace cached answers.
+        self.cache_token: int = next(_CACHE_TOKENS)
         self._cores: Optional[np.ndarray] = None
         # k -> (component labels array with -1 outside the k-core, #components)
         self._labels: Dict[int, Tuple[np.ndarray, int]] = {}
@@ -130,6 +140,12 @@ class QueryEngine:
         # component id, so bundles survive a labelling rebuild (see module
         # docstring).
         self._artifacts: Dict[Tuple[int, int], CandidateArtifacts] = {}
+        # (k, representative) -> monotone version, bumped by the incremental
+        # engine whenever the component's bundle is patched in place or
+        # dropped.  Answer caches record the version an answer was computed
+        # at and treat any bump as an eviction notice; for a static engine
+        # the counters never move, so cached answers stay valid forever.
+        self._bundle_versions: Dict[Tuple[int, int], int] = {}
 
     # --------------------------------------------------------- shared artefacts
     def core_numbers(self) -> np.ndarray:
@@ -183,7 +199,43 @@ class QueryEngine:
         """Warm the shared caches for degree threshold ``k``; returns #components."""
         return self.component_labels(k)[1]
 
-    def _component_artifacts(self, k: int, component: int) -> CandidateArtifacts:
+    def component_of(self, query: int, k: int) -> Tuple[int, int]:
+        """Return ``(component id, representative)`` of ``query``'s k-ĉore.
+
+        The component id indexes the current labelling of
+        :meth:`component_labels`; the representative (the component's minimum
+        member vertex) is the stable half of the pair — it survives labelling
+        rebuilds for any component whose member set did not change, which is
+        why bundle and answer caches key by it.  Raises
+        :class:`NoCommunityError` when the query vertex is in no k-core.
+        """
+        validate_query(self.graph, query, k)
+        labels, _ = self.component_labels(k)
+        component = int(labels[query])
+        if component < 0:
+            raise NoCommunityError(query, k)
+        return component, int(self._reps[k][component])
+
+    def component_version(self, k: int, representative: int) -> int:
+        """Current version of the ``(k, representative)`` component's artifacts.
+
+        Starts at 0 and is bumped by :class:`IncrementalEngine` every time the
+        component's bundle is patched (location update) or invalidated (edge
+        update).  An answer computed at version ``v`` is stale exactly when
+        the current version differs from ``v``.
+        """
+        return self._bundle_versions.get((k, int(representative)), 0)
+
+    def component_artifacts(self, k: int, component: int) -> CandidateArtifacts:
+        """Return the cached artifact bundle of one ``(k, component)``.
+
+        Builds the bundle on first use (counted in
+        ``stats.components_materialised``), exactly as a query landing in the
+        component would.  ``component`` indexes the current labelling of
+        :meth:`component_labels`.  This is the supported way for outer layers
+        (notably :class:`repro.service.ShardedExecutor`, which serialises the
+        bundle arrays into shard payloads) to reach the bundle cache.
+        """
         labels, _ = self.component_labels(k)
         key = (k, int(self._reps[k][component]))
         artifacts = self._artifacts.get(key)
@@ -208,7 +260,7 @@ class QueryEngine:
         component = int(labels[query])
         if component < 0:
             raise NoCommunityError(query, k)
-        artifacts = self._component_artifacts(k, component)
+        artifacts = self.component_artifacts(k, component)
         self.stats.contexts_served += 1
         return QueryContext(self.graph, query, k, artifacts=artifacts)
 
@@ -247,16 +299,26 @@ class QueryEngine:
         *,
         algorithm: str = "appfast",
         missing_ok: bool = True,
+        errors: Optional[Dict[int, str]] = None,
         **params: float,
     ) -> Dict[int, Optional[SACResult]]:
         """Answer a sequence of queries, mapping each to its result.
 
         Queries without a community map to ``None`` when ``missing_ok`` (the
-        default); otherwise the first failure raises.  For batch bookkeeping
-        (timings, failure lists, grouping) use
-        :class:`repro.extensions.BatchSACProcessor`, which is built on this
-        engine.
+        default); otherwise the first failure raises.  Per-query *errors*
+        (an unknown vertex, an invalid per-query parameter) are distinct from
+        "no community": when an ``errors`` dict is supplied, each failing
+        query is recorded there as ``query -> message`` and maps to ``None``
+        in the result, so one bad query never discards the rest of the
+        batch's answers; without ``errors`` the first such error raises,
+        exactly like a single :meth:`search` call.  For full batch
+        bookkeeping (timings, failure lists, shard/cache stats) use
+        :class:`repro.service.SACService`, which is built on this engine.
         """
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
         results: Dict[int, Optional[SACResult]] = {}
         for query in queries:
             query = int(query)
@@ -265,5 +327,10 @@ class QueryEngine:
             except NoCommunityError:
                 if not missing_ok:
                     raise
+                results[query] = None
+            except (InvalidParameterError, VertexNotFoundError) as error:
+                if errors is None:
+                    raise
+                errors[query] = str(error)
                 results[query] = None
         return results

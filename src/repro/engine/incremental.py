@@ -69,7 +69,7 @@ class IncrementalEngine(QueryEngine):
         user = int(user)
         x, y = float(x), float(y)
         self.graph.update_location(user, x, y)  # validates the vertex
-        for bundle in self._artifacts.values():
+        for key, bundle in self._artifacts.items():
             candidates = bundle.candidate_array
             position = int(np.searchsorted(candidates, user))
             if position < candidates.size and candidates[position] == user:
@@ -78,6 +78,7 @@ class IncrementalEngine(QueryEngine):
                 # future distance vectors will read.
                 bundle.grid.move_point(position, x, y)
                 self.stats.bundles_patched += 1
+                self._bump_version(key)
         self.stats.location_updates += 1
 
     # ----------------------------------------------------------- edge updates
@@ -191,6 +192,7 @@ class IncrementalEngine(QueryEngine):
             if probes and self._bundle_contains_any(key, np.concatenate(probes)):
                 del self._artifacts[key]
                 self.stats.bundles_invalidated += 1
+                self._bump_version(key)
 
         for k in list(self._labels):
             drop = False
@@ -209,6 +211,19 @@ class IncrementalEngine(QueryEngine):
                 del self._labels[k]
                 del self._reps[k]
                 self.stats.labelings_invalidated += 1
+
+    def _bump_version(self, key: Tuple[int, int]) -> None:
+        """Advance the component version behind ``(k, representative)``.
+
+        The version counter is the eviction signal consumed by
+        :class:`repro.service.AnswerCache`: every in-place patch (check-in)
+        and every bundle drop (edge update) moves it, so a cached answer
+        recorded at an older version is known stale without the cache ever
+        inspecting the graph.  Bumps ride the existing representative-keyed
+        invalidation machinery — a component the update did not touch keeps
+        its version, and with it every cached answer.
+        """
+        self._bundle_versions[key] = self._bundle_versions.get(key, 0) + 1
 
     def _bundle_contains_any(self, key: Tuple[int, int], vertices: np.ndarray) -> bool:
         """Whether the bundle's sorted candidate array intersects ``vertices``."""

@@ -1,64 +1,37 @@
 """Batch processing of SAC queries (future-work item of the paper).
 
 Applications such as event recommendation fire SAC queries for many users at
-once (everyone who opened the app in the last minute).  Answering each query
-independently repeats three graph-wide computations: the core decomposition,
-the extraction of the k-ĉore containing each query, and the construction of a
-spatial index over the candidates.  :class:`BatchSACProcessor` delegates all
-three to a :class:`repro.engine.QueryEngine`, so they are computed once per
-graph and shared across every query (and every subsequent batch on the same
-processor):
+once (everyone who opened the app in the last minute).
+:class:`BatchSACProcessor` is the stable batch API over the serving layer:
+it binds a graph, a threshold ``k``, and an algorithm once, and delegates
+execution to a :class:`repro.service.SACService`, which layers three kinds
+of reuse under it:
 
-* core numbers are computed once per graph;
-* queries are grouped by the k-ĉore component they belong to (queries in the
-  same component share candidate sets and the component's grid index);
-* per-component grid indexes are cached and reused.
+* per-graph preprocessing shared through a :class:`repro.engine.QueryEngine`
+  (core numbers once per graph, candidate artifacts once per component);
+* optional **sharded parallel execution** — pass ``workers=4`` to run each
+  batch's k-ĉore-component shards on a process pool;
+* an optional **answer cache** persistent across batches — pass
+  ``use_cache=True`` to serve repeat queries without recomputation.
 
-The per-query algorithm is any of the library's SAC algorithms; the batch
-layer only removes redundant shared work, so the returned communities are
-identical to the single-query API.
+Both options default off, preserving the processor's historical serial
+behaviour; results are bit-identical whichever combination is enabled.  The
+per-query algorithm is any of the library's SAC algorithms; the batch layer
+only removes redundant work, so the returned communities are identical to
+the single-query API.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
 from repro.engine import QueryEngine
-from repro.exceptions import InvalidParameterError, NoCommunityError
+from repro.exceptions import InvalidParameterError
 from repro.graph.spatial_graph import SpatialGraph
+from repro.service import BatchResult, SACService
 
-
-@dataclass
-class BatchResult:
-    """Outcome of a batch run.
-
-    Attributes
-    ----------
-    results:
-        Mapping query vertex -> :class:`SACResult` (queries with no community
-        are absent).
-    failed:
-        Query vertices for which no community exists.
-    elapsed_seconds:
-        Total wall-clock time of the batch, including the shared
-        preprocessing.
-    shared_preprocessing_seconds:
-        Portion of the time spent on work shared across queries.
-    """
-
-    results: Dict[int, SACResult] = field(default_factory=dict)
-    failed: List[int] = field(default_factory=list)
-    elapsed_seconds: float = 0.0
-    shared_preprocessing_seconds: float = 0.0
-
-    @property
-    def answered(self) -> int:
-        """Number of queries that produced a community."""
-        return len(self.results)
+__all__ = ["BatchResult", "BatchSACProcessor"]
 
 
 class BatchSACProcessor:
@@ -80,6 +53,14 @@ class BatchSACProcessor:
         from; pass one to share preprocessing with other processors (e.g.
         batches at different ``k``) or an interactive searcher over the same
         graph.  A private engine is created when omitted.
+    workers:
+        Process-pool size for sharded parallel batch execution (see
+        :class:`repro.service.ShardedExecutor`); ``None`` (default) keeps
+        the serial path.
+    use_cache:
+        Keep a :class:`repro.service.AnswerCache` across batches on this
+        processor.  Off by default: the processor historically recomputed
+        repeat queries, and some callers time exactly that.
     """
 
     def __init__(
@@ -90,6 +71,8 @@ class BatchSACProcessor:
         algorithm: str = "appfast",
         algorithm_params: Optional[Dict[str, float]] = None,
         engine: Optional[QueryEngine] = None,
+        workers: Optional[int] = None,
+        use_cache: bool = False,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
@@ -104,6 +87,9 @@ class BatchSACProcessor:
         self.algorithm = algorithm
         self.algorithm_params = dict(algorithm_params or {})
         self.engine = engine if engine is not None else QueryEngine(graph)
+        self.service = SACService(
+            engine=self.engine, workers=workers, use_cache=use_cache
+        )
 
     # ---------------------------------------------------------------- queries
     def eligible_queries(self, queries: Iterable[int]) -> List[int]:
@@ -118,36 +104,26 @@ class BatchSACProcessor:
     def run(self, queries: Sequence[int]) -> BatchResult:
         """Answer every query in ``queries`` and return the batch outcome.
 
-        The shared phase warms the engine's per-graph caches (core numbers,
-        k-ĉore component labels); the engine then serves every query's
-        candidate artifacts from its per-component cache, so the shared work
-        is performed once per component rather than once per query.
+        Delegates to :meth:`repro.service.SACService.submit_batch`: the
+        engine serves each query's candidate artifacts from its
+        per-component cache, shards run in parallel when the processor was
+        built with ``workers``, and previously answered queries come from
+        the answer cache when ``use_cache`` is on.  Out-of-range query ids
+        are reported in :attr:`BatchResult.errors`; vertices outside every
+        k-core in :attr:`BatchResult.failed`.
         """
-        start = time.perf_counter()
-        batch = BatchResult()
-
-        shared_start = time.perf_counter()
-        labels, _ = self.engine.component_labels(self.k)
-        batch.shared_preprocessing_seconds = time.perf_counter() - shared_start
-
-        for query in queries:
-            query = int(query)
-            in_core = 0 <= query < self.graph.num_vertices and labels[query] >= 0
-            if not in_core:
-                batch.failed.append(query)
-                continue
-            try:
-                result = self.engine.search(
-                    query, self.k, algorithm=self.algorithm, **self.algorithm_params
-                )
-            except NoCommunityError:
-                batch.failed.append(query)
-                continue
-            batch.results[query] = result
-
-        batch.elapsed_seconds = time.perf_counter() - start
-        return batch
+        return self.service.submit_batch(
+            queries, self.k, algorithm=self.algorithm, **self.algorithm_params
+        )
 
     def run_labels(self, labels: Sequence[object]) -> BatchResult:
         """Convenience wrapper accepting user-facing vertex labels."""
         return self.run([self.graph.index_of(label) for label in labels])
+
+    def close(self) -> None:
+        """Release the underlying process pool (only relevant with ``workers``).
+
+        The pool is recreated automatically if the processor runs another
+        parallel batch afterwards; without ``workers`` this is a no-op.
+        """
+        self.service.close()

@@ -93,6 +93,32 @@ class SpatialGraph:
         if build_index:
             _ = self.grid
 
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        coordinates: np.ndarray,
+        labels: Optional[Sequence[Label]] = None,
+    ) -> "SpatialGraph":
+        """Build a graph directly from a CSR adjacency view.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` must be the sorted neighbours of
+        vertex ``v``.  The per-vertex adjacency rows become views into one
+        shared ``int32`` copy of ``indices`` (no per-row allocation) and the
+        CSR view is installed eagerly, so hot loops skip the lazy rebuild.
+        This is how :mod:`repro.service.sharding` workers reconstruct a
+        component-local graph from a pickled shard payload.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices32 = np.asarray(indices, dtype=np.int32)
+        adjacency = [
+            indices32[indptr[v] : indptr[v + 1]] for v in range(indptr.size - 1)
+        ]
+        graph = cls(adjacency, coordinates, labels)
+        graph._csr = (indptr, np.asarray(indices, dtype=np.int64))
+        return graph
+
     # ------------------------------------------------------------------ size
     @property
     def num_vertices(self) -> int:

@@ -1,0 +1,32 @@
+"""The serving layer: sharded parallel batches plus a persistent answer cache.
+
+Serving heavy SAC traffic over one graph stacks three reuse levels:
+
+1. the **engine** (:mod:`repro.engine`) shares per-graph preprocessing
+   across queries;
+2. the **sharded executor** (:class:`ShardedExecutor`) runs a batch's
+   k-ĉore-component shards on a process pool, serialising each component's
+   artifacts once per shard;
+3. the **answer cache** (:class:`AnswerCache`) shares finished answers
+   across batches, invalidated per component by the engine's version
+   counters so dynamic updates evict only what they touched.
+
+:class:`SACService` fronts all three; every path returns bit-identical
+results (enforced by ``tests/test_differential.py``).
+"""
+
+from repro.service.cache import AnswerCache, CacheStats
+from repro.service.facade import SACService, ServiceStats
+from repro.service.results import BatchResult
+from repro.service.sharding import ExecutorStats, ShardedExecutor, ShardPayload
+
+__all__ = [
+    "AnswerCache",
+    "BatchResult",
+    "CacheStats",
+    "ExecutorStats",
+    "SACService",
+    "ServiceStats",
+    "ShardPayload",
+    "ShardedExecutor",
+]

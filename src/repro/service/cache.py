@@ -1,0 +1,197 @@
+"""The persistent answer cache of the serving layer.
+
+Batch workloads repeat themselves: the same popular users re-query every few
+minutes, trackers re-ask after every check-in, dashboards refresh.  Computing
+a SAC answer costs a distance vector plus a search; *re*-computing an
+unchanged answer costs the same again for nothing.  :class:`AnswerCache` is
+an LRU map from ``(engine, query, k, algorithm, params)`` to the
+:class:`~repro.core.result.SACResult` previously computed for it, persistent
+across batches for the lifetime of the service that owns it.
+
+Correct invalidation is the whole game, and it rides the engine's existing
+representative-keyed bundle machinery rather than duplicating it.  Every
+cached answer records the ``(k, representative)`` of the component it was
+computed in and that component's **version**
+(:meth:`~repro.engine.QueryEngine.component_version`).  The incremental
+engine bumps the version whenever it patches a bundle in place (check-in) or
+drops one (edge update) — which is *exactly* the set of mutations that can
+change any answer inside the component — so a lookup simply compares
+versions: mismatch means stale, and only the touched component's answers are
+evicted.  Static engines never bump, so their answers never expire.
+
+Two classes of answers are deliberately not cached:
+
+* ``k == 1`` answers — the nearest-neighbour shortcut never materialises a
+  bundle, so no version counter guards it;
+* negative answers (no community) — a vertex outside every k-core belongs to
+  no component, so nothing would version-guard the "no" once edge updates
+  start promoting vertices.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.result import SACResult
+from repro.engine import QueryEngine
+from repro.exceptions import InvalidParameterError, NoCommunityError
+
+#: Full cache key: engine token, query vertex, k, algorithm, sorted params.
+CacheKey = Tuple[int, int, int, str, Tuple[Tuple[str, float], ...]]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`AnswerCache`.
+
+    Attributes
+    ----------
+    hits:
+        Lookups answered from the cache.
+    misses:
+        Lookups that found no usable entry.  Uncacheable ``k == 1`` lookups
+        are *not* counted here — only in ``uncacheable`` — so
+        ``hits + misses + uncacheable`` equals total lookups.
+    invalidations:
+        Entries dropped at lookup time because their component's version had
+        moved (or the query vertex left its component entirely).
+    stores / evictions:
+        Answers written, and answers pushed out by the LRU capacity bound.
+    uncacheable:
+        Lookups/stores skipped because the answer class is never cached
+        (``k == 1``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stores: int = 0
+    evictions: int = 0
+    uncacheable: int = 0
+
+
+class AnswerCache:
+    """LRU cache of SAC answers with component-version invalidation.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached answers; the least recently used entry is
+        evicted beyond it.
+
+    Examples
+    --------
+    >>> cache = AnswerCache(capacity=1024)                   # doctest: +SKIP
+    >>> cache.lookup(engine, 42, 4, "appfast", {})           # doctest: +SKIP
+    >>> cache.store(engine, 42, 4, "appfast", {}, result)    # doctest: +SKIP
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if not isinstance(capacity, int) or capacity < 1:
+            raise InvalidParameterError(
+                f"capacity must be a positive integer, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self.stats = CacheStats()
+        # key -> (result, representative, component version at store time)
+        self._entries: "OrderedDict[CacheKey, Tuple[SACResult, int, int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(
+        engine: QueryEngine, query: int, k: int, algorithm: str, params: Dict[str, float]
+    ) -> CacheKey:
+        """Build the full cache key (engine-namespaced, params canonicalised)."""
+        return (
+            engine.cache_token,
+            int(query),
+            int(k),
+            algorithm,
+            tuple(sorted(params.items())),
+        )
+
+    # ------------------------------------------------------------------- API
+    def lookup(
+        self,
+        engine: QueryEngine,
+        query: int,
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+    ) -> Optional[SACResult]:
+        """Return the cached answer for the query, or ``None``.
+
+        A hit requires the stored entry's component representative *and*
+        version to match the engine's current view; anything else drops the
+        entry and reports a miss, so a stale answer can never be served.
+        """
+        if k == 1:
+            self.stats.uncacheable += 1
+            return None
+        key = self._key(engine, query, k, algorithm, params)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        result, representative, version = entry
+        try:
+            _, current_rep = engine.component_of(int(query), int(k))
+        except NoCommunityError:
+            # The vertex fell out of the k-core since the answer was cached.
+            current_rep = -1
+        if (
+            current_rep != representative
+            or engine.component_version(k, representative) != version
+        ):
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        # Fresh stats dict per hit: SACResult is frozen but its stats dict is
+        # not, and a caller writing into it must never corrupt the cached
+        # copy (or other callers' hits).
+        return replace(result, stats=dict(result.stats))
+
+    def store(
+        self,
+        engine: QueryEngine,
+        query: int,
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+        result: SACResult,
+    ) -> None:
+        """Cache ``result``, stamped with its component's current version.
+
+        The entry keeps a private copy of the mutable stats dict, so the
+        caller who received ``result`` can annotate it freely without
+        reaching into the cache.
+        """
+        if k == 1:
+            self.stats.uncacheable += 1
+            return
+        _, representative = engine.component_of(int(query), int(k))
+        version = engine.component_version(k, representative)
+        key = self._key(engine, query, k, algorithm, params)
+        self._entries[key] = (
+            replace(result, stats=dict(result.stats)),
+            representative,
+            version,
+        )
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped

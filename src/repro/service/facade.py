@@ -1,0 +1,218 @@
+"""The :class:`SACService` facade — the one-stop SAC serving surface.
+
+Everything the serving layer offers behind a single object: a shared
+:class:`~repro.engine.QueryEngine` (or
+:class:`~repro.engine.IncrementalEngine` for dynamic graphs), a
+:class:`~repro.service.sharding.ShardedExecutor` for parallel batch
+execution, and an :class:`~repro.service.cache.AnswerCache` that persists
+answers across batches.  :class:`repro.extensions.BatchSACProcessor`,
+:class:`repro.dynamic.SACTracker`, and the CLI ``serve-batch`` subcommand
+are all thin shells over this facade.
+
+The layering keeps one invariant: every path — single query, serial batch,
+sharded batch, cache hit — returns bit-identical
+:class:`~repro.core.result.SACResult`\\ s for the same graph state.  The
+cache can only make that claim because invalidation is driven by the
+engine's component-version counters (see :mod:`repro.service.cache`), which
+the incremental engine bumps for exactly the components each mutation
+touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import SACResult
+from repro.core.searcher import ALGORITHMS
+from repro.engine import EngineStats, IncrementalEngine, QueryEngine
+from repro.exceptions import InvalidParameterError
+from repro.graph.spatial_graph import SpatialGraph
+from repro.service.cache import AnswerCache, CacheStats
+from repro.service.results import BatchResult
+from repro.service.sharding import ExecutorStats, ShardedExecutor, default_pool_factory
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated view over the service's three moving parts."""
+
+    engine: EngineStats
+    executor: ExecutorStats
+    cache: Optional[CacheStats]
+
+
+class SACService:
+    """Serve SAC queries and batches over one graph.
+
+    Parameters
+    ----------
+    graph:
+        Graph to serve; a private :class:`~repro.engine.QueryEngine` is
+        created over it.  Mutually exclusive with ``engine``.
+    engine:
+        An existing engine to serve from — pass an
+        :class:`~repro.engine.IncrementalEngine` to combine serving with
+        in-place graph mutation (check-ins, edge updates); the answer cache
+        follows the mutations through the engine's component versions.
+    workers:
+        Process-pool size for sharded batch execution; ``None`` serves every
+        batch serially (still engine-cached, still answer-cached).
+    use_cache / cache_capacity:
+        Whether to keep an :class:`~repro.service.cache.AnswerCache`, and its
+        LRU capacity.
+    pool_factory:
+        Forwarded to :class:`~repro.service.sharding.ShardedExecutor`.
+
+    Examples
+    --------
+    >>> service = SACService(graph, workers=4)              # doctest: +SKIP
+    >>> batch = service.submit_batch(queries, k=4)          # doctest: +SKIP
+    >>> batch2 = service.submit_batch(queries, k=4)         # doctest: +SKIP
+    >>> batch2.cache_hits == batch.answered                 # doctest: +SKIP
+    True
+    """
+
+    def __init__(
+        self,
+        graph: Optional[SpatialGraph] = None,
+        *,
+        engine: Optional[QueryEngine] = None,
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+        cache_capacity: int = 4096,
+        pool_factory: Callable[[int], object] = default_pool_factory,
+    ) -> None:
+        if (graph is None) == (engine is None):
+            raise InvalidParameterError("pass exactly one of graph or engine")
+        self.engine = engine if engine is not None else QueryEngine(graph)
+        self.executor = ShardedExecutor(
+            self.engine, workers=workers, pool_factory=pool_factory
+        )
+        self.cache: Optional[AnswerCache] = (
+            AnswerCache(cache_capacity) if use_cache else None
+        )
+
+    @property
+    def graph(self) -> SpatialGraph:
+        """The graph the service is bound to (via its engine)."""
+        return self.engine.graph
+
+    # ----------------------------------------------------------------- serving
+    def warm(self, k: int) -> int:
+        """Warm the engine caches for threshold ``k``; returns #components."""
+        return self.engine.prepare(k)
+
+    def search(
+        self, query: int, k: int, *, algorithm: str = "appfast", **params: float
+    ) -> SACResult:
+        """Answer one query, consulting the answer cache first.
+
+        Raises exactly what :meth:`repro.engine.QueryEngine.search` raises;
+        a cache hit returns the previously computed result, which the
+        version-guarded invalidation keeps bit-identical to a fresh
+        computation.
+        """
+        if self.cache is not None:
+            cached = self.cache.lookup(self.engine, query, k, algorithm, params)
+            if cached is not None:
+                return cached
+        result = self.engine.search(query, k, algorithm=algorithm, **params)
+        if self.cache is not None:
+            self.cache.store(self.engine, query, k, algorithm, params, result)
+        return result
+
+    def submit_batch(
+        self,
+        queries: Sequence[int],
+        k: int,
+        *,
+        algorithm: str = "appfast",
+        **params: float,
+    ) -> BatchResult:
+        """Answer a batch: cache hits first, the rest sharded to the executor.
+
+        Cache hits are merged with the executor's freshly computed answers
+        (which are stored back into the cache) into one
+        :class:`BatchResult`; ``cache_hits`` counts the queries that never
+        reached the executor.
+        """
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        if self.cache is None:
+            return self.executor.run(queries, k, algorithm=algorithm, **params)
+
+        start = perf_counter()
+        hits: Dict[int, SACResult] = {}
+        misses: List[int] = []
+        hit_count = 0
+        for query in queries:
+            query = int(query)
+            if query in hits:
+                hit_count += 1
+                continue
+            cached = self.cache.lookup(self.engine, query, k, algorithm, params)
+            if cached is not None:
+                hits[query] = cached
+                hit_count += 1
+            else:
+                misses.append(query)
+
+        if misses:
+            batch = self.executor.run(misses, k, algorithm=algorithm, **params)
+            for query, result in batch.results.items():
+                self.cache.store(self.engine, query, k, algorithm, params, result)
+        else:
+            # Fully cache-served round: nothing to shard, nothing to execute.
+            batch = BatchResult()
+        batch.results.update(hits)
+        batch.cache_hits = hit_count
+        batch.elapsed_seconds = perf_counter() - start
+        return batch
+
+    # ------------------------------------------------------------- mutation
+    def _incremental_engine(self) -> IncrementalEngine:
+        """Return the bound engine if it supports in-place mutation."""
+        if not isinstance(self.engine, IncrementalEngine):
+            raise InvalidParameterError(
+                "this service is bound to a static QueryEngine; construct it "
+                "with engine=IncrementalEngine(graph) to apply updates"
+            )
+        return self.engine
+
+    def apply_checkin(self, user: int, x: float, y: float) -> None:
+        """Apply a location update through the incremental engine.
+
+        The engine patches its bundles in place and bumps the touched
+        component versions, which lazily evicts exactly the cached answers
+        the move could have changed.
+        """
+        self._incremental_engine().apply_checkin(user, x, y)
+
+    def apply_edge(self, u: int, v: int, op: str = "insert") -> np.ndarray:
+        """Apply an edge update through the incremental engine.
+
+        Returns the vertices whose core number changed, as
+        :meth:`repro.engine.IncrementalEngine.apply_edge` does; cached
+        answers of every invalidated component expire via the same version
+        bumps.
+        """
+        return self._incremental_engine().apply_edge(u, v, op)
+
+    def close(self) -> None:
+        """Release the executor's process pool (recreated on next use)."""
+        self.executor.close()
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> ServiceStats:
+        """Snapshot of engine, executor, and cache counters."""
+        return ServiceStats(
+            engine=self.engine.stats,
+            executor=self.executor.stats,
+            cache=self.cache.stats if self.cache is not None else None,
+        )

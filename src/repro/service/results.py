@@ -1,0 +1,56 @@
+"""Batch outcome type shared by every batch-execution surface.
+
+:class:`BatchResult` is produced by :class:`repro.service.SACService`,
+:class:`repro.service.ShardedExecutor`, and (via its service delegation)
+:class:`repro.extensions.BatchSACProcessor`.  It lives in the service layer
+— the lowest layer that produces it — and is re-exported from
+``repro.extensions.batch`` for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.result import SACResult
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a batch run.
+
+    Attributes
+    ----------
+    results:
+        Mapping query vertex -> :class:`SACResult` (queries with no community
+        are absent).
+    failed:
+        Query vertices for which no community exists (one entry per
+        occurrence in the submitted batch).
+    errors:
+        Mapping query vertex -> error message for queries that could not be
+        *attempted* — an unknown vertex index, an invalid per-query
+        parameter.  Distinct from ``failed`` (a valid query whose answer is
+        "no community"); before this field existed such queries were silently
+        folded into ``failed``.
+    elapsed_seconds:
+        Total wall-clock time of the batch, including the shared
+        preprocessing.
+    shared_preprocessing_seconds:
+        Portion of the time spent on work shared across queries.
+    cache_hits:
+        Queries answered straight from the :class:`repro.service.AnswerCache`
+        (0 when the executing surface has no cache).
+    """
+
+    results: Dict[int, SACResult] = field(default_factory=dict)
+    failed: List[int] = field(default_factory=list)
+    errors: Dict[int, str] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    shared_preprocessing_seconds: float = 0.0
+    cache_hits: int = 0
+
+    @property
+    def answered(self) -> int:
+        """Number of queries that produced a community."""
+        return len(self.results)

@@ -1,0 +1,426 @@
+"""Parallel sharded batch execution of SAC queries.
+
+A batch of SAC queries at one degree threshold ``k`` decomposes naturally
+along the k-ĉore components the engine already labels: two queries in
+different components share *no* state beyond the labelling itself — not the
+candidate set, not the grid index, not the local CSR.  That makes the
+component the unit of parallelism: :class:`ShardedExecutor` groups the batch
+by component, serialises each component's cached artifacts **once per shard**
+(not once per query), ships the shards to a process pool, and merges the
+workers' answers.  When a batch has fewer components than workers, large
+components are split into query chunks so the whole pool participates.
+
+Workers never see the full graph.  A :class:`ShardPayload` carries the
+component's member array, coordinate matrix, and component-local CSR — the
+same arrays a :class:`repro.core.base.CandidateArtifacts` bundle holds — and
+the worker reconstructs a component-sized :class:`~repro.graph.SpatialGraph`
+plus artifacts from them.  Because every SAC algorithm confines itself to
+the query's k-ĉore component (candidate sets, probes, distances, and MCCs
+all live inside it) and the member relabelling is monotone, the worker's
+answer is **bit-identical** to the serial engine path: same member sets,
+same circle coordinates, same stats.  ``tests/test_differential.py`` holds
+the three paths (serial, sharded, cached) to exactly that.
+
+Any failure of the parallel machinery — a worker killed mid-shard, a broken
+pool, an unpicklable payload — degrades gracefully: the executor falls back
+to the serial engine path for the whole batch and counts the event in
+:attr:`ExecutorStats.serial_fallbacks`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import CandidateArtifacts, QueryContext
+from repro.core.result import SACResult
+from repro.core.searcher import ALGORITHMS
+from repro.engine import QueryEngine
+from repro.exceptions import InvalidParameterError, NoCommunityError, ReproError
+from repro.geometry.grid import GridIndex
+from repro.graph.spatial_graph import SpatialGraph
+from repro.service.results import BatchResult
+
+
+@dataclass
+class ShardPayload:
+    """Everything one worker needs to answer one component's queries.
+
+    The arrays are the component's cached artifacts (member ids ascending,
+    their coordinates, and the component-local CSR adjacency) — serialised
+    once per shard regardless of how many queries the shard holds.
+    """
+
+    k: int
+    algorithm: str
+    params: Dict[str, float]
+    members: np.ndarray
+    coords: np.ndarray
+    local_indptr: np.ndarray
+    local_indices: np.ndarray
+    queries: List[int]
+
+
+@dataclass
+class ExecutorStats:
+    """Work counters of one :class:`ShardedExecutor`.
+
+    Attributes
+    ----------
+    batches_parallel / batches_serial:
+        Batches executed through the process pool vs. entirely on the serial
+        engine path (small batches, ``workers <= 1``, or after a fallback).
+    shards_executed:
+        Component shards shipped to workers across all parallel batches.
+    queries_parallel / queries_serial:
+        Queries answered on each path.
+    serial_fallbacks:
+        Parallel batches that degraded to the serial path after a pool or
+        worker failure.
+    """
+
+    batches_parallel: int = 0
+    batches_serial: int = 0
+    shards_executed: int = 0
+    queries_parallel: int = 0
+    queries_serial: int = 0
+    serial_fallbacks: int = 0
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Pick the cheapest available multiprocessing start method.
+
+    ``fork`` shares the parent's memory copy-on-write, so worker start-up
+    does not re-import the library; platforms without it (Windows, and
+    macOS's default) fall back to their default start method, for which the
+    payload-only protocol works equally — workers import :mod:`repro` and
+    receive everything else inside the pickled :class:`ShardPayload`.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def default_pool_factory(workers: int) -> ProcessPoolExecutor:
+    """Create the process pool used by :class:`ShardedExecutor`.
+
+    A separate function so tests (and callers with unusual deployment
+    constraints) can inject a different pool; anything with ``map`` (and
+    ideally ``shutdown``) qualifies.  The executor keeps the pool alive
+    across batches and discards it only after a failure.
+    """
+    return ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+
+
+def _shard_graph(payload: ShardPayload) -> SpatialGraph:
+    """Reconstruct the component-local graph a worker answers queries on.
+
+    Vertices are the component members relabelled to ``0..n-1`` (ascending
+    global id, so the relabelling is monotone); labels carry the global ids.
+    The payload's CSR becomes the graph's CSR view directly.
+    """
+    return SpatialGraph.from_csr(
+        payload.local_indptr,
+        payload.local_indices,
+        payload.coords,
+        payload.members.tolist(),
+    )
+
+
+def _shard_artifacts(payload: ShardPayload) -> CandidateArtifacts:
+    """Rebuild the component's candidate artifacts in local-id space."""
+    size = payload.members.size
+    local_ids = np.arange(size, dtype=np.int64)
+    return CandidateArtifacts(
+        candidates=frozenset(range(size)),
+        candidate_list=list(range(size)),
+        candidate_array=local_ids,
+        candidate_coords=payload.coords,
+        grid=GridIndex(payload.coords),
+        local_indptr=payload.local_indptr,
+        local_indices=payload.local_indices,
+    )
+
+
+def _globalise(result: SACResult, query: int, members: np.ndarray) -> SACResult:
+    """Map a worker's local-id result back into global vertex ids.
+
+    The circle and stats are untouched — they are id-free — so the rebuilt
+    result is bit-identical to what the serial path produces for ``query``.
+    """
+    return SACResult(
+        algorithm=result.algorithm,
+        query=int(query),
+        k=result.k,
+        members=frozenset(int(members[v]) for v in result.members),
+        circle=result.circle,
+        stats=dict(result.stats),
+    )
+
+
+def _run_shard(payload: ShardPayload) -> List[Tuple[int, SACResult]]:
+    """Worker entry point: answer every query of one component shard.
+
+    Runs in a pool process.  The component graph and artifacts are rebuilt
+    once, then each query pays only its distance vector plus the algorithm's
+    own search — the same cost profile as the serial engine path.
+    """
+    graph = _shard_graph(payload)
+    artifacts = _shard_artifacts(payload)
+    run = ALGORITHMS[payload.algorithm]
+    answers: List[Tuple[int, SACResult]] = []
+    for query in payload.queries:
+        local = int(np.searchsorted(payload.members, query))
+        if payload.k == 1:
+            # The algorithms answer k=1 with the nearest-neighbour shortcut
+            # before touching any context, mirroring QueryEngine.search.
+            result = run(graph, local, payload.k, **payload.params)
+        else:
+            context = QueryContext(graph, local, payload.k, artifacts=artifacts)
+            result = run(graph, local, payload.k, context=context, **payload.params)
+        answers.append((query, _globalise(result, query, payload.members)))
+    return answers
+
+
+class ShardedExecutor:
+    """Execute SAC query batches sharded by k-ĉore component.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.QueryEngine` (or
+        :class:`~repro.engine.IncrementalEngine`) whose cached labellings and
+        artifact bundles supply the shard payloads, and which answers the
+        batch serially when parallel execution is unavailable.
+    workers:
+        Process-pool size.  ``None`` or values below 2 disable the pool and
+        run every batch on the serial engine path.
+    min_parallel_queries:
+        Smallest batch worth paying pool start-up for; smaller batches run
+        serially.
+    pool_factory:
+        Callable ``workers -> pool`` (anything with ``map``; ``shutdown`` is
+        honoured if present).  The pool is created lazily on the first
+        parallel batch, reused across batches, and discarded after any pool
+        failure; tests inject failing pools here to exercise the serial
+        fallback.
+
+    Examples
+    --------
+    >>> executor = ShardedExecutor(engine, workers=4)       # doctest: +SKIP
+    >>> batch = executor.run(queries, k=4)                  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        workers: Optional[int] = None,
+        min_parallel_queries: int = 2,
+        pool_factory: Callable[[int], object] = default_pool_factory,
+    ) -> None:
+        if workers is not None and (not isinstance(workers, int) or workers < 0):
+            raise InvalidParameterError(
+                f"workers must be None or a non-negative integer, got {workers!r}"
+            )
+        self.engine = engine
+        self.workers = int(workers) if workers else 0
+        self.min_parallel_queries = int(min_parallel_queries)
+        self.pool_factory = pool_factory
+        self.stats = ExecutorStats()
+        self._pool = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------ pool
+    @staticmethod
+    def _shutdown_pool(pool) -> None:
+        """Best-effort shutdown of a pool (ducks pools without ``shutdown``)."""
+        shutdown = getattr(pool, "shutdown", None)
+        if shutdown is not None:
+            try:
+                shutdown(wait=True)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def _get_pool(self):
+        """Return the live pool, creating it lazily on first parallel use.
+
+        A ``weakref.finalize`` guard shuts the pool down when the executor is
+        garbage-collected or the interpreter exits, so library users who
+        never call :meth:`close` still get a clean worker teardown.
+        """
+        if self._pool is None:
+            self._pool = self.pool_factory(self.workers)
+            self._pool_finalizer = weakref.finalize(
+                self, self._shutdown_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Discard the process pool (it is recreated on the next parallel batch)."""
+        pool, self._pool = self._pool, None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if pool is not None:
+            self._shutdown_pool(pool)
+
+    # ------------------------------------------------------------------- API
+    def run(
+        self,
+        queries: Sequence[int],
+        k: int,
+        *,
+        algorithm: str = "appfast",
+        **params: float,
+    ) -> BatchResult:
+        """Answer every query of ``queries`` at threshold ``k``.
+
+        Shards by component and executes on the pool when the batch is large
+        enough, ``workers >= 2``, and ``k > 1`` (a ``k = 1`` answer is one
+        nearest-neighbour lookup, never worth a shard); otherwise — or when
+        the pool fails — answers serially through the engine.  Both paths
+        fill the same
+        :class:`BatchResult`: out-of-range vertices land in ``errors``,
+        vertices outside every k-core in ``failed``, and the merged results
+        are bit-identical regardless of the path taken.
+        """
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        start = perf_counter()
+        batch = BatchResult()
+
+        shared_start = perf_counter()
+        labels, _ = self.engine.component_labels(k)  # validates k
+        batch.shared_preprocessing_seconds = perf_counter() - shared_start
+
+        shards: Dict[int, List[int]] = {}
+        eligible = 0
+        for query in queries:
+            query = int(query)
+            if not 0 <= query < self.engine.graph.num_vertices:
+                batch.errors[query] = f"vertex {query} is not in the graph"
+                continue
+            component = int(labels[query])
+            if component < 0:
+                batch.failed.append(query)
+                continue
+            shards.setdefault(component, []).append(query)
+            eligible += 1
+
+        # k == 1 answers are single nearest-neighbour lookups — cheaper than
+        # shipping a shard, and parallelising them would materialise bundles
+        # no query (and no answer cache) ever reads.
+        if k > 1 and self.workers >= 2 and eligible >= self.min_parallel_queries:
+            try:
+                self._run_parallel(shards, k, algorithm, params, batch)
+                self.stats.batches_parallel += 1
+                self.stats.queries_parallel += eligible
+            except ReproError:
+                # Deterministic per-query errors (bad algorithm parameters)
+                # raised inside a worker are the caller's to see — the serial
+                # path would raise exactly the same.
+                raise
+            except Exception:
+                # Broken pool, killed worker, unpicklable payload: discard
+                # the pool and degrade to the serial path rather than
+                # failing the batch.
+                self.close()
+                self.stats.serial_fallbacks += 1
+                self._run_serial(shards, k, algorithm, params, batch)
+        else:
+            self._run_serial(shards, k, algorithm, params, batch)
+
+        batch.elapsed_seconds = perf_counter() - start
+        return batch
+
+    def payloads(
+        self,
+        shards: Dict[int, List[int]],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+    ) -> List[ShardPayload]:
+        """Materialise the :class:`ShardPayload` list for a sharded batch.
+
+        Pulls each component's artifacts from the engine cache (building them
+        on first use, exactly like a serial query would) so the arrays
+        serialised to the pool are the same arrays serial queries read.
+
+        When the batch has fewer components than workers — the common
+        one-giant-component case — a component's query list is split across
+        several payloads (proportionally to its share of the batch) so the
+        whole pool participates.  The split duplicates that component's
+        serialised arrays per chunk, a deliberate trade for worker
+        utilisation; payloads of distinct components are never merged.
+        """
+        eligible = sum(len(queries) for queries in shards.values())
+        result = []
+        for component in sorted(shards):
+            artifacts = self.engine.component_artifacts(k, component)
+            queries = shards[component]
+            chunks = 1
+            if self.workers >= 2 and len(shards) < self.workers and eligible:
+                chunks = max(1, round(self.workers * len(queries) / eligible))
+                chunks = min(chunks, len(queries))
+            size = -(-len(queries) // chunks)  # ceil division
+            for start in range(0, len(queries), size):
+                result.append(
+                    ShardPayload(
+                        k=k,
+                        algorithm=algorithm,
+                        params=dict(params),
+                        members=artifacts.candidate_array,
+                        coords=artifacts.candidate_coords,
+                        local_indptr=artifacts.local_indptr,
+                        local_indices=artifacts.local_indices,
+                        queries=queries[start : start + size],
+                    )
+                )
+        return result
+
+    # ----------------------------------------------------------- execution paths
+    def _run_parallel(
+        self,
+        shards: Dict[int, List[int]],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+        batch: BatchResult,
+    ) -> None:
+        """Ship the shard payloads to the pool and merge the answers."""
+        payloads = self.payloads(shards, k, algorithm, params)
+        pool = self._get_pool()
+        for answers in pool.map(_run_shard, payloads):
+            for query, result in answers:
+                batch.results[query] = result
+        self.stats.shards_executed += len(payloads)
+
+    def _run_serial(
+        self,
+        shards: Dict[int, List[int]],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+        batch: BatchResult,
+    ) -> None:
+        """Answer the sharded queries one by one through the engine."""
+        self.stats.batches_serial += 1
+        for component in sorted(shards):
+            for query in shards[component]:
+                try:
+                    batch.results[query] = self.engine.search(
+                        query, k, algorithm=algorithm, **params
+                    )
+                except NoCommunityError:  # pragma: no cover - labels said yes
+                    batch.failed.append(query)
+                self.stats.queries_serial += 1

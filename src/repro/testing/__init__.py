@@ -7,6 +7,12 @@ Importable as :mod:`repro.testing` so test modules never have to rely on
 implementation of SAC search used to validate the exact algorithms and to
 check the approximation guarantees of the approximate algorithms on small
 graphs.
+
+The shared hypothesis strategies (random edge lists, point clouds, spatial
+graphs) live in the :mod:`repro.testing.strategies` submodule, which is
+deliberately **not** imported here: strategies require ``hypothesis``, a
+test-only dependency, while this module must stay importable in a
+production install.
 """
 
 from __future__ import annotations

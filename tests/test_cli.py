@@ -111,6 +111,41 @@ class TestQuery:
         assert "exact+" in capsys.readouterr().out
 
 
+class TestServeBatch:
+    def test_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve-batch", "g.npz"])
+        assert args.workers == 4
+        assert args.rounds == 2
+        assert not args.no_cache
+
+    def test_rounds_hit_the_cache(self, graph_file, capsys):
+        exit_code = main(
+            ["serve-batch", str(graph_file), "--count", "8", "--k", "3",
+             "--workers", "2", "--rounds", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "round 1" in output and "round 2" in output
+        assert "0 cache hits" in output.splitlines()[2]  # cold first round
+        assert "8 cache hits" in output.splitlines()[3]  # warm second round
+        assert "cache          :" in output
+
+    def test_serial_and_no_cache_modes(self, graph_file, capsys):
+        exit_code = main(
+            ["serve-batch", str(graph_file), "--count", "4", "--k", "3",
+             "--workers", "0", "--no-cache", "--rounds", "1"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serial, no cache" in output
+        assert "cache          :" not in output
+
+    def test_invalid_rounds_rejected(self, graph_file, capsys):
+        assert main(["serve-batch", str(graph_file), "--rounds", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestTrack:
     TRACK_ARGS = [
         "--k",

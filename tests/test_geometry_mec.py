@@ -4,7 +4,6 @@ import math
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.geometry.mec import (
     circle_from_three_points,
@@ -13,9 +12,9 @@ from repro.geometry.mec import (
     minimum_enclosing_circle,
     mec_radius,
 )
+from repro.testing.strategies import point_lists, points
 
-coordinate = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
-point_list = st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=40)
+point_list = point_lists(min_size=1, max_size=40)
 
 
 class TestTwoPointCircle:
@@ -58,7 +57,7 @@ class TestTripleCoveringCircle:
         circle = minimum_covering_circle_of_triple((0.0, 0.0), (1.0, 0.0), (0.5, height))
         assert circle.radius == pytest.approx(1.0 / math.sqrt(3.0))
 
-    @given(st.tuples(coordinate, coordinate), st.tuples(coordinate, coordinate), st.tuples(coordinate, coordinate))
+    @given(points(), points(), points())
     def test_triple_circle_covers_all_three(self, a, b, c):
         circle = minimum_covering_circle_of_triple(a, b, c)
         tolerance = 1e-6 * max(1.0, circle.radius)
@@ -108,7 +107,7 @@ class TestMinimumEnclosingCircle:
         assert all(circle.contains(point, tolerance=tolerance) for point in points)
 
     @settings(max_examples=60, deadline=None)
-    @given(st.lists(st.tuples(coordinate, coordinate), min_size=2, max_size=8))
+    @given(point_lists(min_size=2, max_size=8))
     def test_minimality_against_pairs_and_triples(self, points):
         """The MEC radius equals the best over all 2- and 3-point determined circles."""
         from itertools import combinations

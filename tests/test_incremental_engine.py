@@ -24,24 +24,7 @@ from repro.geometry.grid import GridIndex
 from repro.graph.builder import GraphBuilder
 from repro.kcore.decomposition import core_numbers
 from repro.kcore.maintenance import demote_after_delete, promote_after_insert
-
-
-def _random_graph(rng, n, target_edges):
-    """Build a connected-ish random spatial graph plus its edge set."""
-    coords = rng.uniform(0.0, 1.0, size=(n, 2))
-    edges = set()
-    # A spanning path guarantees no isolated vertices, then random extras.
-    for v in range(n - 1):
-        edges.add((v, v + 1))
-    while len(edges) < target_edges:
-        u, v = (int(a) for a in rng.integers(0, n, size=2))
-        if u != v:
-            edges.add((min(u, v), max(u, v)))
-    builder = GraphBuilder()
-    for v in range(n):
-        builder.add_vertex(v, float(coords[v, 0]), float(coords[v, 1]))
-    builder.add_edges(sorted(edges))
-    return builder.build(), edges
+from repro.testing.strategies import random_spatial_graph as _random_graph
 
 
 class TestGridMovePoint:

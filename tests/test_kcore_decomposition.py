@@ -5,10 +5,10 @@ from itertools import combinations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.builder import GraphBuilder
+from repro.testing.strategies import edge_lists, normalize_edges
 from repro.kcore.decomposition import (
     core_decomposition,
     core_numbers,
@@ -145,15 +145,9 @@ class TestDecompositionAndDegeneracy:
 
 
 @settings(max_examples=40, deadline=None)
-@given(
-    st.lists(
-        st.tuples(st.integers(min_value=0, max_value=14), st.integers(min_value=0, max_value=14)),
-        min_size=1,
-        max_size=60,
-    )
-)
+@given(edge_lists(max_vertex=14, min_size=1, max_size=60))
 def test_core_number_invariants(edge_list):
-    edges = sorted({(min(u, v), max(u, v)) for u, v in edge_list if u != v})
+    edges = normalize_edges(edge_list)
     if not edges:
         return
     graph = build(edges, num_vertices=15)

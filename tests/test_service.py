@@ -1,0 +1,447 @@
+"""Tests for the serving layer: sharded execution, answer cache, facade.
+
+Covers the parallel/serial parity of :class:`repro.service.ShardedExecutor`
+(including the graceful serial fallback when the pool breaks mid-shard), the
+version-guarded invalidation of :class:`repro.service.AnswerCache`, the
+:class:`repro.service.SACService` facade, and the negative paths the batch
+surfaces historically lacked tests for: empty batches, all-failed batches,
+per-query errors, and cache eviction after incremental-engine mutations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.searcher import ALGORITHMS
+from repro.datasets.geosocial import brightkite_like
+from repro.engine import IncrementalEngine, QueryEngine
+from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
+from repro.experiments.queries import select_query_vertices
+from repro.extensions.batch import BatchSACProcessor
+from repro.service import AnswerCache, SACService, ShardedExecutor
+from repro.service.sharding import _run_shard
+from repro.testing.strategies import random_spatial_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return brightkite_like(700, average_degree=8.0, seed=29)
+
+
+@pytest.fixture(scope="module")
+def queries(graph):
+    return select_query_vertices(graph, 10, min_core=4, seed=5)
+
+
+def _assert_identical(first, second):
+    assert first.members == second.members
+    assert first.circle.radius == second.circle.radius
+    assert first.circle.center.x == second.circle.center.x
+    assert first.circle.center.y == second.circle.center.y
+    assert first.stats == second.stats
+    assert first.query == second.query
+    assert first.k == second.k
+
+
+class _ExplodingPool:
+    """A stand-in pool whose workers 'crash' mid-shard."""
+
+    calls = 0
+
+    def __init__(self, workers):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def map(self, fn, payloads):
+        type(self).calls += 1
+        raise RuntimeError("worker killed mid-shard")
+
+
+class TestShardedExecutor:
+    def test_parallel_matches_serial_bitwise(self, graph, queries):
+        serial_engine = QueryEngine(graph)
+        reference = {
+            q: serial_engine.search(q, 4, algorithm="appfast", epsilon_f=0.5)
+            for q in queries
+        }
+        executor = ShardedExecutor(QueryEngine(graph), workers=2)
+        batch = executor.run(queries, 4, algorithm="appfast", epsilon_f=0.5)
+        assert executor.stats.batches_parallel == 1
+        assert executor.stats.serial_fallbacks == 0
+        assert set(batch.results) == set(reference)
+        for q in reference:
+            _assert_identical(reference[q], batch.results[q])
+
+    def test_shards_group_by_component_and_split_for_workers(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph), workers=2)
+        labels, _ = executor.engine.component_labels(4)
+        components = {int(labels[q]) for q in queries}
+        executor.run(queries, 4, algorithm="appfast", epsilon_f=0.5)
+        # Every component becomes at least one payload; when components are
+        # fewer than workers, large ones are chunked so the pool fills up.
+        expected = len(components) if len(components) >= 2 else 2
+        assert executor.stats.shards_executed == expected
+
+    def test_single_component_batch_splits_across_workers(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph), workers=4)
+        labels, _ = executor.engine.component_labels(4)
+        component = int(labels[queries[0]])
+        same_component = [q for q in queries if int(labels[q]) == component]
+        payloads = executor.payloads({component: same_component}, 4, "appfast", {})
+        assert len(payloads) == min(4, len(same_component))
+        assert sorted(q for p in payloads for q in p.queries) == sorted(same_component)
+        for payload in payloads:
+            assert payload.members is payloads[0].members  # same shared arrays
+
+    def test_deterministic_worker_error_propagates_not_falls_back(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph), workers=2)
+        with pytest.raises(InvalidParameterError):
+            executor.run(queries, 4, algorithm="appfast", epsilon_f=-1.0)
+        assert executor.stats.serial_fallbacks == 0
+
+    def test_pool_persists_across_batches(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph), workers=2)
+        executor.run(queries, 4, algorithm="appfast", epsilon_f=0.5)
+        pool = executor._pool
+        assert pool is not None
+        executor.run(queries, 4, algorithm="appfast", epsilon_f=0.5)
+        assert executor._pool is pool
+        executor.close()
+        assert executor._pool is None
+
+    def test_run_shard_worker_is_deterministic(self, graph, queries):
+        """The worker entry point itself, run in-process, matches the engine."""
+        engine = QueryEngine(graph)
+        executor = ShardedExecutor(engine, workers=2)
+        labels, _ = engine.component_labels(4)
+        shards = {}
+        for q in queries:
+            shards.setdefault(int(labels[q]), []).append(q)
+        for payload in executor.payloads(shards, 4, "appfast", {"epsilon_f": 0.5}):
+            for query, result in _run_shard(payload):
+                _assert_identical(
+                    engine.search(query, 4, algorithm="appfast", epsilon_f=0.5), result
+                )
+
+    def test_worker_crash_falls_back_to_serial(self, graph, queries):
+        _ExplodingPool.calls = 0
+        executor = ShardedExecutor(
+            QueryEngine(graph), workers=2, pool_factory=_ExplodingPool
+        )
+        batch = executor.run(queries, 4, algorithm="appfast", epsilon_f=0.5)
+        assert _ExplodingPool.calls == 1
+        assert executor.stats.serial_fallbacks == 1
+        assert executor.stats.batches_parallel == 0
+        reference = QueryEngine(graph)
+        for q in queries:
+            _assert_identical(
+                reference.search(q, 4, algorithm="appfast", epsilon_f=0.5),
+                batch.results[q],
+            )
+
+    def test_small_batch_stays_serial(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph), workers=4)
+        executor.run(queries[:1], 4)
+        assert executor.stats.batches_serial == 1
+        assert executor.stats.batches_parallel == 0
+
+    def test_k1_batch_stays_serial_and_builds_no_bundles(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph), workers=4)
+        batch = executor.run(queries, 1)
+        assert executor.stats.batches_parallel == 0
+        assert executor.stats.batches_serial == 1
+        assert executor.engine.stats.components_materialised == 0
+        reference = QueryEngine(graph)
+        for q in queries:
+            _assert_identical(reference.search(q, 1), batch.results[q])
+
+    def test_no_workers_stays_serial(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph))
+        executor.run(queries, 4)
+        assert executor.stats.batches_parallel == 0
+        assert executor.stats.queries_serial == len(queries)
+
+    def test_invalid_arguments(self, graph):
+        with pytest.raises(InvalidParameterError):
+            ShardedExecutor(QueryEngine(graph), workers=-1)
+        executor = ShardedExecutor(QueryEngine(graph))
+        with pytest.raises(InvalidParameterError):
+            executor.run([0], 4, algorithm="bogus")
+        with pytest.raises(InvalidParameterError):
+            executor.run([0], 0)
+
+    def test_out_of_range_queries_reported_as_errors(self, graph, queries):
+        executor = ShardedExecutor(QueryEngine(graph), workers=2)
+        bad = [-1, graph.num_vertices + 7]
+        batch = executor.run(list(queries) + bad, 4, algorithm="appfast", epsilon_f=0.5)
+        assert set(batch.errors) == set(bad)
+        for message in batch.errors.values():
+            assert "not in the graph" in message
+        assert batch.answered == len(queries)
+        assert not batch.failed
+
+
+class TestAnswerCache:
+    def test_hit_returns_equal_result_with_isolated_stats(self, graph, queries):
+        engine = QueryEngine(graph)
+        cache = AnswerCache()
+        result = engine.search(queries[0], 4, algorithm="appfast", epsilon_f=0.5)
+        cache.store(engine, queries[0], 4, "appfast", {"epsilon_f": 0.5}, result)
+        hit = cache.lookup(engine, queries[0], 4, "appfast", {"epsilon_f": 0.5})
+        _assert_identical(result, hit)
+        assert cache.stats.hits == 1
+        # Mutating a served result's stats must corrupt neither the cache
+        # nor other callers' hits (stats dicts are copied at both ends).
+        result.stats["note"] = 1.0
+        hit.stats["other"] = 2.0
+        clean = cache.lookup(engine, queries[0], 4, "appfast", {"epsilon_f": 0.5})
+        assert "note" not in clean.stats and "other" not in clean.stats
+
+    def test_key_includes_algorithm_params_and_engine(self, graph, queries):
+        engine, other = QueryEngine(graph), QueryEngine(graph)
+        cache = AnswerCache()
+        result = engine.search(queries[0], 4, algorithm="appfast", epsilon_f=0.5)
+        cache.store(engine, queries[0], 4, "appfast", {"epsilon_f": 0.5}, result)
+        assert cache.lookup(engine, queries[0], 4, "appfast", {"epsilon_f": 0.25}) is None
+        assert cache.lookup(engine, queries[0], 4, "appinc", {}) is None
+        assert cache.lookup(other, queries[0], 4, "appfast", {"epsilon_f": 0.5}) is None
+
+    def test_k1_answers_are_uncacheable(self, graph):
+        engine = QueryEngine(graph)
+        cache = AnswerCache()
+        result = engine.search(0, 1)
+        cache.store(engine, 0, 1, "appfast", {}, result)
+        assert cache.lookup(engine, 0, 1, "appfast", {}) is None
+        assert len(cache) == 0
+        assert cache.stats.uncacheable == 2
+
+    def test_lru_eviction(self, graph, queries):
+        engine = QueryEngine(graph)
+        cache = AnswerCache(capacity=2)
+        for q in queries[:3]:
+            cache.store(
+                engine, q, 4, "appfast", {}, engine.search(q, 4, algorithm="appfast")
+            )
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.lookup(engine, queries[0], 4, "appfast", {}) is None
+        assert cache.lookup(engine, queries[2], 4, "appfast", {}) is not None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            AnswerCache(capacity=0)
+
+    def test_checkin_evicts_only_touched_component(self):
+        rng = np.random.default_rng(41)
+        graph, _ = random_spatial_graph(rng, 60, 150)
+        engine = IncrementalEngine(graph)
+        cache = AnswerCache()
+        labels, _count = engine.component_labels(2)
+        moved = None
+        untouched = None
+        for q in range(60):
+            if labels[q] < 0:
+                continue
+            try:
+                result = engine.search(q, 2, algorithm="appfast", epsilon_f=0.5)
+            except NoCommunityError:  # pragma: no cover - labels said yes
+                continue
+            cache.store(engine, q, 2, "appfast", {"epsilon_f": 0.5}, result)
+            if moved is None:
+                moved = q
+            elif untouched is None and labels[q] != labels[moved]:
+                untouched = q
+        assert moved is not None
+        engine.apply_checkin(moved, 0.99, 0.99)
+        assert cache.lookup(engine, moved, 2, "appfast", {"epsilon_f": 0.5}) is None
+        assert cache.stats.invalidations == 1
+        if untouched is not None:
+            assert (
+                cache.lookup(engine, untouched, 2, "appfast", {"epsilon_f": 0.5})
+                is not None
+            )
+
+    def test_stale_entry_recomputes_to_fresh_answer(self):
+        rng = np.random.default_rng(43)
+        graph, _ = random_spatial_graph(rng, 50, 140)
+        service = SACService(engine=IncrementalEngine(graph))
+        labels, _count = service.engine.component_labels(3)
+        query = next(int(q) for q in range(50) if labels[q] >= 0)
+        service.search(query, 3, algorithm="appfast", epsilon_f=0.5)
+        service.apply_checkin(query, 0.01, 0.02)
+        served = service.search(query, 3, algorithm="appfast", epsilon_f=0.5)
+        fresh = QueryEngine(service.graph.mutable_copy()).search(
+            query, 3, algorithm="appfast", epsilon_f=0.5
+        )
+        _assert_identical(served, fresh)
+
+
+class TestSACService:
+    def test_constructor_requires_exactly_one_binding(self, graph):
+        with pytest.raises(InvalidParameterError):
+            SACService()
+        with pytest.raises(InvalidParameterError):
+            SACService(graph, engine=QueryEngine(graph))
+
+    def test_repeat_batch_served_from_cache(self, graph, queries):
+        service = SACService(graph, workers=2)
+        first = service.submit_batch(queries, 4, algorithm="appfast", epsilon_f=0.5)
+        second = service.submit_batch(queries, 4, algorithm="appfast", epsilon_f=0.5)
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(queries)
+        assert set(second.results) == set(first.results)
+        for q in first.results:
+            _assert_identical(first.results[q], second.results[q])
+
+    def test_empty_batch(self, graph):
+        service = SACService(graph)
+        batch = service.submit_batch([], 4)
+        assert batch.answered == 0
+        assert batch.failed == []
+        assert batch.errors == {}
+        assert batch.cache_hits == 0
+        assert batch.elapsed_seconds >= 0.0
+
+    def test_all_failed_batch(self, graph):
+        cores = QueryEngine(graph).core_numbers()
+        hopeless = [int(v) for v in np.flatnonzero(cores < 4)[:5]]
+        assert hopeless, "fixture graph should have some low-core vertices"
+        service = SACService(graph, workers=2)
+        batch = service.submit_batch(hopeless, 4)
+        assert batch.answered == 0
+        assert batch.failed == hopeless
+        assert batch.cache_hits == 0
+
+    def test_warm_and_stats(self, graph, queries):
+        service = SACService(graph, workers=2)
+        components = service.warm(4)
+        assert components > 0
+        service.submit_batch(queries, 4)
+        stats = service.stats()
+        assert stats.executor.queries_parallel + stats.executor.queries_serial == len(queries)
+        assert stats.cache is not None and stats.cache.stores == len(queries)
+
+    def test_no_cache_service_reports_no_hits(self, graph, queries):
+        service = SACService(graph, use_cache=False)
+        first = service.submit_batch(queries, 4)
+        second = service.submit_batch(queries, 4)
+        assert first.cache_hits == 0 and second.cache_hits == 0
+        assert service.stats().cache is None
+
+    def test_mutation_on_static_engine_rejected(self, graph):
+        service = SACService(graph)
+        with pytest.raises(InvalidParameterError):
+            service.apply_checkin(0, 0.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            service.apply_edge(0, 1)
+
+    def test_invalid_algorithm_rejected_even_for_empty_batch(self, graph):
+        service = SACService(graph)
+        with pytest.raises(InvalidParameterError):
+            service.submit_batch([], 4, algorithm="bogus")
+
+
+class TestBatchProcessorIntegration:
+    def test_workers_and_cache_flags_are_wired(self, graph, queries):
+        serial = BatchSACProcessor(graph, 4, algorithm_params={"epsilon_f": 0.5})
+        parallel = BatchSACProcessor(
+            graph, 4, algorithm_params={"epsilon_f": 0.5}, workers=2, use_cache=True
+        )
+        reference = serial.run(queries)
+        first = parallel.run(queries)
+        second = parallel.run(queries)
+        assert second.cache_hits == len(queries)
+        for q in reference.results:
+            _assert_identical(reference.results[q], first.results[q])
+            _assert_identical(reference.results[q], second.results[q])
+
+    def test_out_of_range_query_lands_in_errors(self, graph, queries):
+        processor = BatchSACProcessor(graph, 4)
+        batch = processor.run(list(queries[:2]) + [graph.num_vertices + 1])
+        assert batch.answered == 2
+        assert list(batch.errors) == [graph.num_vertices + 1]
+        assert not batch.failed
+
+
+class TestSearchManyErrorSurfacing:
+    def test_errors_dict_collects_per_query_failures(self, graph, queries):
+        engine = QueryEngine(graph)
+        errors = {}
+        bad = graph.num_vertices + 3
+        results = engine.search_many(
+            [queries[0], bad], 4, algorithm="appfast", errors=errors
+        )
+        assert results[queries[0]] is not None
+        assert results[bad] is None
+        assert bad in errors and str(bad) in errors[bad]
+
+    def test_without_errors_dict_per_query_error_raises(self, graph, queries):
+        engine = QueryEngine(graph)
+        with pytest.raises(VertexNotFoundError):
+            engine.search_many([queries[0], graph.num_vertices + 3], 4)
+
+    def test_unknown_algorithm_always_raises(self, graph, queries):
+        engine = QueryEngine(graph)
+        with pytest.raises(InvalidParameterError):
+            engine.search_many(queries, 4, algorithm="bogus", errors={})
+
+
+class TestEngineInvalidationCounters:
+    """Negative-path coverage for the engine's invalidation bookkeeping."""
+
+    def test_edge_delete_invalidates_touched_bundles(self):
+        rng = np.random.default_rng(47)
+        graph, edges = random_spatial_graph(rng, 60, 160)
+        engine = IncrementalEngine(graph)
+        labels, _count = engine.component_labels(2)
+        query = next(int(q) for q in range(60) if labels[q] >= 0)
+        engine.search(query, 2, algorithm="appfast", epsilon_f=0.5)
+        assert engine.stats.components_materialised >= 1
+        # Delete an edge incident to the cached component's query vertex:
+        # its bundle must be dropped and the counters must say so.
+        target = next(
+            (u, v) for (u, v) in sorted(edges) if u == query or v == query
+        )
+        engine.apply_edge(*target, "delete")
+        assert engine.stats.bundles_invalidated >= 1
+        assert engine.stats.edge_updates == 1
+
+    def test_version_counter_moves_with_each_touch(self):
+        rng = np.random.default_rng(48)
+        graph, _ = random_spatial_graph(rng, 40, 110)
+        engine = IncrementalEngine(graph)
+        labels, _count = engine.component_labels(2)
+        query = next(int(q) for q in range(40) if labels[q] >= 0)
+        engine.search(query, 2, algorithm="appfast", epsilon_f=0.5)
+        _, rep = engine.component_of(query, 2)
+        before = engine.component_version(2, rep)
+        engine.apply_checkin(query, 0.7, 0.7)
+        assert engine.component_version(2, rep) == before + 1
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_every_algorithm_shards_bitwise(algorithm):
+    """One small end-to-end sharded run per algorithm (exact included)."""
+    rng = np.random.default_rng(51)
+    graph, _ = random_spatial_graph(rng, 40, 110)
+    params = {
+        "exact": {},
+        "exact+": {"epsilon_a": 0.5},
+        "appinc": {},
+        "appfast": {"epsilon_f": 0.5},
+        "appacc": {"epsilon_a": 0.5},
+    }[algorithm]
+    engine = QueryEngine(graph)
+    labels, _count = engine.component_labels(2)
+    queries = [int(q) for q in np.flatnonzero(labels >= 0)[:6]]
+    assert queries
+    executor = ShardedExecutor(QueryEngine(graph), workers=2)
+    batch = executor.run(queries, 2, algorithm=algorithm, **params)
+    for q in queries:
+        _assert_identical(
+            engine.search(q, 2, algorithm=algorithm, **params), batch.results[q]
+        )
