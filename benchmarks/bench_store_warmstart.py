@@ -1,0 +1,255 @@
+"""Warm-start benchmark: snapshot readiness and shard-dispatch cost.
+
+Measures the two claims of the storage layer against the pre-store paths,
+with byte-identical answers enforced throughout:
+
+* **Engine readiness / time-to-first-answer** — a *cold* start loads the
+  cached dataset ``.npz``, builds a :class:`repro.engine.QueryEngine`, and
+  materialises every per-component artifact bundle at the serving ``k``
+  (core decomposition, k-ĉore labelling, per-component grids and local
+  CSRs — the state a server needs before it can answer arbitrary traffic
+  without build hiccups).  A *warm* start reaches the **same**
+  fully-materialised state by opening an :class:`repro.store.ArtifactStore`
+  snapshot memory-mapped via ``QueryEngine.from_store``.  *Readiness* is
+  the time until that state stands — the cold start this layer exists to
+  eliminate, targeted at **≥ 10×** faster.  *Time-to-first-answer* adds one
+  identical first query on top of each path (its search cost is
+  path-independent, so the TTFA ratio is readiness diluted by however
+  expensive the first query happens to be).
+* **Per-batch dispatch bytes** — the same repeated batch is served by a
+  :class:`repro.service.ShardedExecutor` on the legacy pickle protocol
+  (component arrays re-serialised every batch) and on the shared-memory
+  protocol (arrays published once, per-batch messages carry query ids).
+  Reported from the executors' own ``ExecutorStats`` byte counters.
+
+Run standalone::
+
+    python benchmarks/bench_store_warmstart.py            # full workload
+    python benchmarks/bench_store_warmstart.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_here = Path(__file__).resolve().parent
+sys.path.insert(0, str(_here))
+sys.path.insert(1, str(_here.parent / "src"))  # uninstalled checkout fallback
+
+from bench_common import write_result
+from repro.datasets.registry import load_dataset
+from repro.engine import QueryEngine
+from repro.experiments.queries import select_query_vertices
+from repro.graph.io import load_graph_npz
+from repro.service import ShardedExecutor
+from repro.store import ArtifactStore
+
+
+def _identical(first, second) -> bool:
+    """Bitwise comparison of two SACResults (members, circle, stats)."""
+    return (
+        first.members == second.members
+        and first.circle.radius == second.circle.radius
+        and first.circle.center.x == second.circle.center.x
+        and first.circle.center.y == second.circle.center.y
+        and first.stats == second.stats
+    )
+
+
+def _snapshot(graph, store_path, k):
+    """Materialise every k-level bundle and persist the engine state."""
+    engine = QueryEngine(graph)
+    for component in range(engine.prepare(k)):
+        engine.component_artifacts(k, component)
+    ArtifactStore.save(store_path, engine)
+    return engine
+
+
+def _time_cold_start(cache_path, query, k, epsilon_f):
+    """Dataset ``.npz`` → fully materialised engine → first answer, timed.
+
+    Returns ``(result, readiness_seconds, ttfa_seconds, engine)``.
+    """
+    start = time.perf_counter()
+    graph = load_graph_npz(cache_path)
+    engine = QueryEngine(graph)
+    for component in range(engine.prepare(k)):
+        engine.component_artifacts(k, component)
+    ready = time.perf_counter() - start
+    result = engine.search(query, k, algorithm="appfast", epsilon_f=epsilon_f)
+    return result, ready, time.perf_counter() - start, engine
+
+
+def _time_warm_start(store_path, query, k, epsilon_f):
+    """Snapshot → memory-mapped engine → first answer, all timed.
+
+    Returns ``(result, readiness_seconds, ttfa_seconds, engine)``.
+    """
+    start = time.perf_counter()
+    engine = QueryEngine.from_store(store_path)
+    ready = time.perf_counter() - start
+    result = engine.search(query, k, algorithm="appfast", epsilon_f=epsilon_f)
+    return result, ready, time.perf_counter() - start, engine
+
+
+def _dispatch_costs(store_path, queries, k, epsilon_f, workers, rounds, reference):
+    """Serve the same repeated batch on both dispatch protocols.
+
+    Returns per-batch byte costs from the executors' counters plus whether
+    every answer matched ``reference`` bitwise.
+    """
+    identical = True
+    costs = {}
+    for label, use_shm in (("pickle", False), ("shm", True)):
+        executor = ShardedExecutor(
+            QueryEngine.from_store(store_path), workers=workers, use_shared_memory=use_shm
+        )
+        start = time.perf_counter()
+        for _round in range(rounds):
+            batch = executor.run(queries, k, algorithm="appfast", epsilon_f=epsilon_f)
+            for query, result in batch.results.items():
+                identical &= _identical(result, reference[query])
+        elapsed = time.perf_counter() - start
+        stats = executor.stats
+        executor.close()
+        costs[label] = {
+            "elapsed": elapsed,
+            "per_batch_bytes": (stats.bytes_pickled + stats.bytes_dispatched) / rounds,
+            "shared_once": stats.bytes_shared,
+            "fallbacks": stats.serial_fallbacks + stats.shm_fallbacks,
+        }
+    return costs, identical
+
+
+def run_benchmark(dataset_names, *, scale, queries_per_dataset, k, epsilon_f, workers, rounds):
+    """Measure warm-start readiness and dispatch bytes per dataset."""
+    rows = []
+    identical = True
+    speedups = []
+
+    for name in dataset_names:
+        with tempfile.TemporaryDirectory() as tmp:
+            # "On a cached dataset": the graph .npz exists before the clock
+            # starts, exactly like a repeated benchmark run.
+            load_dataset(name, scale=scale, cache_dir=tmp)
+            cache_path = next(Path(tmp).glob("*.npz"))
+            scout = load_graph_npz(cache_path)
+            queries = select_query_vertices(
+                scout, count=queries_per_dataset, min_core=k, seed=9
+            )
+            if not queries:
+                print(f"  {name}: no queries with core number >= {k}, skipped")
+                continue
+            store_path = Path(tmp) / "snapshot"
+            _snapshot(scout, store_path, k)
+
+            cold_result, cold_ready, cold_seconds, cold_engine = _time_cold_start(
+                cache_path, queries[0], k, epsilon_f
+            )
+            warm_result, warm_ready, warm_seconds, warm_engine = _time_warm_start(
+                store_path, queries[0], k, epsilon_f
+            )
+            matches = _identical(cold_result, warm_result)
+            reference = {}
+            for query in queries:
+                reference[query] = cold_engine.search(
+                    query, k, algorithm="appfast", epsilon_f=epsilon_f
+                )
+                matches &= _identical(
+                    reference[query],
+                    warm_engine.search(query, k, algorithm="appfast", epsilon_f=epsilon_f),
+                )
+
+            costs, dispatch_matches = _dispatch_costs(
+                store_path, queries, k, epsilon_f, workers, rounds, reference
+            )
+            matches &= dispatch_matches
+            identical &= matches
+            speedup = cold_ready / warm_ready if warm_ready > 0 else float("inf")
+            speedups.append(speedup)
+            rows.append(
+                {
+                    "dataset": name,
+                    "vertices": scout.num_vertices,
+                    "cold_ready_ms": round(cold_ready * 1000.0, 2),
+                    "warm_ready_ms": round(warm_ready * 1000.0, 2),
+                    "ready_speedup": round(speedup, 1),
+                    "ttfa_speedup": round(
+                        cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+                        1,
+                    ),
+                    "pickle_B_per_batch": int(costs["pickle"]["per_batch_bytes"]),
+                    "shm_B_per_batch": int(costs["shm"]["per_batch_bytes"]),
+                    "shm_B_shared_once": int(costs["shm"]["shared_once"]),
+                    "fallbacks": costs["pickle"]["fallbacks"] + costs["shm"]["fallbacks"],
+                    "identical": matches,
+                }
+            )
+    return rows, identical, speedups
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI smoke workload")
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale multiplier")
+    parser.add_argument("--queries", type=int, default=None, help="queries per batch")
+    parser.add_argument("--rounds", type=int, default=None, help="dispatch rounds per protocol")
+    parser.add_argument("--workers", type=int, default=2, help="process-pool size")
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--epsilon-f", type=float, default=0.5)
+    parser.add_argument(
+        "--datasets",
+        default="brightkite,syn1",
+        help="comma-separated registry dataset names",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.5 if args.quick else 2.0)
+    queries = args.queries if args.queries is not None else (12 if args.quick else 48)
+    rounds = args.rounds if args.rounds is not None else (2 if args.quick else 4)
+    names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+
+    print(
+        f"store warm-start benchmark: datasets={names} scale={scale} "
+        f"queries={queries} rounds={rounds} workers={args.workers} k={args.k}"
+    )
+    rows, identical, speedups = run_benchmark(
+        names,
+        scale=scale,
+        queries_per_dataset=queries,
+        k=args.k,
+        epsilon_f=args.epsilon_f,
+        workers=args.workers,
+        rounds=rounds,
+    )
+    write_result(
+        "store_warmstart",
+        "Snapshot warm start (time-to-first-answer) and shard dispatch bytes",
+        rows,
+    )
+    if not identical:
+        print("FAIL: warm-started or shard answers diverged from cold build", file=sys.stderr)
+        return 1
+    if rows:
+        worst = min(speedups)
+        target = "met" if worst >= 10.0 else "NOT met (machine/scale-dependent)"
+        shrink = [
+            row["pickle_B_per_batch"] / row["shm_B_per_batch"]
+            for row in rows
+            if row["shm_B_per_batch"]
+        ]
+        print(
+            f"overall: engine readiness {worst:.1f}x faster at worst from a "
+            f"snapshot (target >=10x {target}); per-batch dispatch bytes "
+            f"shrink {min(shrink):.0f}x at worst on the shared-memory protocol"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,11 @@ Public surface
 * :class:`repro.SACService` — the serving layer: sharded parallel batch
   execution over a process pool plus a persistent, component-version
   invalidated answer cache (:class:`repro.ShardedExecutor`,
-  :class:`repro.AnswerCache`).
+  :class:`repro.AnswerCache`); ``save``/``open`` persist it through the
+  artifact store.
+* :class:`repro.ArtifactStore` — the storage layer: snapshot a graph plus
+  every engine artifact to disk, reopen memory-mapped, warm-start engines
+  via :meth:`repro.QueryEngine.from_store` with bit-identical answers.
 * :mod:`repro.core` — ``exact``, ``exact_plus``, ``app_inc``, ``app_fast``,
   ``app_acc``, ``theta_sac``.
 * :mod:`repro.graph` — the :class:`~repro.graph.SpatialGraph` substrate.
@@ -69,8 +73,9 @@ from repro.exceptions import (
     VertexNotFoundError,
 )
 from repro.graph import GraphBuilder, SpatialGraph
+from repro.store import ArtifactStore
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -86,6 +91,7 @@ __all__ = [
     "SACService",
     "ShardedExecutor",
     "AnswerCache",
+    "ArtifactStore",
     "exact",
     "exact_plus",
     "app_inc",

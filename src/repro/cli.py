@@ -29,6 +29,13 @@ Three subcommands cover the common workflows of a downstream user:
     :class:`repro.engine.IncrementalEngine` unless ``--no-incremental`` is
     given, in which case every tracked check-in rebuilds all per-graph state.
 
+``snapshot``
+    Build every per-graph artifact (core decomposition, k-ĉore labellings,
+    per-component bundles) for the requested ``k`` values and persist the
+    lot as an :class:`repro.store.ArtifactStore` directory.  ``batch``,
+    ``serve-batch``, and ``track`` accept the snapshot via ``--store`` and
+    warm-start memory-mapped instead of paying the cold build.
+
 ``stats``
     Print the Table-4 style summary of a graph file.
 
@@ -39,8 +46,9 @@ Examples
     python -m repro.cli generate --kind geosocial --vertices 5000 --out graph.npz
     python -m repro.cli query graph.npz --vertex 42 --k 4 --algorithm exact+
     python -m repro.cli batch graph.npz --count 64 --k 4 --algorithm appfast
-    python -m repro.cli serve-batch graph.npz --count 64 --k 4 --workers 4 --rounds 3
-    python -m repro.cli track graph.npz --track-count 8 --k 4
+    python -m repro.cli snapshot graph.npz --out graph.store --ks 4
+    python -m repro.cli serve-batch --store graph.store --count 64 --k 4 --workers 4
+    python -m repro.cli track --store graph.store --track-count 8 --k 4
     python -m repro.cli stats graph.npz
 
 See ``docs/cli.md`` for the full manual.
@@ -55,6 +63,7 @@ from typing import Optional, Sequence
 from repro.core.searcher import ALGORITHMS, SACSearcher
 from repro.datasets.geosocial import brightkite_like
 from repro.datasets.synthetic import powerlaw_spatial_graph
+from repro.engine import IncrementalEngine, QueryEngine
 from repro.exceptions import InvalidParameterError, ReproError
 from repro.extensions.batch import BatchSACProcessor
 from repro.graph.io import load_graph_npz, save_graph_npz
@@ -91,10 +100,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild all per-graph state for the query instead of using the shared engine",
     )
 
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="precompute engine artifacts and persist them as a store directory",
+    )
+    snapshot.add_argument("graph", help="graph .npz file produced by `generate`")
+    snapshot.add_argument("--out", required=True, help="output store directory")
+    snapshot.add_argument(
+        "--ks",
+        default="4",
+        help="comma-separated degree thresholds to precompute (default: 4)",
+    )
+
     batch = subparsers.add_parser(
         "batch", help="run many SAC queries with shared preprocessing"
     )
-    batch.add_argument("graph", help="graph .npz file produced by `generate`")
+    batch.add_argument(
+        "graph", nargs="?", help="graph .npz file produced by `generate`"
+    )
+    batch.add_argument(
+        "--store",
+        help="warm-start from a snapshot directory produced by `snapshot` "
+        "instead of a graph file",
+    )
     batch.add_argument(
         "--vertices",
         help="comma-separated query vertex labels (default: sample --count eligible vertices)",
@@ -114,7 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-batch",
         help="run repeated batches through the sharded, answer-cached serving layer",
     )
-    serve.add_argument("graph", help="graph .npz file produced by `generate`")
+    serve.add_argument(
+        "graph", nargs="?", help="graph .npz file produced by `generate`"
+    )
+    serve.add_argument(
+        "--store",
+        help="warm-start from a snapshot directory produced by `snapshot` "
+        "instead of a graph file",
+    )
     serve.add_argument(
         "--vertices",
         help="comma-separated query vertex labels (default: sample --count eligible vertices)",
@@ -146,11 +181,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the answer cache (every round recomputes)",
     )
+    serve.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="dispatch shards by re-pickling arrays every batch instead of "
+        "publishing shared-memory segments once",
+    )
 
     track = subparsers.add_parser(
         "track", help="replay a check-in stream and track users' communities"
     )
-    track.add_argument("graph", help="graph .npz file produced by `generate`")
+    track.add_argument(
+        "graph", nargs="?", help="graph .npz file produced by `generate`"
+    )
+    track.add_argument(
+        "--store",
+        help="warm-start the incremental engine from a snapshot directory "
+        "produced by `snapshot` instead of a graph file",
+    )
     track.add_argument(
         "--checkins",
         help="check-in file (`user timestamp x y` per line); synthesised when omitted",
@@ -215,6 +263,53 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_engine(args: argparse.Namespace, engine_cls):
+    """Build the engine of a graph-or-store subcommand.
+
+    ``--store`` warm-starts ``engine_cls`` memory-mapped from a snapshot;
+    otherwise the positional graph file is loaded and a cold engine built.
+    Exactly one of the two sources must be given.
+    """
+    if args.store is not None:
+        if args.graph is not None:
+            raise InvalidParameterError(
+                "pass either a graph file or --store, not both"
+            )
+        return engine_cls.from_store(args.store)
+    if args.graph is None:
+        raise InvalidParameterError(
+            "pass a graph .npz file or --store SNAPSHOT_DIR"
+        )
+    return engine_cls(load_graph_npz(args.graph))
+
+
+def _command_snapshot(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+
+    graph = load_graph_npz(args.graph)
+    try:
+        ks = sorted({int(part) for part in args.ks.split(",") if part.strip()})
+    except ValueError:
+        raise InvalidParameterError(
+            f"--ks must be comma-separated integers, got {args.ks!r}"
+        ) from None
+    if not ks:
+        raise InvalidParameterError("--ks named no degree thresholds")
+    engine = QueryEngine(graph)
+    for k in ks:
+        count = engine.prepare(k)
+        for component in range(count):
+            engine.component_artifacts(k, component)
+    store = ArtifactStore.save(args.out, engine)
+    info = store.describe()
+    print(
+        f"wrote {info['path']}: {info['vertices']} vertices, "
+        f"{info['edges']} edges, k={','.join(str(k) for k in ks)}, "
+        f"{info['bundles']} bundles, {info['bytes'] / 1e6:.2f} MB"
+    )
+    return 0
+
+
 def _algorithm_params(args: argparse.Namespace) -> dict:
     if args.algorithm == "appfast":
         return {"epsilon_f": args.epsilon_f}
@@ -267,9 +362,14 @@ def _batch_queries(args: argparse.Namespace, graph) -> list:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    graph = load_graph_npz(args.graph)
+    engine = _load_engine(args, QueryEngine)
+    graph = engine.graph
     processor = BatchSACProcessor(
-        graph, args.k, algorithm=args.algorithm, algorithm_params=_algorithm_params(args)
+        graph,
+        args.k,
+        algorithm=args.algorithm,
+        algorithm_params=_algorithm_params(args),
+        engine=engine,
     )
     queries = _batch_queries(args, graph)
     batch = processor.run(queries)
@@ -300,8 +400,14 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
     if args.rounds < 1:
         raise InvalidParameterError(f"--rounds must be at least 1, got {args.rounds}")
-    graph = load_graph_npz(args.graph)
-    service = SACService(graph, workers=args.workers, use_cache=not args.no_cache)
+    engine = _load_engine(args, QueryEngine)
+    graph = engine.graph
+    service = SACService(
+        engine=engine,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        use_shared_memory=not args.no_shared_memory,
+    )
     queries = _batch_queries(args, graph)
     params = _algorithm_params(args)
 
@@ -335,6 +441,13 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         f"{stats.executor.batches_serial} serial batches, "
         f"{stats.executor.serial_fallbacks} fallbacks"
     )
+    print(
+        f"dispatch       : {stats.executor.segments_created} segments created "
+        f"({stats.executor.bytes_shared} B shared once), "
+        f"{stats.executor.segments_reused} reuses, "
+        f"{stats.executor.bytes_dispatched} B task messages, "
+        f"{stats.executor.bytes_pickled} B pickled payloads"
+    )
     if stats.cache is not None:
         print(
             f"cache          : {stats.cache.hits} hits, {stats.cache.misses} misses, "
@@ -356,7 +469,15 @@ def _command_track(args: argparse.Namespace) -> int:
     from repro.dynamic.tracker import SACTracker
     from repro.graph.io import Checkin, read_checkins
 
-    graph = load_graph_npz(args.graph)
+    engine = _load_engine(args, IncrementalEngine) if args.store else None
+    if engine is not None:
+        graph = engine.graph
+    else:
+        graph = load_graph_npz(args.graph) if args.graph else None
+        if graph is None:
+            raise InvalidParameterError(
+                "pass a graph .npz file or --store SNAPSHOT_DIR"
+            )
     generator = CheckinGenerator(graph, TravelProfile(), seed=args.seed)
     if args.checkins:
         # Check-in files identify users by their graph label (like every
@@ -401,6 +522,7 @@ def _command_track(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         algorithm_params=_algorithm_params(args),
         incremental=not args.no_incremental,
+        engine=engine if not args.no_incremental else None,
     )
     start = time.perf_counter()
     timelines = tracker.track(tracked)
@@ -456,6 +578,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "query": _command_query,
         "batch": _command_batch,
+        "snapshot": _command_snapshot,
         "serve-batch": _command_serve_batch,
         "track": _command_track,
         "stats": _command_stats,

@@ -67,6 +67,17 @@ class LocationStream:
         self._cursor = 0
         self._current_locations.clear()
 
+    @property
+    def current_locations(self) -> Dict[int, Tuple[float, float]]:
+        """Locations already applied by the replay so far, as ``user -> (x, y)``.
+
+        A copy of the internal map; users still at their base location are
+        absent.  This is what :class:`repro.dynamic.SACTracker` feeds into a
+        caller-supplied engine so a pre-advanced stream replays identically
+        on both of its paths.
+        """
+        return dict(self._current_locations)
+
     def location_of(self, user: int) -> Tuple[float, float]:
         """Current location of ``user`` (their latest check-in, else their base location)."""
         if user in self._current_locations:

@@ -76,6 +76,13 @@ class SACTracker:
         per-graph state from a fresh coordinate snapshot (the pre-engine
         behaviour, kept as a baseline and escape hatch).  The two paths
         produce identical timelines.
+    engine:
+        Optional pre-built :class:`~repro.engine.IncrementalEngine` for the
+        incremental path — typically warm-started from a snapshot via
+        :meth:`IncrementalEngine.from_store <repro.engine.QueryEngine.from_store>`,
+        which is how the CLI's ``track --store`` skips the cold build.  The
+        engine must be bound to a graph of the stream's shape; the replay
+        takes ownership and mutates it.  Ignored on the rebuild path.
 
     Attributes
     ----------
@@ -98,16 +105,27 @@ class SACTracker:
         algorithm: str = "appfast",
         algorithm_params: Optional[Dict[str, float]] = None,
         incremental: bool = True,
+        engine: Optional[IncrementalEngine] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        if engine is not None and (
+            engine.graph.num_vertices != stream.graph.num_vertices
+            or engine.graph.num_edges != stream.graph.num_edges
+        ):
+            raise InvalidParameterError(
+                f"engine graph has {engine.graph.num_vertices} vertices / "
+                f"{engine.graph.num_edges} edges but the stream graph has "
+                f"{stream.graph.num_vertices} / {stream.graph.num_edges}"
             )
         self.stream = stream
         self.k = k
         self.algorithm = algorithm
         self.algorithm_params = dict(algorithm_params or {})
         self.incremental = incremental
+        self.engine = engine
         self.last_engine: Optional[IncrementalEngine] = None
         self.last_service: Optional[SACService] = None
 
@@ -159,8 +177,17 @@ class SACTracker:
         their component and forces a fresh answer, while queries untouched by
         intervening moves are served from the cache bit-identically.
         """
-        work = self.stream.snapshot().mutable_copy()
-        service = SACService(engine=IncrementalEngine(work))
+        if self.engine is not None:
+            work_engine = self.engine
+            # A pre-advanced stream (advance_to) has locations the engine's
+            # graph does not reflect yet; apply them so both replay paths
+            # start from the same coordinates.
+            for user, (x, y) in self.stream.current_locations.items():
+                work_engine.apply_checkin(user, x, y)
+        else:
+            work = self.stream.snapshot().mutable_copy()
+            work_engine = IncrementalEngine(work)
+        service = SACService(engine=work_engine)
         self.last_engine = service.engine
         self.last_service = service
         for record in self.stream.replay():

@@ -75,6 +75,15 @@ class EngineStats:
     edge_updates:
         Edge insertions/deletions applied via
         :meth:`IncrementalEngine.apply_edge`.
+    bundles_loaded:
+        Artifact bundles installed ready-made from an
+        :class:`repro.store.ArtifactStore` snapshot by
+        :meth:`QueryEngine.from_store` (not counted in
+        ``components_materialised`` — nothing was built).
+    bundles_thawed:
+        Memory-mapped (read-only) bundles replaced with private writable
+        copies the first time a mutation needed to patch them —
+        the copy-on-first-mutate half of warm-started incremental engines.
     bundles_patched:
         Artifact bundles repaired *in place* by a location update (the moved
         vertex's coordinate row and grid cell — nothing was rebuilt).
@@ -96,6 +105,8 @@ class EngineStats:
     components_materialised: int = 0
     core_decompositions: int = 0
     ks_labelled: List[int] = field(default_factory=list)
+    bundles_loaded: int = 0
+    bundles_thawed: int = 0
     location_updates: int = 0
     edge_updates: int = 0
     bundles_patched: int = 0
@@ -146,6 +157,66 @@ class QueryEngine:
         # at and treat any bump as an eviction notice; for a static engine
         # the counters never move, so cached answers stay valid forever.
         self._bundle_versions: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------ warm start
+    @classmethod
+    def from_store(cls, store) -> "QueryEngine":
+        """Warm-start an engine from an :class:`repro.store.ArtifactStore`.
+
+        ``store`` is an open store or a snapshot path.  The returned engine's
+        graph and caches are zero-copy views over the snapshot's memory maps,
+        so readiness costs milliseconds instead of a cold build's parse +
+        decomposition + labelling + per-component index construction — with
+        **bit-identical** answers, because the snapshot holds exactly the
+        arrays a cold build computes.  Works for this class and for
+        :class:`~repro.engine.IncrementalEngine` (which copies mapped
+        artifacts on first mutation, leaving the snapshot untouched).
+        """
+        from repro.store import ArtifactStore
+
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore.open(store)
+        engine = cls(store.graph())
+        engine.install_state(store.engine_state())
+        return engine
+
+    def export_state(self) -> Dict[str, object]:
+        """Return the engine's cached artifacts for snapshotting.
+
+        The counterpart of :meth:`install_state` and the protocol
+        :meth:`repro.store.ArtifactStore.save` consumes: the core-number
+        vector (``None`` when never computed), per-``k`` labellings as
+        ``(labels, count, representatives)`` triples, and the
+        ``(k, representative) -> CandidateArtifacts`` bundle cache.  The
+        returned arrays are the live internals — callers must not mutate
+        them.
+        """
+        return {
+            "cores": self._cores,
+            "labellings": {
+                k: (labels, count, self._reps[k])
+                for k, (labels, count) in self._labels.items()
+            },
+            "bundles": dict(self._artifacts),
+        }
+
+    def install_state(self, state: Dict[str, object]) -> None:
+        """Adopt caches produced by :meth:`export_state` (or a store).
+
+        Installed bundles are counted in ``stats.bundles_loaded`` rather
+        than ``components_materialised``: the gap between contexts served
+        and components materialised remains the engine's own saved work.
+        """
+        cores = state.get("cores")
+        if cores is not None:
+            self._cores = cores
+        for k, (labels, count, reps) in state.get("labellings", {}).items():
+            self._labels[int(k)] = (labels, int(count))
+            self._reps[int(k)] = reps
+        bundles = state.get("bundles", {})
+        for (k, representative), bundle in bundles.items():
+            self._artifacts[(int(k), int(representative))] = bundle
+        self.stats.bundles_loaded += len(bundles)
 
     # --------------------------------------------------------- shared artefacts
     def core_numbers(self) -> np.ndarray:
@@ -215,6 +286,20 @@ class QueryEngine:
         if component < 0:
             raise NoCommunityError(query, k)
         return component, int(self._reps[k][component])
+
+    def component_representative(self, k: int, component: int) -> int:
+        """Return the representative (minimum member) of one k-ĉore component.
+
+        ``component`` indexes the current labelling of
+        :meth:`component_labels`.  This is the stable cache key the bundle,
+        answer-cache, and shared-memory-segment layers all share.
+        """
+        _, count = self.component_labels(k)
+        if not 0 <= int(component) < count:
+            raise InvalidParameterError(
+                f"component {component!r} is out of range for k={k} ({count} components)"
+            )
+        return int(self._reps[k][int(component)])
 
     def component_version(self, k: int, representative: int) -> int:
         """Current version of the ``(k, representative)`` component's artifacts.

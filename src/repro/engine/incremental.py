@@ -29,12 +29,15 @@ edge flips, and queries to enforce exactly that.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Tuple
 
 import numpy as np
 
+from repro.core.base import CandidateArtifacts
 from repro.engine.engine import QueryEngine
 from repro.exceptions import InvalidParameterError
+from repro.geometry.grid import GridIndex
 from repro.kcore.decomposition import gather_neighbors
 from repro.kcore.maintenance import demote_after_delete, promote_after_insert
 
@@ -73,6 +76,10 @@ class IncrementalEngine(QueryEngine):
             candidates = bundle.candidate_array
             position = int(np.searchsorted(candidates, user))
             if position < candidates.size and candidates[position] == user:
+                if not bundle.candidate_coords.flags.writeable:
+                    # Warm-started bundle backed by a read-only snapshot map:
+                    # copy-on-first-mutate, leaving the snapshot untouched.
+                    bundle = self._thaw_bundle(key)
                 # The bundle's grid shares its coordinate matrix, so one
                 # move_point updates both the cell layout and the row that
                 # future distance vectors will read.
@@ -114,6 +121,10 @@ class IncrementalEngine(QueryEngine):
 
         had_cores = self._cores is not None
         if had_cores:
+            if not self._cores.flags.writeable:
+                # Warm-started cores are a read-only snapshot map; the
+                # subcore repair below mutates them in place, so thaw first.
+                self._cores = np.array(self._cores)
             old_min = int(min(self._cores[u], self._cores[v]))
         if insert:
             self.graph.add_edge(u, v)
@@ -211,6 +222,29 @@ class IncrementalEngine(QueryEngine):
                 del self._labels[k]
                 del self._reps[k]
                 self.stats.labelings_invalidated += 1
+
+    def _thaw_bundle(self, key: Tuple[int, int]) -> CandidateArtifacts:
+        """Swap a read-only (memory-mapped) bundle for a writable copy.
+
+        Only the arrays an in-place location patch writes are copied — the
+        coordinate matrix and the grid's bucket arrays; members and the
+        local CSR stay shared with the snapshot (they are never patched,
+        only dropped).  The copy replaces the cached bundle, so the thaw
+        happens at most once per bundle (``stats.bundles_thawed``).
+        """
+        bundle = self._artifacts[key]
+        coords = np.array(bundle.candidate_coords)
+        state = bundle.grid.export_state()
+        state["order"] = np.array(state["order"])
+        state["starts"] = np.array(state["starts"])
+        thawed = replace(
+            bundle,
+            candidate_coords=coords,
+            grid=GridIndex.from_state(coords, state),
+        )
+        self._artifacts[key] = thawed
+        self.stats.bundles_thawed += 1
+        return thawed
 
     def _bump_version(self, key: Tuple[int, int]) -> None:
         """Advance the component version behind ``(k, representative)``.

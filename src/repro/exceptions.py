@@ -50,3 +50,14 @@ class NoCommunityError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated, located, or parsed."""
+
+
+class StoreError(ReproError):
+    """Raised when an artifact store cannot be written, opened, or trusted.
+
+    Covers every failure mode of :mod:`repro.store`: a path that is not a
+    store, a manifest that does not parse or was written by an incompatible
+    format version, a blob file that is missing or whose dtype/shape does not
+    match the manifest, and snapshots of graphs the format cannot represent
+    (non-integer vertex labels).
+    """

@@ -99,6 +99,78 @@ class GridIndex:
         """Side length of each grid cell."""
         return self._cell
 
+    # ------------------------------------------------------- state snapshot
+    def export_state(self) -> dict:
+        """Return the index's full internal state as plain scalars and arrays.
+
+        The returned ``order``/``starts`` arrays are the live internals, not
+        copies — callers that persist or share them must treat them as
+        read-only.  Together with the (shared) coordinate matrix the state
+        reconstructs an identical index via :meth:`from_state`, which is how
+        :mod:`repro.store` snapshots per-bundle grids and how shard workers
+        skip rebuilding them.
+        """
+        return {
+            "min_x": self._min_x,
+            "min_y": self._min_y,
+            "cell": self._cell,
+            "cols": self._cols,
+            "rows": self._rows,
+            "order": self._order,
+            "starts": self._starts,
+        }
+
+    @classmethod
+    def from_state(cls, coordinates: np.ndarray, state: dict) -> "GridIndex":
+        """Rebuild an index from :meth:`export_state` output without re-sorting.
+
+        ``coordinates`` must hold exactly the point values the state was
+        exported against (the bucket layout encodes their cell assignment);
+        the array is shared, not copied, exactly like the constructor.  The
+        state arrays are adopted as-is — pass copies when the caller intends
+        to call :meth:`move_point` on read-only (e.g. memory-mapped) state.
+        """
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError("coordinates must be an (n, 2) array")
+        grid = cls.__new__(cls)
+        grid._coords = coords
+        grid._min_x = float(state["min_x"])
+        grid._min_y = float(state["min_y"])
+        grid._cell = float(state["cell"])
+        grid._cols = int(state["cols"])
+        grid._rows = int(state["rows"])
+        grid._order = np.asarray(state["order"], dtype=np.int64)
+        grid._starts = np.asarray(state["starts"], dtype=np.int64)
+        if grid._cell <= 0 or grid._cols < 1 or grid._rows < 1:
+            raise ValueError("grid state has degenerate geometry")
+        if grid._order.shape != (coords.shape[0],):
+            raise ValueError(
+                f"grid order has {grid._order.size} entries for {coords.shape[0]} points"
+            )
+        if grid._starts.shape != (grid._cols * grid._rows + 1,):
+            raise ValueError(
+                f"grid starts has {grid._starts.size} entries for "
+                f"{grid._cols}x{grid._rows} cells"
+            )
+        return grid
+
+    def rebind(self, coordinates: np.ndarray) -> None:
+        """Swap the backing coordinate array for an equal-valued replacement.
+
+        Used by :meth:`repro.graph.SpatialGraph.update_location` when it
+        thaws a read-only (memory-mapped) coordinate matrix into a writable
+        copy: the bucket layout depends only on the point values, which are
+        unchanged, so only the array reference needs to move.
+        """
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if coords.shape != self._coords.shape:
+            raise ValueError(
+                f"replacement coordinates have shape {coords.shape}, "
+                f"expected {self._coords.shape}"
+            )
+        self._coords = coords
+
     @property
     def size(self) -> int:
         """Number of indexed points."""

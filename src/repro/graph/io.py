@@ -8,11 +8,18 @@ Brightkite and Gowalla datasets used in the paper:
   (check-ins) or ``user  x  y`` (static locations).
 
 A compact ``.npz`` format is provided for caching generated synthetic graphs
-between benchmark runs.
+between benchmark runs.  Since store version 1 the archive embeds the same
+versioned JSON manifest as :class:`repro.store.ArtifactStore` directories
+(one on-disk format family) and persists the graph in CSR form, so loading
+reattaches arrays instead of replaying a builder; legacy edge-list archives
+written before the manifest existed are migrated transparently on load,
+while unrecognised or newer-versioned files fail with a clear
+:class:`~repro.exceptions.DatasetError`.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -23,6 +30,7 @@ import numpy as np
 from repro.exceptions import DatasetError
 from repro.graph.builder import GraphBuilder
 from repro.graph.spatial_graph import SpatialGraph
+from repro.store.manifest import array_entry, check_array, check_manifest, manifest_header
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,38 +149,92 @@ def normalize_locations(
 
 
 def save_graph_npz(graph: SpatialGraph, path: str | Path) -> None:
-    """Serialize a graph into a compact ``.npz`` file.
+    """Serialize a graph into a compact, manifest-versioned ``.npz`` file.
 
-    Only integer-labelled graphs can be saved (dataset generators always use
-    integer labels).
+    The archive carries the graph in CSR form (``indptr`` + ``indices`` +
+    ``coords`` + ``labels``) under the same versioned JSON manifest schema
+    as :class:`repro.store.ArtifactStore` directories, so
+    :func:`load_graph_npz` reattaches arrays instead of replaying a builder
+    edge by edge.  Only integer-labelled graphs can be saved (dataset
+    generators always use integer labels).
     """
     labels = graph.labels()
     if not all(isinstance(label, (int, np.integer)) for label in labels):
         raise DatasetError("save_graph_npz supports integer vertex labels only")
-    sources = []
-    targets = []
-    for u, v in graph.edges():
-        sources.append(u)
-        targets.append(v)
+    indptr, indices = graph.csr
+    labels_array = np.asarray(labels, dtype=np.int64)
+    manifest = manifest_header("graph")
+    manifest["graph"] = {"vertices": graph.num_vertices, "edges": graph.num_edges}
+    manifest["arrays"] = {
+        "indptr": array_entry(indptr, "indptr"),
+        "indices": array_entry(indices, "indices"),
+        "coords": array_entry(graph.coordinates, "coords"),
+        "labels": array_entry(labels_array, "labels"),
+    }
     np.savez_compressed(
         Path(path),
-        labels=np.asarray(labels, dtype=np.int64),
-        coordinates=graph.coordinates,
-        edge_sources=np.asarray(sources, dtype=np.int64),
-        edge_targets=np.asarray(targets, dtype=np.int64),
+        manifest=json.dumps(manifest),
+        indptr=indptr,
+        indices=indices,
+        coords=graph.coordinates,
+        labels=labels_array,
     )
 
 
 def load_graph_npz(path: str | Path) -> SpatialGraph:
-    """Load a graph previously written by :func:`save_graph_npz`."""
+    """Load a graph previously written by :func:`save_graph_npz`.
+
+    Accepts the current manifest-versioned CSR format and migrates the
+    legacy edge-list archives (written before store version 1) on the fly;
+    anything else — including archives written by a *newer* store version —
+    raises a :class:`~repro.exceptions.DatasetError` explaining the skew
+    instead of misparsing bytes.
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"graph file not found: {path}")
-    with np.load(path) as data:
-        labels = data["labels"]
-        coordinates = data["coordinates"]
-        sources = data["edge_sources"]
-        targets = data["edge_targets"]
+    with np.load(path, allow_pickle=False) as data:
+        if "manifest" in data:
+            try:
+                manifest = json.loads(str(data["manifest"][()]))
+            except ValueError:
+                raise DatasetError(f"{path}: embedded manifest is not valid JSON") from None
+            check_manifest(manifest, kind="graph", source=str(path), error=DatasetError)
+            entries = manifest.get("arrays", {})
+            arrays = {}
+            for name in ("indptr", "indices", "coords", "labels"):
+                if name not in data or name not in entries:
+                    raise DatasetError(f"{path}: archive lacks array {name!r}")
+                arrays[name] = check_array(
+                    data[name], entries[name], source=str(path), error=DatasetError
+                )
+            return SpatialGraph.from_csr(
+                arrays["indptr"],
+                arrays["indices"],
+                arrays["coords"],
+                arrays["labels"].tolist(),
+            )
+        legacy_keys = {"labels", "coordinates", "edge_sources", "edge_targets"}
+        if legacy_keys.issubset(set(data.files)):
+            return _load_legacy_graph_npz(data)
+    raise DatasetError(
+        f"{path}: unrecognised graph archive (neither a manifest-versioned "
+        "store file nor a legacy edge-list cache) — regenerate it with "
+        "save_graph_npz"
+    )
+
+
+def _load_legacy_graph_npz(data) -> SpatialGraph:
+    """Migrate a pre-manifest edge-list archive into a graph.
+
+    The legacy cache stored explicit edge pairs; replaying them through the
+    builder reproduces exactly the graph the old loader built, so archives
+    written by earlier releases keep working unchanged.
+    """
+    labels = data["labels"]
+    coordinates = data["coordinates"]
+    sources = data["edge_sources"]
+    targets = data["edge_targets"]
     builder = GraphBuilder()
     for label, (x, y) in zip(labels.tolist(), coordinates.tolist()):
         builder.add_vertex(int(label), float(x), float(y))

@@ -70,22 +70,23 @@ class SpatialGraph:
             raise GraphConstructionError(
                 f"adjacency has {len(adjacency)} vertices but coordinates has {coords.shape[0]}"
             )
-        self._adjacency: List[np.ndarray] = [
+        self._rows: Optional[List[np.ndarray]] = [
             np.asarray(neighbors, dtype=np.int32) for neighbors in adjacency
         ]
+        self._row_source: Optional[np.ndarray] = None
         self._coords = coords
         if labels is None:
             labels = list(range(coords.shape[0]))
         if len(labels) != coords.shape[0]:
             raise GraphConstructionError("labels length must equal the number of vertices")
         self._labels: List[Label] = list(labels)
-        self._label_to_index: Dict[Label, int] = {
+        self._label_to_index: Optional[Dict[Label, int]] = {
             label: index for index, label in enumerate(self._labels)
         }
         if len(self._label_to_index) != len(self._labels):
             raise GraphConstructionError("vertex labels must be unique")
         self._degrees = np.array(
-            [neighbors.shape[0] for neighbors in self._adjacency], dtype=np.int64
+            [neighbors.shape[0] for neighbors in self._rows], dtype=np.int64
         )
         self._edge_count = int(self._degrees.sum()) // 2
         self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -110,14 +111,112 @@ class SpatialGraph:
         This is how :mod:`repro.service.sharding` workers reconstruct a
         component-local graph from a pickled shard payload.
         """
-        indptr = np.asarray(indptr, dtype=np.int64)
-        indices32 = np.asarray(indices, dtype=np.int32)
-        adjacency = [
-            indices32[indptr[v] : indptr[v + 1]] for v in range(indptr.size - 1)
-        ]
-        graph = cls(adjacency, coordinates, labels)
-        graph._csr = (indptr, np.asarray(indices, dtype=np.int64))
+        return cls.attach_arrays(
+            {
+                "indptr": np.asarray(indptr, dtype=np.int64),
+                "indices32": np.asarray(indices, dtype=np.int32),
+                "indices64": np.asarray(indices, dtype=np.int64),
+                "coords": coordinates,
+            },
+            labels=labels,
+        )
+
+    # ------------------------------------------------------- array snapshot
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Return the graph's structural state as flat numpy arrays.
+
+        The returned arrays (``indptr``, ``indices32``, ``indices64``,
+        ``coords``) are exactly what :meth:`attach_arrays` consumes; they are
+        the live internals where possible, so callers must treat them as
+        read-only.  ``indices32``/``indices64`` carry the same CSR neighbour
+        stream in both dtypes so that a round trip through a file or a
+        shared-memory segment reattaches with **zero copies**: the ``int32``
+        stream backs the per-vertex adjacency rows, the ``int64`` stream
+        backs the :attr:`csr` view.  Vertex labels are deliberately not
+        included — they are not an array; :mod:`repro.store` persists them
+        separately.
+        """
+        indptr, indices64 = self.csr
+        if self._rows is None:
+            # Attached, unmutated graph: the int32 stream it was attached
+            # from still matches the CSR exactly — re-export it as-is.
+            indices32 = self._row_source
+        elif self._edge_count == 0:
+            indices32 = indices64.astype(np.int32, copy=False)
+        else:
+            indices32 = np.concatenate(self._adjacency)
+        return {
+            "indptr": indptr,
+            "indices32": indices32,
+            "indices64": indices64,
+            "coords": self._coords,
+        }
+
+    @classmethod
+    def attach_arrays(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        labels: Optional[Sequence[Label]] = None,
+    ) -> "SpatialGraph":
+        """Reattach a graph to arrays produced by :meth:`export_arrays`.
+
+        When the supplied arrays already have the canonical dtypes (``int64``
+        ``indptr``/``indices64``, ``int32`` ``indices32``, float64
+        ``coords``) nothing is copied: adjacency rows become views into the
+        ``indices32`` stream, the CSR view adopts ``indices64``, and the
+        coordinate matrix is shared — which is what lets
+        :class:`repro.store.ArtifactStore` reopen a snapshot memory-mapped
+        and :mod:`repro.service.sharding` workers attach shared-memory
+        segments zero-copy.  Read-only (e.g. memory-mapped) arrays are
+        accepted; the first :meth:`update_location` transparently thaws the
+        coordinate matrix into a private writable copy, and edge splices
+        always allocate fresh arrays.
+        """
+        indptr = np.asarray(arrays["indptr"], dtype=np.int64)
+        indices32 = np.asarray(arrays["indices32"], dtype=np.int32)
+        indices64 = np.asarray(arrays["indices64"], dtype=np.int64)
+        coords = np.asarray(arrays["coords"], dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise GraphConstructionError("coordinates must be an (n, 2) array")
+        n = indptr.size - 1
+        if coords.shape[0] != n:
+            raise GraphConstructionError(
+                f"indptr describes {n} vertices but coordinates has {coords.shape[0]}"
+            )
+        if labels is not None and len(labels) != n:
+            raise GraphConstructionError("labels length must equal the number of vertices")
+        # Constructed around __init__: everything __init__ derives with a
+        # Python pass per vertex (the per-vertex row list, degree counting,
+        # the label->index dict) is either a vectorised difference of indptr
+        # or deferred to first use — this is the engine warm-start hot path.
+        graph = cls.__new__(cls)
+        graph._rows = None
+        graph._row_source = indices32
+        graph._coords = coords
+        graph._labels = list(labels) if labels is not None else list(range(n))
+        graph._label_to_index = None
+        graph._degrees = np.subtract(indptr[1:], indptr[:-1])
+        graph._edge_count = int(indices64.size) // 2
+        graph._csr = (indptr, indices64)
+        graph._grid = None
         return graph
+
+    @property
+    def _adjacency(self) -> List[np.ndarray]:
+        """Per-vertex sorted ``int32`` neighbour rows.
+
+        For attached graphs the row list is materialised lazily (views into
+        the shared ``indices32`` stream) the first time a structural
+        operation needs it; :meth:`neighbors` itself serves straight from
+        the CSR view without ever forcing materialisation.
+        """
+        if self._rows is None:
+            indptr, _ = self._csr
+            source = self._row_source
+            self._rows = [
+                source[indptr[v] : indptr[v + 1]] for v in range(indptr.size - 1)
+            ]
+        return self._rows
 
     # ------------------------------------------------------------------ size
     @property
@@ -134,13 +233,28 @@ class SpatialGraph:
         return self.num_vertices
 
     def __contains__(self, label: Label) -> bool:
-        return label in self._label_to_index
+        return label in self._label_index
 
     # ---------------------------------------------------------------- labels
+    @property
+    def _label_index(self) -> Dict[Label, int]:
+        """The label -> index dict, built lazily for attached graphs.
+
+        :meth:`attach_arrays` defers this (and its uniqueness check) to the
+        first label translation, keeping store warm starts free of per-vertex
+        Python work that most batch workloads never need.
+        """
+        if self._label_to_index is None:
+            index = {label: position for position, label in enumerate(self._labels)}
+            if len(index) != len(self._labels):
+                raise GraphConstructionError("vertex labels must be unique")
+            self._label_to_index = index
+        return self._label_to_index
+
     def index_of(self, label: Label) -> int:
         """Translate a user-facing label into the internal vertex index."""
         try:
-            return self._label_to_index[label]
+            return self._label_index[label]
         except KeyError:
             raise VertexNotFoundError(label) from None
 
@@ -161,7 +275,12 @@ class SpatialGraph:
 
     def neighbors(self, vertex: int) -> np.ndarray:
         """Return the sorted array of neighbours of ``vertex`` (by index)."""
-        return self._adjacency[vertex]
+        rows = self._rows
+        if rows is not None:
+            return rows[vertex]
+        # Attached graph with unmaterialised rows: slice the shared stream.
+        indptr, _ = self._csr
+        return self._row_source[indptr[vertex] : indptr[vertex + 1]]
 
     def degree(self, vertex: int) -> int:
         """Return the degree of ``vertex``."""
@@ -251,14 +370,34 @@ class SpatialGraph:
         the old coordinates (e.g. a ``QueryContext`` distance vector) must
         discard it; :class:`repro.engine.IncrementalEngine` does this
         bookkeeping automatically.
+
+        On a graph attached to read-only arrays (a memory-mapped
+        :class:`repro.store.ArtifactStore` snapshot), the first call thaws
+        the coordinate matrix into a private writable copy — the snapshot on
+        disk is never written through.
         """
         if not 0 <= vertex < self.num_vertices:
             raise VertexNotFoundError(vertex)
+        if not self._coords.flags.writeable:
+            self._thaw_coordinates()
         if self._grid is not None:
             self._grid.move_point(vertex, float(x), float(y))
         else:
             self._coords[vertex, 0] = float(x)
             self._coords[vertex, 1] = float(y)
+
+    def _thaw_coordinates(self) -> None:
+        """Replace a read-only coordinate matrix with a private writable copy.
+
+        Copy-on-first-mutate for store-attached graphs: the grid index (when
+        built) is rebound to the copy — its bucket layout depends only on the
+        point values, which are unchanged — so in-place location updates keep
+        working exactly as on a cold-built graph.
+        """
+        coords = np.array(self._coords)
+        self._coords = coords
+        if self._grid is not None:
+            self._grid.rebind(coords)
 
     def add_edge(self, u: int, v: int) -> None:
         """Insert the undirected edge ``{u, v}``, mutating the graph in place.

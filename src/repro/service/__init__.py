@@ -5,20 +5,31 @@ Serving heavy SAC traffic over one graph stacks three reuse levels:
 1. the **engine** (:mod:`repro.engine`) shares per-graph preprocessing
    across queries;
 2. the **sharded executor** (:class:`ShardedExecutor`) runs a batch's
-   k-ĉore-component shards on a process pool, serialising each component's
-   artifacts once per shard;
+   k-ĉore-component shards on a process pool, publishing each component's
+   artifacts once into a shared-memory segment that workers attach
+   zero-copy (per-batch messages carry query ids only; a pickle-per-batch
+   fallback survives for platforms without shared memory);
 3. the **answer cache** (:class:`AnswerCache`) shares finished answers
    across batches, invalidated per component by the engine's version
    counters so dynamic updates evict only what they touched.
 
-:class:`SACService` fronts all three; every path returns bit-identical
-results (enforced by ``tests/test_differential.py``).
+:class:`SACService` fronts all three — and persists them:
+:meth:`SACService.save` snapshots the engine into an
+:class:`repro.store.ArtifactStore`, :meth:`SACService.open` warm-starts a
+new service from one memory-mapped.  Every path returns bit-identical
+results (enforced by ``tests/test_differential.py`` and
+``tests/test_store.py``).
 """
 
 from repro.service.cache import AnswerCache, CacheStats
 from repro.service.facade import SACService, ServiceStats
 from repro.service.results import BatchResult
-from repro.service.sharding import ExecutorStats, ShardedExecutor, ShardPayload
+from repro.service.sharding import (
+    ExecutorStats,
+    ShardedExecutor,
+    ShardPayload,
+    ShardTask,
+)
 
 __all__ = [
     "AnswerCache",
@@ -28,5 +39,6 @@ __all__ = [
     "SACService",
     "ServiceStats",
     "ShardPayload",
+    "ShardTask",
     "ShardedExecutor",
 ]

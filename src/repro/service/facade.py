@@ -64,6 +64,10 @@ class SACService:
     use_cache / cache_capacity:
         Whether to keep an :class:`~repro.service.cache.AnswerCache`, and its
         LRU capacity.
+    use_shared_memory:
+        Forwarded to :class:`~repro.service.sharding.ShardedExecutor`:
+        publish shard artifacts once into shared-memory segments (default)
+        instead of re-pickling them every batch.
     pool_factory:
         Forwarded to :class:`~repro.service.sharding.ShardedExecutor`.
 
@@ -84,13 +88,17 @@ class SACService:
         workers: Optional[int] = None,
         use_cache: bool = True,
         cache_capacity: int = 4096,
+        use_shared_memory: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
     ) -> None:
         if (graph is None) == (engine is None):
             raise InvalidParameterError("pass exactly one of graph or engine")
         self.engine = engine if engine is not None else QueryEngine(graph)
         self.executor = ShardedExecutor(
-            self.engine, workers=workers, pool_factory=pool_factory
+            self.engine,
+            workers=workers,
+            use_shared_memory=use_shared_memory,
+            pool_factory=pool_factory,
         )
         self.cache: Optional[AnswerCache] = (
             AnswerCache(cache_capacity) if use_cache else None
@@ -100,6 +108,52 @@ class SACService:
     def graph(self) -> SpatialGraph:
         """The graph the service is bound to (via its engine)."""
         return self.engine.graph
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path) -> None:
+        """Snapshot the engine (graph + cached artifacts) to a store directory.
+
+        Everything the engine has computed so far — core numbers, k-ĉore
+        labellings, per-component bundles — lands in an
+        :class:`repro.store.ArtifactStore` at ``path``; call
+        :meth:`warm` (and run representative batches) first to capture a
+        fully materialised state.  Reopen with :meth:`open` for a
+        millisecond warm start.
+        """
+        from repro.store import ArtifactStore
+
+        ArtifactStore.save(path, self.engine)
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        *,
+        incremental: bool = True,
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+        cache_capacity: int = 4096,
+        use_shared_memory: bool = True,
+        pool_factory: Callable[[int], object] = default_pool_factory,
+    ) -> "SACService":
+        """Open a service over a snapshot written by :meth:`save`.
+
+        The engine warm-starts memory-mapped from the store
+        (:class:`~repro.engine.IncrementalEngine` by default, so
+        :meth:`apply_checkin` / :meth:`apply_edge` work out of the box; pass
+        ``incremental=False`` for a plain read-only
+        :class:`~repro.engine.QueryEngine`).  All other parameters match the
+        constructor.
+        """
+        engine_cls = IncrementalEngine if incremental else QueryEngine
+        return cls(
+            engine=engine_cls.from_store(path),
+            workers=workers,
+            use_cache=use_cache,
+            cache_capacity=cache_capacity,
+            use_shared_memory=use_shared_memory,
+            pool_factory=pool_factory,
+        )
 
     # ----------------------------------------------------------------- serving
     def warm(self, k: int) -> int:

@@ -5,32 +5,44 @@ along the k-ĉore components the engine already labels: two queries in
 different components share *no* state beyond the labelling itself — not the
 candidate set, not the grid index, not the local CSR.  That makes the
 component the unit of parallelism: :class:`ShardedExecutor` groups the batch
-by component, serialises each component's cached artifacts **once per shard**
-(not once per query), ships the shards to a process pool, and merges the
-workers' answers.  When a batch has fewer components than workers, large
-components are split into query chunks so the whole pool participates.
+by component, publishes each component's cached artifacts **once** into a
+:class:`repro.store.SharedArrayPack` shared-memory segment, ships workers a
+small :class:`ShardTask` (query ids plus the segment's name and layout), and
+merges the answers.  Workers attach the segment zero-copy and cache the
+reconstructed component graph across batches, so after the first batch the
+per-batch dispatch cost is a few hundred bytes of task message per shard —
+not the megabytes of arrays the original pickle protocol re-serialised every
+round (``ExecutorStats`` counts both, so the gap is measurable from
+:meth:`repro.service.SACService.stats`).  When a batch has fewer components
+than workers, large components are split into query chunks that reference
+the same segment, so the whole pool participates without duplicating data.
 
-Workers never see the full graph.  A :class:`ShardPayload` carries the
-component's member array, coordinate matrix, and component-local CSR — the
-same arrays a :class:`repro.core.base.CandidateArtifacts` bundle holds — and
-the worker reconstructs a component-sized :class:`~repro.graph.SpatialGraph`
-plus artifacts from them.  Because every SAC algorithm confines itself to
-the query's k-ĉore component (candidate sets, probes, distances, and MCCs
-all live inside it) and the member relabelling is monotone, the worker's
-answer is **bit-identical** to the serial engine path: same member sets,
-same circle coordinates, same stats.  ``tests/test_differential.py`` holds
-the three paths (serial, sharded, cached) to exactly that.
+Workers never see the full graph.  A segment carries the component's member
+array, coordinate matrix, component-local CSR (both index dtypes), and the
+bundle's grid-index state — the same arrays a
+:class:`repro.core.base.CandidateArtifacts` bundle holds — and the worker
+reconstructs a component-sized :class:`~repro.graph.SpatialGraph` plus
+artifacts as views over the shared pages.  Because every SAC algorithm
+confines itself to the query's k-ĉore component and the member relabelling
+is monotone, the worker's answer is **bit-identical** to the serial engine
+path: same member sets, same circle coordinates, same stats.
+``tests/test_differential.py`` and ``tests/test_store.py`` hold the paths to
+exactly that.
 
-Any failure of the parallel machinery — a worker killed mid-shard, a broken
-pool, an unpicklable payload — degrades gracefully: the executor falls back
-to the serial engine path for the whole batch and counts the event in
-:attr:`ExecutorStats.serial_fallbacks`.
+Degradation is graceful at two levels: a shared-memory failure (segment
+creation refused, attach failure) falls back to the original
+pickle-every-batch :class:`ShardPayload` protocol
+(``ExecutorStats.shm_fallbacks``), and any failure of the parallel machinery
+itself — a worker killed mid-shard, a broken pool — degrades the whole
+batch to the serial engine path (``ExecutorStats.serial_fallbacks``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -46,15 +58,18 @@ from repro.exceptions import InvalidParameterError, NoCommunityError, ReproError
 from repro.geometry.grid import GridIndex
 from repro.graph.spatial_graph import SpatialGraph
 from repro.service.results import BatchResult
+from repro.store.sharedmem import SharedArrayPack
 
 
 @dataclass
 class ShardPayload:
     """Everything one worker needs to answer one component's queries.
 
-    The arrays are the component's cached artifacts (member ids ascending,
-    their coordinates, and the component-local CSR adjacency) — serialised
-    once per shard regardless of how many queries the shard holds.
+    The original (pickle) dispatch protocol, kept as the fallback when
+    shared memory is unavailable: the arrays are the component's cached
+    artifacts (member ids ascending, their coordinates, and the
+    component-local CSR adjacency), re-serialised to the pool once per shard
+    per batch.
     """
 
     k: int
@@ -68,6 +83,22 @@ class ShardPayload:
 
 
 @dataclass
+class ShardTask:
+    """The small per-batch worker message of the shared-memory protocol.
+
+    Carries only the query ids and the segment reference (name + per-array
+    layout + grid geometry); the component arrays themselves live in the
+    shared segment and never cross the pipe.
+    """
+
+    k: int
+    algorithm: str
+    params: Dict[str, float]
+    queries: List[int]
+    segment: Dict[str, object]
+
+
+@dataclass
 class ExecutorStats:
     """Work counters of one :class:`ShardedExecutor`.
 
@@ -77,12 +108,36 @@ class ExecutorStats:
         Batches executed through the process pool vs. entirely on the serial
         engine path (small batches, ``workers <= 1``, or after a fallback).
     shards_executed:
-        Component shards shipped to workers across all parallel batches.
+        Component shards shipped to workers across all parallel batches
+        (either protocol).
     queries_parallel / queries_serial:
         Queries answered on each path.
     serial_fallbacks:
         Parallel batches that degraded to the serial path after a pool or
         worker failure.
+    shm_fallbacks:
+        Parallel batches that fell back from the shared-memory protocol to
+        the pickle protocol.
+    segments_created / segments_reused:
+        Shared-memory segments materialised, and shards that reused a
+        previously materialised segment (the reuse is where the per-batch
+        serialisation saving comes from).
+    bytes_shared:
+        Bytes written into shared-memory segments, counted **once** at
+        segment creation.
+    bytes_dispatched:
+        Pickled size of the per-batch :class:`ShardTask` messages on the
+        shared-memory path — the entire per-batch dispatch cost once
+        segments exist.  Accounted as the cached pickled size of each
+        segment spec plus the pickled per-batch remainder (k, algorithm,
+        params, queries), so tasks are never re-serialised just for the
+        counter.
+    bytes_pickled:
+        Array bytes serialised per batch by the fallback pickle protocol
+        (the :class:`ShardPayload` arrays; framing overhead excluded).
+        Comparing this against ``bytes_dispatched`` for the same workload is
+        the dispatch-cost claim ``benchmarks/bench_store_warmstart.py``
+        measures.
     """
 
     batches_parallel: int = 0
@@ -91,6 +146,12 @@ class ExecutorStats:
     queries_parallel: int = 0
     queries_serial: int = 0
     serial_fallbacks: int = 0
+    shm_fallbacks: int = 0
+    segments_created: int = 0
+    segments_reused: int = 0
+    bytes_shared: int = 0
+    bytes_dispatched: int = 0
+    bytes_pickled: int = 0
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -98,9 +159,9 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
     ``fork`` shares the parent's memory copy-on-write, so worker start-up
     does not re-import the library; platforms without it (Windows, and
-    macOS's default) fall back to their default start method, for which the
-    payload-only protocol works equally — workers import :mod:`repro` and
-    receive everything else inside the pickled :class:`ShardPayload`.
+    macOS's default) fall back to their default start method, for which both
+    dispatch protocols work equally — workers import :mod:`repro` and attach
+    segments (or receive pickled payloads) by name.
     """
     try:
         return multiprocessing.get_context("fork")
@@ -133,7 +194,6 @@ def _shard_graph(payload: ShardPayload) -> SpatialGraph:
         payload.members.tolist(),
     )
 
-
 def _shard_artifacts(payload: ShardPayload) -> CandidateArtifacts:
     """Rebuild the component's candidate artifacts in local-id space."""
     size = payload.members.size
@@ -165,28 +225,127 @@ def _globalise(result: SACResult, query: int, members: np.ndarray) -> SACResult:
     )
 
 
+def _answer_queries(
+    graph: SpatialGraph,
+    artifacts: CandidateArtifacts,
+    members: np.ndarray,
+    k: int,
+    algorithm: str,
+    params: Dict[str, float],
+    queries: Sequence[int],
+) -> List[Tuple[int, SACResult]]:
+    """Answer one shard's queries on a reconstructed component graph.
+
+    Shared by both worker protocols, so their per-query arithmetic — and
+    therefore their answers — cannot drift apart.
+    """
+    run = ALGORITHMS[algorithm]
+    answers: List[Tuple[int, SACResult]] = []
+    for query in queries:
+        local = int(np.searchsorted(members, query))
+        if k == 1:
+            # The algorithms answer k=1 with the nearest-neighbour shortcut
+            # before touching any context, mirroring QueryEngine.search.
+            result = run(graph, local, k, **params)
+        else:
+            context = QueryContext(graph, local, k, artifacts=artifacts)
+            result = run(graph, local, k, context=context, **params)
+        answers.append((query, _globalise(result, query, members)))
+    return answers
+
+
 def _run_shard(payload: ShardPayload) -> List[Tuple[int, SACResult]]:
-    """Worker entry point: answer every query of one component shard.
+    """Pickle-protocol worker entry point: rebuild, answer, return.
 
     Runs in a pool process.  The component graph and artifacts are rebuilt
-    once, then each query pays only its distance vector plus the algorithm's
-    own search — the same cost profile as the serial engine path.
+    from the pickled arrays once per shard, then each query pays only its
+    distance vector plus the algorithm's own search.
     """
     graph = _shard_graph(payload)
     artifacts = _shard_artifacts(payload)
-    run = ALGORITHMS[payload.algorithm]
-    answers: List[Tuple[int, SACResult]] = []
-    for query in payload.queries:
-        local = int(np.searchsorted(payload.members, query))
-        if payload.k == 1:
-            # The algorithms answer k=1 with the nearest-neighbour shortcut
-            # before touching any context, mirroring QueryEngine.search.
-            result = run(graph, local, payload.k, **payload.params)
-        else:
-            context = QueryContext(graph, local, payload.k, artifacts=artifacts)
-            result = run(graph, local, payload.k, context=context, **payload.params)
-        answers.append((query, _globalise(result, query, payload.members)))
-    return answers
+    return _answer_queries(
+        graph, artifacts, payload.members,
+        payload.k, payload.algorithm, payload.params, payload.queries,
+    )
+
+
+#: Worker-process cache of attached segments: segment name ->
+#: (pack, graph, artifacts, members).  Segments are immutable once
+#: published (the parent replaces, never rewrites, them), so a cached
+#: reconstruction stays valid for the lifetime of its segment.
+_SEGMENT_CACHE: "OrderedDict[str, Tuple[SharedArrayPack, SpatialGraph, CandidateArtifacts, np.ndarray]]" = (
+    OrderedDict()
+)
+
+#: How many attached segments one worker keeps reconstructed at once.
+_SEGMENT_CACHE_LIMIT = 16
+
+
+def _attach_segment(
+    segment: Dict[str, object],
+) -> Tuple[SharedArrayPack, SpatialGraph, CandidateArtifacts, np.ndarray]:
+    """Attach (or fetch from cache) one component segment in a worker.
+
+    The graph's adjacency rows, CSR view, coordinates, and the artifact
+    bundle's grid are all **views over the shared pages** — nothing is
+    copied except the member-label list; the grid is rebuilt from the
+    parent's exported state rather than re-sorted.
+    """
+    spec = segment["pack"]
+    name = str(spec["name"])  # type: ignore[index]
+    entry = _SEGMENT_CACHE.get(name)
+    if entry is not None:
+        _SEGMENT_CACHE.move_to_end(name)
+        return entry
+    pack = SharedArrayPack.attach(spec)  # type: ignore[arg-type]
+    members = pack["members"]
+    coords = pack["coords"]
+    graph = SpatialGraph.attach_arrays(
+        {
+            "indptr": pack["indptr"],
+            "indices32": pack["indices32"],
+            "indices64": pack["indices64"],
+            "coords": coords,
+        },
+        labels=members.tolist(),
+    )
+    grid = GridIndex.from_state(
+        coords, {**segment["grid"], "order": pack["grid_order"], "starts": pack["grid_starts"]}  # type: ignore[dict-item]
+    )
+    size = int(members.size)
+    artifacts = CandidateArtifacts(
+        candidates=frozenset(range(size)),
+        candidate_list=list(range(size)),
+        candidate_array=np.arange(size, dtype=np.int64),
+        candidate_coords=coords,
+        grid=grid,
+        local_indptr=pack["indptr"],
+        local_indices=pack["indices64"],
+    )
+    entry = (pack, graph, artifacts, members)
+    _SEGMENT_CACHE[name] = entry
+    while len(_SEGMENT_CACHE) > _SEGMENT_CACHE_LIMIT:
+        _, (old_pack, _g, _a, _m) = _SEGMENT_CACHE.popitem(last=False)
+        old_pack.close()
+    return entry
+
+
+def _run_shard_task(task: ShardTask) -> List[Tuple[int, SACResult]]:
+    """Shared-memory-protocol worker entry point: attach, answer, return."""
+    _pack, graph, artifacts, members = _attach_segment(task.segment)
+    return _answer_queries(
+        graph, artifacts, members, task.k, task.algorithm, task.params, task.queries
+    )
+
+
+def _payload_array_bytes(payload: ShardPayload) -> int:
+    """Array bytes one pickled :class:`ShardPayload` serialises to the pool."""
+    return int(
+        payload.members.nbytes
+        + payload.coords.nbytes
+        + payload.local_indptr.nbytes
+        + payload.local_indices.nbytes
+    )
 
 
 class ShardedExecutor:
@@ -197,7 +356,7 @@ class ShardedExecutor:
     engine:
         The :class:`~repro.engine.QueryEngine` (or
         :class:`~repro.engine.IncrementalEngine`) whose cached labellings and
-        artifact bundles supply the shard payloads, and which answers the
+        artifact bundles supply the shard segments, and which answers the
         batch serially when parallel execution is unavailable.
     workers:
         Process-pool size.  ``None`` or values below 2 disable the pool and
@@ -205,12 +364,32 @@ class ShardedExecutor:
     min_parallel_queries:
         Smallest batch worth paying pool start-up for; smaller batches run
         serially.
+    use_shared_memory:
+        Publish component artifacts once into shared-memory segments and
+        ship per-batch query ids only (the default).  ``False`` restores the
+        pickle-per-batch :class:`ShardPayload` protocol — kept for
+        benchmarking the two dispatch costs against each other and for
+        platforms without usable ``multiprocessing.shared_memory``.  A
+        segment-publication failure at run time flips this to ``False`` for
+        the executor's remaining lifetime (counted in
+        ``stats.shm_fallbacks``), so an shm-less platform pays the failed
+        attempt once, not per batch.
     pool_factory:
         Callable ``workers -> pool`` (anything with ``map``; ``shutdown`` is
         honoured if present).  The pool is created lazily on the first
         parallel batch, reused across batches, and discarded after any pool
         failure; tests inject failing pools here to exercise the serial
         fallback.
+
+    Segment lifecycle: a segment is keyed by ``(k, representative)`` and
+    stamped with the component's version counter; the engine bumps the
+    version for exactly the mutations that change the component's arrays
+    (see :meth:`repro.engine.QueryEngine.component_version`), so a bumped
+    version retires the old segment and publishes a fresh one — workers can
+    never read stale artifacts.  All segments are destroyed by
+    :meth:`close` and, failing that, by a garbage-collection/interpreter-exit
+    finalizer on each segment, so no shared memory outlives the process even
+    on abnormal exit.
 
     Examples
     --------
@@ -224,6 +403,7 @@ class ShardedExecutor:
         *,
         workers: Optional[int] = None,
         min_parallel_queries: int = 2,
+        use_shared_memory: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
     ) -> None:
         if workers is not None and (not isinstance(workers, int) or workers < 0):
@@ -233,10 +413,16 @@ class ShardedExecutor:
         self.engine = engine
         self.workers = int(workers) if workers else 0
         self.min_parallel_queries = int(min_parallel_queries)
+        self.use_shared_memory = bool(use_shared_memory)
         self.pool_factory = pool_factory
         self.stats = ExecutorStats()
         self._pool = None
         self._pool_finalizer: Optional[weakref.finalize] = None
+        # (k, representative) ->
+        #   (component version, pack, task segment spec, pickled spec bytes)
+        self._segments: Dict[
+            Tuple[int, int], Tuple[int, SharedArrayPack, Dict[str, object], int]
+        ] = {}
 
     # ------------------------------------------------------------------ pool
     @staticmethod
@@ -264,13 +450,24 @@ class ShardedExecutor:
         return self._pool
 
     def close(self) -> None:
-        """Discard the process pool (it is recreated on the next parallel batch)."""
+        """Discard the pool and destroy every published shared-memory segment.
+
+        Both are recreated lazily on the next parallel batch, so closing an
+        executor between batches is always safe.
+        """
         pool, self._pool = self._pool, None
         if self._pool_finalizer is not None:
             self._pool_finalizer.detach()
             self._pool_finalizer = None
         if pool is not None:
             self._shutdown_pool(pool)
+        self._release_segments()
+
+    def _release_segments(self) -> None:
+        """Unlink every shared-memory segment this executor published."""
+        segments, self._segments = self._segments, {}
+        for _version, pack, _spec, _nbytes in segments.values():
+            pack.unlink()
 
     # ------------------------------------------------------------------- API
     def run(
@@ -331,7 +528,7 @@ class ShardedExecutor:
                 # path would raise exactly the same.
                 raise
             except Exception:
-                # Broken pool, killed worker, unpicklable payload: discard
+                # Broken pool, killed worker, unattachable segment: discard
                 # the pool and degrade to the serial path rather than
                 # failing the batch.
                 self.close()
@@ -343,30 +540,19 @@ class ShardedExecutor:
         batch.elapsed_seconds = perf_counter() - start
         return batch
 
-    def payloads(
-        self,
-        shards: Dict[int, List[int]],
-        k: int,
-        algorithm: str,
-        params: Dict[str, float],
-    ) -> List[ShardPayload]:
-        """Materialise the :class:`ShardPayload` list for a sharded batch.
-
-        Pulls each component's artifacts from the engine cache (building them
-        on first use, exactly like a serial query would) so the arrays
-        serialised to the pool are the same arrays serial queries read.
+    # ----------------------------------------------------------------- shards
+    def _shard_chunks(self, shards: Dict[int, List[int]]) -> List[Tuple[int, List[int]]]:
+        """Split the component shards into worker-sized query chunks.
 
         When the batch has fewer components than workers — the common
         one-giant-component case — a component's query list is split across
-        several payloads (proportionally to its share of the batch) so the
-        whole pool participates.  The split duplicates that component's
-        serialised arrays per chunk, a deliberate trade for worker
-        utilisation; payloads of distinct components are never merged.
+        several chunks (proportionally to its share of the batch) so the
+        whole pool participates.  Chunks of one component reference the same
+        artifacts; chunks of distinct components are never merged.
         """
         eligible = sum(len(queries) for queries in shards.values())
-        result = []
+        chunks_out: List[Tuple[int, List[int]]] = []
         for component in sorted(shards):
-            artifacts = self.engine.component_artifacts(k, component)
             queries = shards[component]
             chunks = 1
             if self.workers >= 2 and len(shards) < self.workers and eligible:
@@ -374,19 +560,88 @@ class ShardedExecutor:
                 chunks = min(chunks, len(queries))
             size = -(-len(queries) // chunks)  # ceil division
             for start in range(0, len(queries), size):
-                result.append(
-                    ShardPayload(
-                        k=k,
-                        algorithm=algorithm,
-                        params=dict(params),
-                        members=artifacts.candidate_array,
-                        coords=artifacts.candidate_coords,
-                        local_indptr=artifacts.local_indptr,
-                        local_indices=artifacts.local_indices,
-                        queries=queries[start : start + size],
-                    )
+                chunks_out.append((component, queries[start : start + size]))
+        return chunks_out
+
+    def payloads(
+        self,
+        shards: Dict[int, List[int]],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+    ) -> List[ShardPayload]:
+        """Materialise the pickle-protocol :class:`ShardPayload` list.
+
+        Pulls each component's artifacts from the engine cache (building them
+        on first use, exactly like a serial query would) so the arrays
+        serialised to the pool are the same arrays serial queries read.  The
+        chunk split duplicates a split component's serialised arrays per
+        chunk — a deliberate trade for worker utilisation, and exactly the
+        per-batch cost the shared-memory protocol exists to avoid.
+        """
+        result = []
+        for component, queries in self._shard_chunks(shards):
+            artifacts = self.engine.component_artifacts(k, component)
+            result.append(
+                ShardPayload(
+                    k=k,
+                    algorithm=algorithm,
+                    params=dict(params),
+                    members=artifacts.candidate_array,
+                    coords=artifacts.candidate_coords,
+                    local_indptr=artifacts.local_indptr,
+                    local_indices=artifacts.local_indices,
+                    queries=queries,
                 )
+            )
         return result
+
+    def _segment_spec(self, k: int, component: int) -> Tuple[Dict[str, object], int]:
+        """Return (publishing if needed) one component's ``(spec, spec bytes)``.
+
+        Segments are immutable once published: when the component's version
+        counter moves — the engine patched or dropped its bundle — the old
+        segment is unlinked and a fresh one is created, so attached workers
+        (which cache by segment name) can never serve stale arrays.  The
+        returned byte count is the spec's pickled size, measured once at
+        publication for the ``bytes_dispatched`` accounting.
+        """
+        representative = self.engine.component_representative(k, component)
+        version = self.engine.component_version(k, representative)
+        key = (k, representative)
+        entry = self._segments.get(key)
+        if entry is not None:
+            held_version, pack, spec, spec_bytes = entry
+            if held_version == version:
+                self.stats.segments_reused += 1
+                return spec, spec_bytes
+            pack.unlink()
+            del self._segments[key]
+        artifacts = self.engine.component_artifacts(k, component)
+        grid_state = artifacts.grid.export_state()
+        pack = SharedArrayPack.create(
+            {
+                "members": artifacts.candidate_array,
+                "coords": artifacts.candidate_coords,
+                "indptr": artifacts.local_indptr,
+                "indices64": artifacts.local_indices,
+                "indices32": artifacts.local_indices.astype(np.int32),
+                "grid_order": grid_state["order"],
+                "grid_starts": grid_state["starts"],
+            }
+        )
+        spec: Dict[str, object] = {
+            "pack": pack.spec(),
+            "grid": {
+                name: grid_state[name]
+                for name in ("min_x", "min_y", "cell", "cols", "rows")
+            },
+        }
+        spec_bytes = len(pickle.dumps(spec))
+        self._segments[key] = (version, pack, spec, spec_bytes)
+        self.stats.segments_created += 1
+        self.stats.bytes_shared += pack.nbytes
+        return spec, spec_bytes
 
     # ----------------------------------------------------------- execution paths
     def _run_parallel(
@@ -397,8 +652,64 @@ class ShardedExecutor:
         params: Dict[str, float],
         batch: BatchResult,
     ) -> None:
-        """Ship the shard payloads to the pool and merge the answers."""
+        """Dispatch the batch to the pool, preferring the shared-memory protocol."""
+        if self.use_shared_memory:
+            tasks: Optional[List[Tuple[ShardTask, int]]] = None
+            try:
+                tasks = []
+                for component, queries in self._shard_chunks(shards):
+                    spec, spec_bytes = self._segment_spec(k, component)
+                    tasks.append(
+                        (
+                            ShardTask(
+                                k=k,
+                                algorithm=algorithm,
+                                params=dict(params),
+                                queries=queries,
+                                segment=spec,
+                            ),
+                            spec_bytes,
+                        )
+                    )
+            except ReproError:
+                raise
+            except Exception:
+                # Segment publication failed (shared memory exhausted or
+                # unavailable): disable the protocol for this executor so
+                # future batches go straight to pickling, and retire any
+                # partial segments — nothing will reuse them.  Pool failures
+                # are NOT caught here — they surface from pool.map below and
+                # reach run()'s serial fallback.
+                self.stats.shm_fallbacks += 1
+                self.use_shared_memory = False
+                self._release_segments()
+            if tasks is not None:
+                self.stats.bytes_dispatched += sum(
+                    spec_bytes
+                    + len(pickle.dumps((task.k, task.algorithm, task.params, task.queries)))
+                    for task, spec_bytes in tasks
+                )
+                pool = self._get_pool()
+                for answers in pool.map(_run_shard_task, [task for task, _ in tasks]):
+                    for query, result in answers:
+                        batch.results[query] = result
+                self.stats.shards_executed += len(tasks)
+                return
+        self._run_parallel_pickle(shards, k, algorithm, params, batch)
+
+    def _run_parallel_pickle(
+        self,
+        shards: Dict[int, List[int]],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+        batch: BatchResult,
+    ) -> None:
+        """Pickle protocol: re-serialise the shard arrays to the pool."""
         payloads = self.payloads(shards, k, algorithm, params)
+        self.stats.bytes_pickled += sum(
+            _payload_array_bytes(payload) for payload in payloads
+        )
         pool = self._get_pool()
         for answers in pool.map(_run_shard, payloads):
             for query, result in answers:

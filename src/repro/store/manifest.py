@@ -1,0 +1,98 @@
+"""The versioned manifest shared by every on-disk artifact format.
+
+One schema covers both persistent surfaces of the library:
+
+* **store directories** (:class:`repro.store.ArtifactStore`) — a
+  ``manifest.json`` next to flat ``.npy`` blobs, ``kind="engine"``;
+* **graph ``.npz`` caches** (:func:`repro.graph.io.save_graph_npz`) — the
+  same JSON embedded as the ``manifest`` member of the archive,
+  ``kind="graph"``.
+
+Both carry the same ``format``/``version`` header and the same per-array
+descriptors (``dtype`` + ``shape``), so corruption and version skew are
+detected the same way everywhere.  Bump :data:`STORE_VERSION` whenever the
+layout changes incompatibly; readers refuse newer versions with a clear
+error instead of misinterpreting bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.exceptions import ReproError, StoreError
+
+#: Identifies a file/directory as belonging to this library's store format.
+STORE_FORMAT = "repro-store"
+
+#: Current on-disk layout version.  Version 1 unified the previously ad-hoc
+#: synthetic-graph ``.npz`` cache with the engine snapshot directories.
+STORE_VERSION = 1
+
+
+def manifest_header(kind: str) -> Dict[str, object]:
+    """Return the common header every manifest starts with."""
+    return {"format": STORE_FORMAT, "version": STORE_VERSION, "kind": kind}
+
+
+def check_manifest(
+    manifest: object,
+    *,
+    kind: str,
+    source: str,
+    error: Type[ReproError] = StoreError,
+) -> Dict[str, object]:
+    """Validate a parsed manifest header; return the manifest on success.
+
+    Raises ``error`` (default :class:`~repro.exceptions.StoreError`;
+    :mod:`repro.graph.io` passes :class:`~repro.exceptions.DatasetError`)
+    when the manifest is not a dict, announces a foreign format, a different
+    ``kind``, or a version this build cannot read — newer versions fail with
+    an explicit skew message rather than a misparse.
+    """
+    if not isinstance(manifest, dict):
+        raise error(f"{source}: manifest is not a JSON object")
+    if manifest.get("format") != STORE_FORMAT:
+        raise error(
+            f"{source}: not a {STORE_FORMAT} manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    version = manifest.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise error(f"{source}: malformed manifest version {version!r}")
+    if version > STORE_VERSION:
+        raise error(
+            f"{source}: written by {STORE_FORMAT} version {version}, but this "
+            f"build reads up to version {STORE_VERSION} — upgrade the library "
+            "or regenerate the snapshot"
+        )
+    if manifest.get("kind") != kind:
+        raise error(
+            f"{source}: manifest kind {manifest.get('kind')!r} "
+            f"does not match expected {kind!r}"
+        )
+    return manifest
+
+
+def array_entry(array: np.ndarray, file: str) -> Dict[str, object]:
+    """Build the manifest descriptor of one persisted array."""
+    return {"file": file, "dtype": str(array.dtype), "shape": list(array.shape)}
+
+
+def check_array(
+    array: np.ndarray,
+    entry: Dict[str, object],
+    *,
+    source: str,
+    error: Type[ReproError] = StoreError,
+) -> np.ndarray:
+    """Verify a loaded array against its manifest descriptor."""
+    if str(array.dtype) != entry.get("dtype") or list(array.shape) != entry.get("shape"):
+        raise error(
+            f"{source}: array {entry.get('file')!r} is "
+            f"{array.dtype}{array.shape}, manifest says "
+            f"{entry.get('dtype')}{tuple(entry.get('shape', ()))} — "
+            "the blob does not match its manifest"
+        )
+    return array

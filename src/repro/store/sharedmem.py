@@ -1,0 +1,180 @@
+"""Zero-copy numpy array exchange over ``multiprocessing.shared_memory``.
+
+:class:`SharedArrayPack` lays a set of named numpy arrays into **one**
+shared-memory segment: the creator copies each array in exactly once, and
+any number of reader processes attach views over the same physical pages —
+no pickling, no per-batch serialisation.  The picklable :meth:`spec` is the
+only thing that ever crosses a process boundary (segment name plus per-array
+dtype/shape/offset), which is how :class:`repro.service.ShardedExecutor`
+shrinks its per-batch worker messages from megabytes of component arrays to
+a few hundred bytes of query ids.
+
+Lifecycle rules:
+
+* the **creator** owns the segment: it (and only it) unlinks, and a
+  ``weakref.finalize`` guard unlinks on garbage collection or interpreter
+  exit, so segments never outlive the process even on abnormal shutdown;
+* **attachers** only close.  On Python ≥ 3.13 the attach opts out of
+  ``resource_tracker`` registration (``track=False``); on older versions the
+  attach-side registration is deliberately left in place — pool workers
+  share the parent's tracker process, whose ledger is a *set*, so the extra
+  registration is a no-op and the owner's single unregister-on-unlink keeps
+  the ledger clean.  Explicitly unregistering from a worker would corrupt
+  that shared ledger and make the owner's unlink raise inside the tracker.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+#: Byte alignment of each array inside the segment (covers every numpy dtype
+#: and keeps vectorised loads on natural boundaries).
+_ALIGN = 64
+
+
+def _release(segment: shared_memory.SharedMemory, *, owner: bool) -> None:
+    """Finalizer body: close (and, for the owner, unlink) one segment."""
+    try:
+        segment.close()
+    except BufferError:
+        # Live numpy views still reference the buffer; the mapping is
+        # reclaimed at process exit instead.  Unlinking below still works.
+        pass
+    except OSError:  # pragma: no cover - already torn down
+        pass
+    if owner:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - platform-specific teardown
+            pass
+
+
+class SharedArrayPack:
+    """Named numpy arrays packed into one shared-memory segment.
+
+    Create with :meth:`create` (copies the arrays in, owns the segment) or
+    :meth:`attach` (maps an existing segment from its :meth:`spec`,
+    read-only).  Access arrays with ``pack["name"]``.
+
+    Examples
+    --------
+    >>> pack = SharedArrayPack.create({"xs": np.arange(4)})  # doctest: +SKIP
+    >>> child_view = SharedArrayPack.attach(pack.spec())     # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        entries: Dict[str, Dict[str, object]],
+        *,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._entries = entries
+        self._owner = owner
+        self._views: Dict[str, np.ndarray] = {}
+        self._finalizer = weakref.finalize(self, _release, segment, owner=owner)
+
+    # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayPack":
+        """Materialise ``arrays`` into a fresh segment (this process owns it)."""
+        entries: Dict[str, Dict[str, object]] = {}
+        offset = 0
+        contiguous: Dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            contiguous[name] = array
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up to alignment
+            entries[name] = {
+                "dtype": str(array.dtype),
+                "shape": tuple(array.shape),
+                "offset": offset,
+            }
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name, array in contiguous.items():
+            entry = entries[name]
+            view = np.ndarray(
+                entry["shape"],  # type: ignore[arg-type]
+                dtype=entry["dtype"],  # type: ignore[arg-type]
+                buffer=segment.buf,
+                offset=int(entry["offset"]),  # type: ignore[arg-type]
+            )
+            view[...] = array
+            del view
+        return cls(segment, entries, owner=True)
+
+    @classmethod
+    def attach(cls, spec: Mapping[str, object]) -> "SharedArrayPack":
+        """Map an existing segment from a :meth:`spec` dict (read-only views)."""
+        name = str(spec["name"])
+        try:
+            segment = shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+        except TypeError:  # Python < 3.13: no track flag (see module docstring)
+            segment = shared_memory.SharedMemory(name=name)
+        entries = {
+            array_name: dict(entry)
+            for array_name, entry in dict(spec["arrays"]).items()  # type: ignore[arg-type]
+        }
+        return cls(segment, entries, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self._views.clear()
+        self._finalizer.detach()
+        _release(self._segment, owner=False)
+
+    def unlink(self) -> None:
+        """Close and destroy the segment (owner only)."""
+        self._views.clear()
+        self._finalizer.detach()
+        _release(self._segment, owner=True)
+
+    # ------------------------------------------------------------------ views
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the (cached) view of one packed array.
+
+        Views are writable for the owner and read-only for attachers, so a
+        worker can never scribble on arrays the parent still serves from.
+        """
+        view = self._views.get(name)
+        if view is None:
+            entry = self._entries[name]
+            view = np.ndarray(
+                tuple(entry["shape"]),  # type: ignore[arg-type]
+                dtype=str(entry["dtype"]),
+                buffer=self._segment.buf,
+                offset=int(entry["offset"]),  # type: ignore[arg-type]
+            )
+            if not self._owner:
+                view.flags.writeable = False
+            self._views[name] = view
+        return view
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # ------------------------------------------------------------------ info
+    @property
+    def name(self) -> str:
+        """Kernel name of the backing segment."""
+        return self._segment.name
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated size of the segment in bytes."""
+        return self._segment.size
+
+    def spec(self) -> Dict[str, object]:
+        """Picklable description another process can :meth:`attach` from."""
+        return {
+            "name": self._segment.name,
+            "arrays": {name: dict(entry) for name, entry in self._entries.items()},
+        }

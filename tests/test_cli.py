@@ -146,6 +146,65 @@ class TestServeBatch:
         assert "error" in capsys.readouterr().err
 
 
+@pytest.fixture
+def store_dir(graph_file, tmp_path, capsys):
+    """A snapshot directory written by the `snapshot` subcommand."""
+    path = tmp_path / "graph.store"
+    assert main(["snapshot", str(graph_file), "--out", str(path), "--ks", "3,4"]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestSnapshotAndStore:
+    def test_snapshot_writes_store(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "g.store"
+        assert main(["snapshot", str(graph_file), "--out", str(path), "--ks", "4"]) == 0
+        assert "bundles" in capsys.readouterr().out
+        assert (path / "manifest.json").is_file()
+
+    def test_snapshot_rejects_bad_ks(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "g.store"
+        assert main(["snapshot", str(graph_file), "--out", str(path), "--ks", "x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_from_store_matches_graph(self, graph_file, store_dir, capsys):
+        base = ["--count", "6", "--k", "3", "--seed", "5"]
+        assert main(["batch", str(graph_file)] + base) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["batch", "--store", str(store_dir)] + base) == 0
+        warm_out = capsys.readouterr().out
+        # Identical result lines (vertex/member/radius); timing lines differ.
+        cold_rows = [line for line in cold_out.splitlines() if "vertex" in line]
+        warm_rows = [line for line in warm_out.splitlines() if "vertex" in line]
+        assert cold_rows == warm_rows and cold_rows
+
+    def test_serve_batch_from_store(self, store_dir, capsys):
+        exit_code = main(
+            ["serve-batch", "--store", str(store_dir), "--count", "6", "--k", "3",
+             "--workers", "0", "--rounds", "1"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "0 core decomposition(s)" in output
+
+    def test_track_from_store(self, store_dir, capsys):
+        exit_code = main(
+            ["track", "--store", str(store_dir), "--k", "3", "--track-count", "2",
+             "--min-friends", "4", "--generate-users", "60", "--checkins-per-user", "3"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "0 core decomposition(s)" in output
+
+    def test_graph_and_store_together_rejected(self, graph_file, store_dir, capsys):
+        assert main(["batch", str(graph_file), "--store", str(store_dir)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_graph_nor_store_rejected(self, capsys):
+        assert main(["batch", "--count", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestTrack:
     TRACK_ARGS = [
         "--k",

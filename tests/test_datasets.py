@@ -163,6 +163,31 @@ class TestRegistry:
         assert spec.paper_vertices == 2_127_093
         assert spec.paper_edges == 8_640_352
 
+    def test_cache_dir_round_trip(self, tmp_path):
+        first = load_dataset("syn1", scale=0.05, cache_dir=tmp_path)
+        cached_files = list(tmp_path.glob("*.npz"))
+        assert len(cached_files) == 1
+        second = load_dataset("syn1", scale=0.05, cache_dir=tmp_path)
+        assert second.num_vertices == first.num_vertices
+        assert second.num_edges == first.num_edges
+        assert sorted(second.edges()) == sorted(first.edges())
+        import numpy as np
+
+        np.testing.assert_array_equal(second.coordinates, first.coordinates)
+
+    def test_cache_keyed_by_scale_and_seed(self, tmp_path):
+        load_dataset("syn1", scale=0.05, cache_dir=tmp_path)
+        load_dataset("syn1", scale=0.05, seed=99, cache_dir=tmp_path)
+        load_dataset("syn1", scale=0.06, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 3
+
+    def test_cache_env_variable(self, tmp_path, monkeypatch):
+        from repro.datasets.registry import CACHE_ENV
+
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        load_dataset("syn1", scale=0.05)
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
 
 class TestSnapLoader:
     def test_load_snap_round_trip(self, tmp_path):
@@ -195,3 +220,25 @@ class TestSnapLoader:
     def test_missing_files(self, tmp_path):
         with pytest.raises(DatasetError):
             load_snap_dataset(tmp_path / "no.txt", tmp_path / "no2.txt")
+
+    def test_cache_skips_reparsing(self, tmp_path):
+        edges = tmp_path / "edges.txt"
+        edges.write_text("0 1\n1 2\n2 0\n")
+        checkins = tmp_path / "checkins.txt"
+        checkins.write_text(
+            "0 t 30.23 -97.79 a\n1 t 30.26 -97.74 b\n2 t 37.77 -122.41 c\n"
+        )
+        cache = tmp_path / "cache" / "snap.npz"
+        first = load_snap_dataset(edges, checkins, cache=cache)
+        assert cache.exists()
+        # Raw coordinates cache separately: a normalized cache must never be
+        # served to a caller asking for unnormalized locations.
+        raw = load_snap_dataset(edges, checkins, normalize=False, cache=cache)
+        assert (tmp_path / "cache" / "snap-raw.npz").exists()
+        assert float(raw.coordinates.max()) > 1.0
+        # The source files may disappear: the cache alone now serves loads.
+        edges.unlink()
+        checkins.unlink()
+        second = load_snap_dataset(edges, checkins, cache=cache)
+        assert second.num_vertices == first.num_vertices
+        assert sorted(second.edges()) == sorted(first.edges())

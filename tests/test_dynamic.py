@@ -109,6 +109,37 @@ class TestSACTracker:
         timestamps = [snap.timestamp for snap in timelines[users[0]]]
         assert timestamps == sorted(timestamps)
 
+    def test_supplied_engine_matches_default_on_preadvanced_stream(
+        self, small_geosocial, checkin_stream
+    ):
+        from repro.engine import IncrementalEngine
+
+        users, checkins = checkin_stream
+        cutoff = checkins[len(checkins) // 2].timestamp
+        default_stream = LocationStream(small_geosocial, checkins)
+        default_stream.advance_to(cutoff)
+        reference = SACTracker(default_stream, k=3).track(users[:2])
+
+        engine_stream = LocationStream(small_geosocial, checkins)
+        engine_stream.advance_to(cutoff)
+        engine = IncrementalEngine(small_geosocial.mutable_copy())
+        timelines = SACTracker(engine_stream, k=3, engine=engine).track(users[:2])
+
+        assert timelines.keys() == reference.keys()
+        for user, snapshots in reference.items():
+            assert timelines[user] == snapshots
+
+    def test_engine_bound_to_mismatched_graph_rejected(
+        self, small_geosocial, checkin_stream
+    ):
+        from repro.engine import IncrementalEngine
+
+        _, checkins = checkin_stream
+        other = brightkite_like(400, average_degree=6.0, seed=99)
+        stream = LocationStream(small_geosocial, checkins)
+        with pytest.raises(InvalidParameterError):
+            SACTracker(stream, k=3, engine=IncrementalEngine(other.mutable_copy()))
+
 
 class TestOverlapEvaluation:
     def _snapshot(self, timestamp, members, x=0.0, radius=1.0):

@@ -117,6 +117,20 @@ class TestNpzRoundTrip:
             loaded.coordinates[loaded.index_of(1)], graph.coordinates[graph.index_of(1)]
         )
 
+    def test_archive_carries_versioned_manifest(self, tmp_path):
+        import json
+
+        from repro.store.manifest import STORE_FORMAT, STORE_VERSION
+
+        path = tmp_path / "graph.npz"
+        save_graph_npz(self._graph(), path)
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["manifest"][()]))
+        assert manifest["format"] == STORE_FORMAT
+        assert manifest["version"] == STORE_VERSION
+        assert manifest["kind"] == "graph"
+        assert set(manifest["arrays"]) == {"indptr", "indices", "coords", "labels"}
+
     def test_non_integer_labels_rejected(self, tmp_path):
         builder = GraphBuilder()
         builder.add_vertices([("a", 0.0, 0.0), ("b", 1.0, 1.0)])
@@ -127,3 +141,42 @@ class TestNpzRoundTrip:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(DatasetError):
             load_graph_npz(tmp_path / "missing.npz")
+
+    def test_legacy_edge_list_archive_migrates(self, tmp_path):
+        graph = self._graph()
+        path = tmp_path / "legacy.npz"
+        sources, targets = zip(*graph.edges())
+        np.savez_compressed(
+            path,
+            labels=np.asarray(graph.labels(), dtype=np.int64),
+            coordinates=graph.coordinates,
+            edge_sources=np.asarray(sources, dtype=np.int64),
+            edge_targets=np.asarray(targets, dtype=np.int64),
+        )
+        loaded = load_graph_npz(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_unrecognised_archive_fails_clearly(self, tmp_path):
+        path = tmp_path / "weird.npz"
+        np.savez_compressed(path, something=np.arange(3))
+        with pytest.raises(DatasetError, match="unrecognised"):
+            load_graph_npz(path)
+
+    def test_version_skew_fails_clearly(self, tmp_path):
+        import json
+
+        from repro.store.manifest import STORE_FORMAT
+
+        path = tmp_path / "future.npz"
+        graph = self._graph()
+        save_graph_npz(graph, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files if name != "manifest"}
+            manifest = json.loads(str(data["manifest"][()]))
+        manifest["version"] = 99
+        assert manifest["format"] == STORE_FORMAT
+        np.savez_compressed(path, manifest=json.dumps(manifest), **arrays)
+        with pytest.raises(DatasetError, match="version 99"):
+            load_graph_npz(path)
