@@ -39,6 +39,10 @@ Public surface
 * :class:`repro.ArtifactStore` — the storage layer: snapshot a graph plus
   every engine artifact to disk, reopen memory-mapped, warm-start engines
   via :meth:`repro.QueryEngine.from_store` with bit-identical answers.
+* :class:`repro.SACServer` / :class:`repro.SACClient` — the network layer:
+  a long-lived JSON-over-HTTP daemon with micro-batched query coalescing
+  and single-writer mutation ordering, plus its stdlib client
+  (``repro-sac serve``; see ``docs/serving.md``).
 * :mod:`repro.core` — ``exact``, ``exact_plus``, ``app_inc``, ``app_fast``,
   ``app_acc``, ``theta_sac``.
 * :mod:`repro.graph` — the :class:`~repro.graph.SpatialGraph` substrate.
@@ -73,9 +77,10 @@ from repro.exceptions import (
     VertexNotFoundError,
 )
 from repro.graph import GraphBuilder, SpatialGraph
+from repro.server import SACClient, SACServer, ServerConfig
 from repro.store import ArtifactStore
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -92,6 +97,9 @@ __all__ = [
     "ShardedExecutor",
     "AnswerCache",
     "ArtifactStore",
+    "SACServer",
+    "SACClient",
+    "ServerConfig",
     "exact",
     "exact_plus",
     "app_inc",

@@ -36,6 +36,14 @@ Three subcommands cover the common workflows of a downstream user:
     ``serve-batch``, and ``track`` accept the snapshot via ``--store`` and
     warm-start memory-mapped instead of paying the cold build.
 
+``serve``
+    Run the long-lived online serving daemon (:class:`repro.server.SACServer`):
+    JSON over HTTP with micro-batched ``/query``, explicit ``/batch``,
+    serialised ``/checkin``/``/edge`` mutations, ``/stats``, and
+    ``/healthz``.  Warm-starts from ``--store``, snapshots to
+    ``--snapshot-to`` on ``SIGUSR1`` and on shutdown, and drains gracefully
+    on ``SIGTERM``/``SIGINT``.
+
 ``stats``
     Print the Table-4 style summary of a graph file.
 
@@ -48,6 +56,7 @@ Examples
     python -m repro.cli batch graph.npz --count 64 --k 4 --algorithm appfast
     python -m repro.cli snapshot graph.npz --out graph.store --ks 4
     python -m repro.cli serve-batch --store graph.store --count 64 --k 4 --workers 4
+    python -m repro.cli serve --store graph.store --port 8080 --workers 4
     python -m repro.cli track --store graph.store --track-count 8 --k 4
     python -m repro.cli stats graph.npz
 
@@ -186,6 +195,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dispatch shards by re-pickling arrays every batch instead of "
         "publishing shared-memory segments once",
+    )
+
+    daemon = subparsers.add_parser(
+        "serve",
+        help="run the long-lived online serving daemon (JSON over HTTP, micro-batched)",
+    )
+    daemon.add_argument(
+        "graph", nargs="?", help="graph .npz file produced by `generate`"
+    )
+    daemon.add_argument(
+        "--store",
+        help="warm-start from a snapshot directory produced by `snapshot` "
+        "instead of a graph file",
+    )
+    daemon.add_argument("--host", default="127.0.0.1", help="listen address")
+    daemon.add_argument(
+        "--port", type=int, default=8080, help="listen port (0 binds an ephemeral port)"
+    )
+    daemon.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for sharded batch execution (0 serves serially)",
+    )
+    daemon.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch flush threshold: coalesce at most this many concurrent queries",
+    )
+    daemon.add_argument(
+        "--linger-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch flush deadline: a query waits at most this long to be coalesced",
+    )
+    daemon.add_argument(
+        "--warm-ks",
+        default="",
+        help="comma-separated degree thresholds to prepare before accepting traffic",
+    )
+    daemon.add_argument(
+        "--snapshot-to",
+        help="store directory written on SIGUSR1 and on shutdown (disabled when omitted)",
+    )
+    daemon.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=1 << 20,
+        help="largest accepted request body (larger requests get HTTP 413)",
+    )
+    daemon.add_argument(
+        "--max-batch-queries",
+        type=int,
+        default=1024,
+        help="largest accepted explicit /batch (larger batches get HTTP 413)",
+    )
+    daemon.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the answer cache (every query recomputes)",
+    )
+    daemon.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="dispatch shards by re-pickling arrays every batch instead of "
+        "publishing shared-memory segments once",
+    )
+    daemon.add_argument(
+        "--static",
+        action="store_true",
+        help="serve a read-only QueryEngine (mutation endpoints answer 400)",
     )
 
     track = subparsers.add_parser(
@@ -460,6 +541,57 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     return 0 if answered else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import SACServer, ServerConfig
+    from repro.service import SACService
+
+    engine_cls = QueryEngine if args.static else IncrementalEngine
+    engine = _load_engine(args, engine_cls)
+    service = SACService(
+        engine=engine,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        use_shared_memory=not args.no_shared_memory,
+    )
+    try:
+        warm_ks = sorted({int(part) for part in args.warm_ks.split(",") if part.strip()})
+    except ValueError:
+        raise InvalidParameterError(
+            f"--warm-ks must be comma-separated integers, got {args.warm_ks!r}"
+        ) from None
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch,
+        max_linger_ms=args.linger_ms,
+        max_body_bytes=args.max_body_bytes,
+        max_batch_queries=args.max_batch_queries,
+        warm_ks=warm_ks,
+        snapshot_path=args.snapshot_to,
+    )
+
+    async def _run() -> None:
+        server = SACServer(service, config)
+        await server.start()
+        mode = f"{args.workers} workers" if args.workers >= 2 else "serial execution"
+        print(
+            f"serving {engine.graph.num_vertices} vertices on {server.url} "
+            f"({mode}, micro-batch <= {config.max_batch_size} / "
+            f"{config.max_linger_ms:g} ms linger)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal path exercised in CI
+        pass
+    print("server stopped", flush=True)
+    return 0
+
+
 def _command_track(args: argparse.Namespace) -> int:
     import time
 
@@ -580,6 +712,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batch": _command_batch,
         "snapshot": _command_snapshot,
         "serve-batch": _command_serve_batch,
+        "serve": _command_serve,
         "track": _command_track,
         "stats": _command_stats,
     }

@@ -1,0 +1,200 @@
+"""Stdlib HTTP client for the SAC serving daemon.
+
+A thin, dependency-free wrapper over :mod:`http.client` speaking the JSON
+protocol of :class:`repro.server.daemon.SACServer`.  One
+:class:`SACClient` holds one keep-alive connection; it is **not**
+thread-safe — concurrent callers (like the benchmark's load threads) each
+open their own client, exactly as concurrent network clients would.
+
+Used by ``tests/test_server.py``, ``benchmarks/bench_server_latency.py``,
+and the CI server-smoke job; it is also the reference for what any other
+client (``curl``, a browser, a service mesh probe) should send — see
+``docs/serving.md`` for the request/response schemas.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Sequence
+
+
+class ServerError(Exception):
+    """A non-2xx response from the daemon, carrying status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class SACClient:
+    """Talk JSON-over-HTTP to one running SAC serving daemon.
+
+    Parameters
+    ----------
+    host / port:
+        Address of the daemon (``repro-sac serve`` prints it at start-up).
+    timeout:
+        Socket timeout in seconds for connect and each request.
+
+    Examples
+    --------
+    >>> client = SACClient("127.0.0.1", 8080)               # doctest: +SKIP
+    >>> client.query(42, k=4)["found"]                      # doctest: +SKIP
+    True
+    >>> client.checkin(42, 0.31, 0.77)["applied"]           # doctest: +SKIP
+    True
+    >>> client.close()                                      # doctest: +SKIP
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -------------------------------------------------------------- transport
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        """Send one request, re-dialing once if the kept-alive socket died.
+
+        The re-dial-and-resend is restricted to read-only requests: a
+        mutation (``/checkin``, ``/edge``) whose connection dies after the
+        send may already have been applied, and resending would apply it
+        twice.  Mutations instead get a fresh dial *before* the send (so a
+        server-closed idle keep-alive socket cannot fail them) and surface
+        any later failure to the caller unretried.
+        """
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        resend_safe = method == "GET" or path in ("/query", "/batch")
+        if not resend_safe and self._connection is not None:
+            self.close()
+        for attempt in (1, 2):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=payload, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # The server may have closed the idle keep-alive connection
+                # (drain, restart); one fresh dial distinguishes that from a
+                # dead server.
+                self.close()
+                if attempt == 2 or not resend_safe:
+                    raise
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            raise ServerError(response.status, f"non-JSON response: {raw[:120]!r}") from None
+        if response.status >= 400:
+            raise ServerError(response.status, decoded.get("error", raw.decode("utf-8", "replace")))
+        return decoded
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened lazily on next use)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "SACClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- API
+    def query(
+        self,
+        vertex: object,
+        k: int = 4,
+        *,
+        algorithm: str = "appfast",
+        params: Optional[Dict[str, float]] = None,
+    ) -> dict:
+        """``POST /query`` — answer one SAC query (label-addressed)."""
+        body: dict = {"vertex": vertex, "k": k, "algorithm": algorithm}
+        if params:
+            body["params"] = dict(params)
+        return self._request("POST", "/query", body)
+
+    def batch(
+        self,
+        vertices: Sequence[object],
+        k: int = 4,
+        *,
+        algorithm: str = "appfast",
+        params: Optional[Dict[str, float]] = None,
+    ) -> dict:
+        """``POST /batch`` — answer an explicit batch as one unit."""
+        body: dict = {"vertices": list(vertices), "k": k, "algorithm": algorithm}
+        if params:
+            body["params"] = dict(params)
+        return self._request("POST", "/batch", body)
+
+    def checkin(self, user: object, x: float, y: float) -> dict:
+        """``POST /checkin`` — move one user (incremental engines only)."""
+        return self._request("POST", "/checkin", {"user": user, "x": x, "y": y})
+
+    def edge(self, u: object, v: object, op: str = "insert") -> dict:
+        """``POST /edge`` — insert or delete one friendship edge."""
+        return self._request("POST", "/edge", {"u": u, "v": v, "op": op})
+
+    def stats(self) -> dict:
+        """``GET /stats`` — endpoint, batcher, engine, executor, cache counters."""
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` — liveness and the serving surface's shape."""
+        return self._request("GET", "/healthz")
+
+
+def parallel_queries(
+    address: tuple,
+    jobs: Sequence[dict],
+    *,
+    threads: int = 8,
+    timeout: float = 30.0,
+) -> List[dict]:
+    """Fire ``jobs`` (kwargs for :meth:`SACClient.query`) from many threads.
+
+    Each thread owns its own connection, as independent network clients
+    would, which is what lets the daemon coalesce the concurrent singles
+    into micro-batches.  Results are returned in ``jobs`` order.  Shared by
+    the benchmark and the server tests.
+    """
+    import threading
+
+    results: List[Optional[dict]] = [None] * len(jobs)
+    errors: List[BaseException] = []
+    cursor = iter(range(len(jobs)))
+    lock = threading.Lock()
+
+    def worker() -> None:
+        with SACClient(address[0], address[1], timeout=timeout) as client:
+            while True:
+                with lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                try:
+                    results[index] = client.query(**jobs[index])
+                except BaseException as error:  # noqa: BLE001 - reported to caller
+                    with lock:
+                        errors.append(error)
+                    return
+
+    pool = [threading.Thread(target=worker) for _ in range(max(1, threads))]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return [result for result in results if result is not None]

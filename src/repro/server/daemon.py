@@ -1,0 +1,791 @@
+"""The long-lived SAC serving daemon: micro-batched queries over one service.
+
+:class:`SACServer` turns the :class:`repro.service.SACService` facade into a
+network server.  Three ideas organise it:
+
+* **Micro-batching** — concurrent ``POST /query`` requests are not executed
+  one by one: each query joins a pending group keyed by
+  ``(k, algorithm, params)`` and the group is dispatched as ONE
+  :meth:`~repro.service.SACService.submit_batch` call when it reaches
+  ``max_batch_size`` or has lingered ``max_linger_ms`` milliseconds
+  (whichever comes first).  The batch then flows through the existing
+  serving layer unchanged — engine artifact sharing, component sharding,
+  shared-memory dispatch, and the answer cache all serve network traffic
+  exactly as they serve library callers, and every coalesced query saves
+  the per-request dispatch overhead a one-query batch would pay.
+* **A single writer** — every piece of engine work (batch execution *and*
+  :class:`~repro.engine.IncrementalEngine` mutations) funnels through one
+  FIFO job queue drained by one task onto one engine thread.  Mutations
+  first flush the pending micro-batches, so the daemon's answers are
+  bit-identical to applying the same request sequence serially in arrival
+  order: queries received before a check-in are answered against the
+  pre-mutation graph, queries received after against the post-mutation
+  graph, and the engine's component-version counters invalidate exactly
+  the cached answers the mutation could have changed.
+* **Operability** — warm start from an :class:`repro.store.ArtifactStore`
+  snapshot (``SACService.open``), snapshot-to-store on ``SIGUSR1`` and on
+  shutdown, graceful drain (pending queries are flushed and answered, the
+  queue runs dry, the executor's pool and shared-memory segments are
+  released) on ``SIGTERM``/``SIGINT``, and per-endpoint latency/throughput
+  counters surfaced by ``GET /stats``.
+
+The wire protocol is plain JSON over HTTP/1.1 (:mod:`repro.server.http`);
+``repro-sac serve`` is the CLI front end and
+:class:`repro.server.client.SACClient` the stdlib client.  See
+``docs/serving.md`` for the operator guide.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.searcher import ALGORITHMS
+from repro.engine import IncrementalEngine
+from repro.exceptions import ReproError
+from repro.server.http import (
+    ConnectionClosed,
+    HttpError,
+    Request,
+    error_payload,
+    read_request,
+    write_response,
+)
+from repro.service import SACService
+from repro.service.results import BatchResult
+
+#: Pending micro-batch group key: (k, algorithm, canonicalised params).
+BatchKey = Tuple[int, str, Tuple[Tuple[str, float], ...]]
+
+
+def _algorithm_parameter_names(algorithm: str) -> frozenset:
+    """Keyword parameters ``algorithm`` accepts (beyond graph/query/k/context).
+
+    Derived from the callable's signature so the server's 400-validation can
+    never drift from what the algorithms take — an unknown name must be
+    refused at parse time, not explode as a ``TypeError`` inside the writer.
+    """
+    import inspect
+
+    names = []
+    for parameter in inspect.signature(ALGORITHMS[algorithm]).parameters.values():
+        if parameter.name in ("graph", "query", "k", "context"):
+            continue
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            names.append(parameter.name)
+    return frozenset(names)
+
+#: A handler returns (HTTP status, JSON payload).
+Handler = Callable[[Request], Awaitable[Tuple[int, dict]]]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`SACServer`.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port (the bound port
+        is available as :attr:`SACServer.port` after :meth:`SACServer.start`
+        — how the tests and the benchmark run without port collisions).
+    max_batch_size:
+        Micro-batch flush threshold: a pending group reaching this many
+        queries is dispatched immediately.
+    max_linger_ms:
+        Micro-batch flush deadline: the oldest query of a pending group
+        waits at most this long before the group is dispatched regardless
+        of size.  The knob trades single-request latency for coalescing —
+        see the capacity-planning section of ``docs/serving.md``.
+    max_body_bytes:
+        Request bodies larger than this are refused with ``413``.
+    max_batch_queries:
+        ``POST /batch`` requests naming more vertices than this are refused
+        with ``413`` (one oversized batch would monopolise the writer).
+    warm_ks:
+        Degree thresholds whose labellings are prepared at start-up, so the
+        first query does not pay the cold labelling.
+    snapshot_path:
+        Where ``SIGUSR1`` and shutdown snapshot the engine
+        (:meth:`repro.service.SACService.save`); ``None`` disables both.
+    drain_timeout_seconds:
+        How long :meth:`SACServer.stop` waits for in-flight requests to
+        complete before closing their connections anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch_size: int = 32
+    max_linger_ms: float = 5.0
+    max_body_bytes: int = 1 << 20
+    max_batch_queries: int = 1024
+    warm_ks: Sequence[int] = ()
+    snapshot_path: Optional[str] = None
+    drain_timeout_seconds: float = 10.0
+
+
+@dataclass
+class EndpointStats:
+    """Latency/throughput counters of one endpoint.
+
+    ``seconds_total / requests`` is the mean handler latency (micro-batched
+    queries include their linger, so the mean reflects what the client
+    experienced, not just compute).
+    """
+
+    requests: int = 0
+    errors: int = 0
+    seconds_total: float = 0.0
+    seconds_max: float = 0.0
+
+    def record(self, seconds: float, *, error: bool) -> None:
+        """Fold one handled request into the counters."""
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.seconds_total += seconds
+        self.seconds_max = max(self.seconds_max, seconds)
+
+    def as_dict(self) -> dict:
+        """JSON view with derived mean latency."""
+        mean_ms = 1000.0 * self.seconds_total / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "mean_latency_ms": round(mean_ms, 3),
+            "max_latency_ms": round(self.seconds_max * 1000.0, 3),
+        }
+
+
+@dataclass
+class BatcherStats:
+    """Micro-batching effectiveness counters.
+
+    ``queries_coalesced / batches_dispatched`` is the realised mean batch
+    size — the amortisation factor the micro-batcher achieved.  The
+    ``flushes_*`` split says *why* batches closed: ``size`` flushes mean the
+    server is saturated (raise ``max_batch_size``), ``linger`` flushes mean
+    traffic is sparse, ``mutation`` flushes count write-barrier flushes, and
+    ``drain`` flushes happen only at shutdown.
+    """
+
+    queries_coalesced: int = 0
+    batches_dispatched: int = 0
+    largest_batch: int = 0
+    flushes_size: int = 0
+    flushes_linger: int = 0
+    flushes_mutation: int = 0
+    flushes_drain: int = 0
+
+
+@dataclass
+class _PendingQuery:
+    """One in-flight ``/query`` waiting for its micro-batch to execute."""
+
+    vertex: int
+    future: "asyncio.Future[BatchResult]"
+
+
+@dataclass
+class _Job:
+    """One unit of engine work in the writer queue."""
+
+    kind: str  # "batch" | "mutate" | "snapshot"
+    run: Callable[[], object]
+    entries: List[_PendingQuery] = field(default_factory=list)
+    future: Optional["asyncio.Future[object]"] = None
+
+
+class SACServer:
+    """Serve SAC queries, batches, and mutations over asyncio streams.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.SACService` to serve.  Bind it to an
+        :class:`~repro.engine.IncrementalEngine` (the default of
+        ``SACService.open``) for ``/checkin`` and ``/edge`` to work; a
+        static engine serves queries and answers mutations with ``400``.
+    config:
+        A :class:`ServerConfig`; defaults throughout.
+
+    Examples
+    --------
+    >>> server = SACServer(SACService(engine=engine), ServerConfig(port=0))  # doctest: +SKIP
+    >>> await server.start()                                                 # doctest: +SKIP
+    >>> print(server.port)                                                   # doctest: +SKIP
+    """
+
+    def __init__(self, service: SACService, config: Optional[ServerConfig] = None) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.endpoint_stats: Dict[str, EndpointStats] = {}
+        self.batcher_stats = BatcherStats()
+        self.started_at = time.time()
+        self._monotonic_start = time.perf_counter()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # The asyncio primitives are created inside start() so construction
+        # never touches an event loop (Python 3.9 binds them at creation).
+        self._jobs: Optional["asyncio.Queue[_Job]"] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._pending: Dict[BatchKey, List[_PendingQuery]] = {}
+        self._linger_timers: Dict[BatchKey, asyncio.TimerHandle] = {}
+        # Groups whose linger expired while the writer was busy: they keep
+        # coalescing (flushing early would only queue them) and are
+        # dispatched the instant the writer goes idle.
+        self._ripe: set = set()
+        self._writer_busy = False
+        self._connections: set = set()
+        self._inflight = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._engine_thread = None  # created lazily inside the loop
+        self._routes: Dict[Tuple[str, str], Handler] = {
+            ("POST", "/query"): self._handle_query,
+            ("POST", "/batch"): self._handle_batch,
+            ("POST", "/checkin"): self._handle_checkin,
+            ("POST", "/edge"): self._handle_edge,
+            ("GET", "/stats"): self._handle_stats,
+            ("GET", "/healthz"): self._handle_healthz,
+        }
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the listening server."""
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listen socket, start the writer task, warm the engine."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._jobs = asyncio.Queue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        # ONE engine thread: every submit_batch/mutation/snapshot runs here,
+        # serialised by the writer task, so the engine, its caches, and the
+        # answer cache are only ever touched single-threaded.
+        self._engine_thread = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="sac-engine"
+        )
+        for k in self.config.warm_ks:
+            await self._loop.run_in_executor(self._engine_thread, self.service.warm, int(k))
+        self._writer_task = self._loop.create_task(self._writer_loop())
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` — the CLI entry point installs signals here.
+
+        ``SIGTERM``/``SIGINT`` trigger a graceful drain-and-stop; ``SIGUSR1``
+        snapshots the engine to ``config.snapshot_path`` without stopping.
+        """
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(self.stop())
+                )
+        with contextlib.suppress(NotImplementedError, RuntimeError, AttributeError):
+            loop.add_signal_handler(
+                signal.SIGUSR1, lambda: loop.create_task(self.request_snapshot())
+            )
+        await self._stopped.wait()
+
+    async def request_snapshot(self) -> bool:
+        """Enqueue a snapshot job (serialised with mutations); False if unconfigured."""
+        if self.config.snapshot_path is None:
+            print("server: SIGUSR1 received but no --snapshot-to path is configured", file=sys.stderr)
+            return False
+        future: "asyncio.Future[object]" = self._loop.create_future()
+        path = self.config.snapshot_path
+        self._jobs.put_nowait(_Job(kind="snapshot", run=lambda: self.service.save(path), future=future))
+        await future
+        return True
+
+    async def stop(self) -> None:
+        """Drain and stop: refuse new work, answer everything in flight, release.
+
+        Sequence: stop accepting connections, flush every pending
+        micro-batch, let the writer queue run dry, wait (bounded) for open
+        requests to finish, snapshot if configured, release the executor's
+        pool and shared-memory segments, close remaining connections.
+        """
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._flush_all(reason="drain")
+        await self._jobs.join()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout_seconds)
+        if self.config.snapshot_path is not None:
+            await self._loop.run_in_executor(
+                self._engine_thread, self.service.save, self.config.snapshot_path
+            )
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._writer_task
+        await self._loop.run_in_executor(self._engine_thread, self.service.close)
+        self._engine_thread.shutdown(wait=True)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------- connections
+    async def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, TimeoutError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _connection_loop(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Serve one keep-alive connection until EOF, error, or drain."""
+        while True:
+            try:
+                request = await read_request(reader, max_body_bytes=self.config.max_body_bytes)
+            except ConnectionClosed:
+                return
+            except HttpError as error:
+                # Framing is broken (or the body was refused): answer and
+                # close — the stream position can no longer be trusted.
+                with contextlib.suppress(ConnectionError):
+                    await write_response(
+                        writer, *error_payload(error.status, error.message), keep_alive=False
+                    )
+                return
+            status, payload = await self._dispatch(request)
+            keep_alive = request.keep_alive and not self._draining
+            try:
+                await write_response(writer, status, payload, keep_alive=keep_alive)
+            except ConnectionError:
+                return
+            if not keep_alive:
+                return
+
+    async def _dispatch(self, request: Request) -> Tuple[int, dict]:
+        """Route one request, tracking per-endpoint latency and errors."""
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            if any(path == request.path for _, path in self._routes):
+                return error_payload(405, f"method {request.method} not allowed on {request.path}")
+            return error_payload(404, f"no such endpoint: {request.path}")
+        if self._draining and request.method != "GET":
+            return error_payload(503, "server is draining")
+        name = f"{request.method} {request.path}"
+        stats = self.endpoint_stats.setdefault(name, EndpointStats())
+        start = time.perf_counter()
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            status, payload = await handler(request)
+        except HttpError as error:
+            status, payload = error_payload(error.status, error.message)
+        except ReproError as error:
+            status, payload = error_payload(400, str(error))
+        except Exception as error:  # noqa: BLE001 - the connection must survive
+            print(f"server: internal error handling {name}: {error!r}", file=sys.stderr)
+            status, payload = error_payload(500, "internal server error")
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+        stats.record(time.perf_counter() - start, error=status >= 400)
+        return status, payload
+
+    # ------------------------------------------------------------ micro-batching
+    def _flush(self, key: BatchKey, reason: str) -> None:
+        """Dispatch one pending group to the writer queue (synchronous)."""
+        self._ripe.discard(key)
+        entries = self._pending.pop(key, None)
+        timer = self._linger_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        if not entries:
+            return
+        stats = self.batcher_stats
+        stats.batches_dispatched += 1
+        stats.queries_coalesced += len(entries)
+        stats.largest_batch = max(stats.largest_batch, len(entries))
+        setattr(stats, f"flushes_{reason}", getattr(stats, f"flushes_{reason}") + 1)
+        k, algorithm, params = key
+        vertices = [entry.vertex for entry in entries]
+        run = lambda: self.service.submit_batch(  # noqa: E731
+            vertices, k, algorithm=algorithm, **dict(params)
+        )
+        self._jobs.put_nowait(_Job(kind="batch", run=run, entries=entries))
+
+    def _flush_all(self, reason: str) -> None:
+        """Flush every pending group — the write barrier and the drain path."""
+        for key in list(self._pending):
+            self._flush(key, reason)
+
+    def _enqueue_query(self, vertex: int, key: BatchKey) -> "asyncio.Future[BatchResult]":
+        """Join ``vertex`` to its pending micro-batch group; returns its future."""
+        future: "asyncio.Future[BatchResult]" = self._loop.create_future()
+        entries = self._pending.setdefault(key, [])
+        entries.append(_PendingQuery(vertex=vertex, future=future))
+        if len(entries) >= self.config.max_batch_size:
+            self._flush(key, reason="size")
+        elif key not in self._linger_timers and key not in self._ripe:
+            self._linger_timers[key] = self._loop.call_later(
+                self.config.max_linger_ms / 1000.0, self._linger_expired, key
+            )
+        return future
+
+    def _linger_expired(self, key: BatchKey) -> None:
+        """Linger deadline: flush now if the writer could start the batch now.
+
+        When the writer is busy, dispatching would not start this group any
+        sooner — it keeps coalescing as *ripe* instead, and the writer
+        flushes it as soon as the in-flight job finishes (unconditionally,
+        so it is delayed by at most that one job, never starved by a stream
+        of later arrivals).  Throughput strictly improves.
+        """
+        self._linger_timers.pop(key, None)
+        if self._writer_busy or not self._jobs.empty():
+            self._ripe.add(key)
+        else:
+            self._flush(key, reason="linger")
+
+    async def _writer_loop(self) -> None:
+        """The single writer: drain the job queue onto the engine thread.
+
+        Every job — micro-batch, explicit batch, mutation, snapshot — runs
+        here in FIFO order, one at a time, so the daemon's observable
+        behaviour equals applying the same operations serially in arrival
+        order.
+        """
+        while True:
+            job = await self._jobs.get()
+            self._writer_busy = True
+            try:
+                outcome = await self._loop.run_in_executor(self._engine_thread, job.run)
+            except Exception as error:  # noqa: BLE001 - routed to the waiters
+                for entry in job.entries:
+                    if not entry.future.done():
+                        entry.future.set_exception(error)
+                if job.future is not None and not job.future.done():
+                    job.future.set_exception(error)
+                # The exception now belongs to the request futures; keep the
+                # writer alive for the next job.
+                if not job.entries and job.future is None:
+                    print(f"server: writer job failed: {error!r}", file=sys.stderr)
+            else:
+                for entry in job.entries:
+                    if not entry.future.done():
+                        entry.future.set_result(outcome)
+                if job.future is not None and not job.future.done():
+                    job.future.set_result(outcome)
+            finally:
+                self._writer_busy = False
+                self._jobs.task_done()
+            # Dispatch every group that passed its linger deadline while the
+            # job ran.  Unconditionally — even with more jobs queued — so a
+            # ripe group waits at most one job behind traffic that arrived
+            # after its deadline, never indefinitely.
+            for key in list(self._ripe):
+                self._flush(key, reason="linger")
+
+    async def _run_mutation(self, run: Callable[[], object]) -> object:
+        """Write barrier: flush pending queries, then run ``run`` serialised."""
+        self._flush_all(reason="mutation")
+        future: "asyncio.Future[object]" = self._loop.create_future()
+        self._jobs.put_nowait(_Job(kind="mutate", run=run, future=future))
+        return await future
+
+    # ------------------------------------------------------------ request parsing
+    def _resolve_vertex(self, label: object, field_name: str) -> int:
+        """Translate a user-facing label into an internal vertex index."""
+        if isinstance(label, bool) or label is None or isinstance(label, (dict, list)):
+            raise HttpError(400, f"{field_name!r} must be a vertex label")
+        if isinstance(label, float) and label.is_integer():
+            label = int(label)
+        return self.service.graph.index_of(label)
+
+    @staticmethod
+    def _parse_k(body: dict) -> int:
+        value = body.get("k", 4)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise HttpError(400, f"'k' must be an integer, got {value!r}")
+        return value
+
+    @staticmethod
+    def _parse_params(body: dict) -> Tuple[str, Tuple[Tuple[str, float], ...]]:
+        """Extract (algorithm, canonicalised params) from a request body."""
+        algorithm = body.get("algorithm", "appfast")
+        if algorithm not in ALGORITHMS:
+            raise HttpError(
+                400, f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise HttpError(400, "'params' must be a JSON object")
+        params = dict(params)
+        for convenience in ("epsilon_f", "epsilon_a"):
+            if convenience in body:
+                params[convenience] = body[convenience]
+        allowed = _algorithm_parameter_names(algorithm)
+        for name, value in params.items():
+            if name not in allowed:
+                raise HttpError(
+                    400,
+                    f"algorithm {algorithm!r} takes no parameter {name!r}; "
+                    f"accepted: {sorted(allowed)}",
+                )
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise HttpError(400, f"parameter {name!r} must be a number, got {value!r}")
+        return algorithm, tuple(sorted((str(n), float(v)) for n, v in params.items()))
+
+    def _result_payload(self, vertex: int, batch: BatchResult, k: int) -> Tuple[int, dict]:
+        """Build one query's JSON answer out of its batch's outcome."""
+        graph = self.service.graph
+        label = graph.label_of(vertex)
+        if vertex in batch.errors:
+            return error_payload(400, batch.errors[vertex])
+        result = batch.results.get(vertex)
+        if result is None:
+            return 200, {"found": False, "query": label, "k": k}
+        return 200, {
+            "found": True,
+            "query": label,
+            "k": k,
+            "algorithm": result.algorithm,
+            "size": result.size,
+            "radius": result.radius,
+            "center": [result.circle.center.x, result.circle.center.y],
+            "members": [graph.label_of(v) for v in sorted(result.members)],
+        }
+
+    # ----------------------------------------------------------------- handlers
+    async def _handle_query(self, request: Request) -> Tuple[int, dict]:
+        """``POST /query`` — one query, answered through a micro-batch."""
+        body = request.json()
+        if "vertex" not in body:
+            raise HttpError(400, "missing required field 'vertex'")
+        vertex = self._resolve_vertex(body["vertex"], "vertex")
+        k = self._parse_k(body)
+        algorithm, params = self._parse_params(body)
+        batch = await self._enqueue_query(vertex, (k, algorithm, params))
+        return self._result_payload(vertex, batch, k)
+
+    async def _handle_batch(self, request: Request) -> Tuple[int, dict]:
+        """``POST /batch`` — an explicit batch, dispatched as one unit."""
+        body = request.json()
+        labels = body.get("vertices")
+        if not isinstance(labels, list) or not labels:
+            raise HttpError(400, "'vertices' must be a non-empty list of vertex labels")
+        if len(labels) > self.config.max_batch_queries:
+            raise HttpError(
+                413,
+                f"batch of {len(labels)} queries exceeds the "
+                f"{self.config.max_batch_queries} query limit",
+            )
+        k = self._parse_k(body)
+        algorithm, params = self._parse_params(body)
+        graph = self.service.graph
+        vertices = [self._resolve_vertex(label, "vertices") for label in labels]
+        future: "asyncio.Future[object]" = self._loop.create_future()
+        run = lambda: self.service.submit_batch(  # noqa: E731
+            vertices, k, algorithm=algorithm, **dict(params)
+        )
+        self._jobs.put_nowait(_Job(kind="batch", run=run, future=future))
+        batch: BatchResult = await future
+        results = {}
+        for vertex in dict.fromkeys(vertices):
+            if vertex in batch.results:
+                _, payload = self._result_payload(vertex, batch, k)
+                results[str(graph.label_of(vertex))] = payload
+        return 200, {
+            "answered": batch.answered,
+            "failed": [graph.label_of(v) for v in batch.failed],
+            "errors": {str(graph.label_of(v)): msg for v, msg in batch.errors.items()},
+            "cache_hits": batch.cache_hits,
+            "elapsed_seconds": batch.elapsed_seconds,
+            "results": results,
+        }
+
+    async def _handle_checkin(self, request: Request) -> Tuple[int, dict]:
+        """``POST /checkin`` — one location update through the write barrier."""
+        body = request.json()
+        for name in ("user", "x", "y"):
+            if name not in body:
+                raise HttpError(400, f"missing required field {name!r}")
+        user = self._resolve_vertex(body["user"], "user")
+        x, y = body["x"], body["y"]
+        for name, value in (("x", x), ("y", y)):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise HttpError(400, f"{name!r} must be a number, got {value!r}")
+        await self._run_mutation(
+            lambda: self.service.apply_checkin(user, float(x), float(y))
+        )
+        return 200, {
+            "applied": True,
+            "user": self.service.graph.label_of(user),
+            "location_updates": self.service.engine.stats.location_updates,
+        }
+
+    async def _handle_edge(self, request: Request) -> Tuple[int, dict]:
+        """``POST /edge`` — one edge insert/delete through the write barrier."""
+        body = request.json()
+        for name in ("u", "v"):
+            if name not in body:
+                raise HttpError(400, f"missing required field {name!r}")
+        u = self._resolve_vertex(body["u"], "u")
+        v = self._resolve_vertex(body["v"], "v")
+        op = body.get("op", "insert")
+        if op not in ("insert", "delete"):
+            raise HttpError(400, f"'op' must be 'insert' or 'delete', got {op!r}")
+        changed = await self._run_mutation(lambda: self.service.apply_edge(u, v, op))
+        graph = self.service.graph
+        return 200, {
+            "applied": True,
+            "op": op,
+            "u": graph.label_of(u),
+            "v": graph.label_of(v),
+            "cores_changed": [graph.label_of(int(w)) for w in changed],
+        }
+
+    async def _handle_stats(self, request: Request) -> Tuple[int, dict]:
+        """``GET /stats`` — endpoint, batcher, and service counters."""
+        service_stats = self.service.stats()
+        return 200, {
+            "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
+            "endpoints": {
+                name: stats.as_dict() for name, stats in sorted(self.endpoint_stats.items())
+            },
+            "batcher": asdict(self.batcher_stats),
+            "engine": asdict(service_stats.engine),
+            "executor": asdict(service_stats.executor),
+            "cache": asdict(service_stats.cache) if service_stats.cache is not None else None,
+            "config": {
+                "max_batch_size": self.config.max_batch_size,
+                "max_linger_ms": self.config.max_linger_ms,
+                "max_batch_queries": self.config.max_batch_queries,
+            },
+        }
+
+    async def _handle_healthz(self, request: Request) -> Tuple[int, dict]:
+        """``GET /healthz`` — liveness plus the serving surface's shape."""
+        from repro import __version__
+
+        graph = self.service.graph
+        return 200, {
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "incremental": isinstance(self.service.engine, IncrementalEngine),
+        }
+
+
+class ServerHandle:
+    """Thread-safe handle to a server running in a background thread."""
+
+    def __init__(self, server: SACServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        """Listen host of the running server."""
+        return self.server.config.host
+
+    @property
+    def port(self) -> int:
+        """Bound port of the running server."""
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and stop the server, then join its thread."""
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(timeout)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(service: SACService, config: Optional[ServerConfig] = None) -> ServerHandle:
+    """Run a :class:`SACServer` in a daemon thread; returns when it is listening.
+
+    The in-process harness the tests and ``bench_server_latency.py`` use:
+    no subprocess, no fixed port (pass ``port=0``), deterministic shutdown
+    via :meth:`ServerHandle.stop`.  Signal handlers are NOT installed (they
+    only work on the main thread); the handle's ``stop`` is the only
+    shutdown path.
+    """
+    config = config or ServerConfig(port=0)
+    started = threading.Event()
+    box: dict = {}
+
+    async def _run() -> None:
+        server = SACServer(service, config)
+        await server.start()
+        box["server"] = server
+        box["loop"] = asyncio.get_running_loop()
+        started.set()
+        await server.wait_stopped()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_run())
+        except Exception as error:  # noqa: BLE001 - surfaced via started timeout
+            box["error"] = error
+            started.set()
+
+    thread = threading.Thread(target=_runner, name="sac-server", daemon=True)
+    thread.start()
+    started.wait(timeout=30.0)
+    if "error" in box:
+        raise box["error"]
+    if "server" not in box:
+        raise RuntimeError("server failed to start within 30s")
+    return ServerHandle(box["server"], box["loop"], thread)

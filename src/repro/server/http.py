@@ -1,0 +1,184 @@
+"""Minimal JSON-over-HTTP/1.1 framing for the SAC serving daemon.
+
+The daemon (:mod:`repro.server.daemon`) speaks plain HTTP so any stock
+client — ``curl``, ``http.client``, a load balancer's health prober — can
+talk to it, but it deliberately implements only the slice of the protocol a
+JSON API needs: request line + headers + ``Content-Length`` body in,
+``application/json`` responses out, keep-alive connections.  No chunked
+transfer encoding, no multipart, no TLS — a reverse proxy owns those
+concerns in any real deployment (see ``docs/serving.md``).
+
+Everything here is transport framing; routing and request semantics live in
+the daemon.  Parsing failures raise :class:`HttpError` carrying the HTTP
+status the connection handler should answer with, so malformed traffic is
+always answered (400/413/431...), never dropped or allowed to wedge the
+reader.
+"""
+
+from __future__ import annotations
+
+import json
+from asyncio import IncompleteReadError, LimitOverrunError, StreamReader, StreamWriter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Reason phrases for every status the daemon emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Upper bound on one header line (and the request line); longer is a 431.
+MAX_HEADER_LINE = 8192
+
+#: Upper bound on the number of header lines in one request.
+MAX_HEADER_COUNT = 100
+
+
+class HttpError(Exception):
+    """A protocol-level failure, carrying the HTTP status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request: method, path, headers, raw body."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to keep the connection open (HTTP/1.1 default)."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object; 400 on anything else.
+
+        An empty body decodes as ``{}`` so bodyless POSTs to endpoints whose
+        parameters are all optional still work.
+        """
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def _read_line(reader: StreamReader) -> bytes:
+    """Read one CRLF/LF-terminated line, bounding its length."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except IncompleteReadError as error:
+        if not error.partial:
+            raise ConnectionClosed() from None
+        raise HttpError(400, "connection closed mid-request") from None
+    except LimitOverrunError:
+        raise HttpError(431, "header line too long") from None
+    if len(line) > MAX_HEADER_LINE:
+        raise HttpError(431, "header line too long")
+    return line.rstrip(b"\r\n")
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection cleanly between requests."""
+
+
+async def read_request(reader: StreamReader, *, max_body_bytes: int) -> Request:
+    """Parse one HTTP request off the stream.
+
+    Raises :class:`ConnectionClosed` on a clean EOF before any byte of a new
+    request (the keep-alive loop's normal exit), and :class:`HttpError` for
+    anything malformed or over the ``max_body_bytes`` bound.
+    """
+    line = await _read_line(reader)
+    parts = line.split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line[:120]!r}")
+    method, target, version = parts
+    if not version.startswith(b"HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        if len(headers) > MAX_HEADER_COUNT:
+            raise HttpError(431, "too many header lines")
+        try:
+            raw = await _read_line(reader)
+        except ConnectionClosed:
+            raise HttpError(400, "connection closed inside headers") from None
+        if not raw:
+            break
+        name, sep, value = raw.partition(b":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {raw[:120]!r}")
+        headers[name.decode("latin-1").strip().lower()] = value.decode("latin-1").strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"invalid Content-Length {length_text!r}") from None
+    if length < 0:
+        raise HttpError(400, f"invalid Content-Length {length}")
+    if length > max_body_bytes:
+        raise HttpError(413, f"request body of {length} bytes exceeds the {max_body_bytes} byte limit")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except IncompleteReadError:
+            raise HttpError(400, "connection closed inside the request body") from None
+
+    # The target may carry a query string; the daemon routes on the path only.
+    path = target.decode("latin-1").split("?", 1)[0]
+    return Request(method=method.decode("latin-1").upper(), path=path, headers=headers, body=body)
+
+
+def encode_response(
+    status: int, payload: dict, *, keep_alive: bool = True, extra_headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    """Serialise one JSON response to wire bytes."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def write_response(
+    writer: StreamWriter, status: int, payload: dict, *, keep_alive: bool = True
+) -> None:
+    """Write one JSON response and flush it."""
+    writer.write(encode_response(status, payload, keep_alive=keep_alive))
+    await writer.drain()
+
+
+def error_payload(status: int, message: str) -> Tuple[int, dict]:
+    """Build the uniform error body every failure path answers with."""
+    return status, {"error": message, "status": status}

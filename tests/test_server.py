@@ -1,0 +1,509 @@
+"""The online serving daemon: protocol, micro-batching, ordering, drain.
+
+Every test runs a real :class:`repro.server.SACServer` on an ephemeral port
+(via :func:`repro.server.start_in_thread`) and talks to it over real
+sockets with the stdlib client — no mocked transport.  The load-bearing
+guarantees:
+
+* answers over HTTP are **bit-identical** to the serial
+  :class:`repro.engine.QueryEngine` path (JSON round-trips IEEE doubles
+  exactly);
+* mutations interleaved with in-flight micro-batches behave as if the whole
+  request sequence had been applied serially in arrival order;
+* malformed traffic (broken JSON, garbage framing, oversized bodies and
+  batches) is answered with the right 4xx and never wedges the connection;
+* a graceful stop drains: pending coalesced queries are answered, then the
+  listener goes away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.datasets.geosocial import brightkite_like
+from repro.engine import IncrementalEngine, QueryEngine
+from repro.server import SACClient, ServerConfig, ServerError, start_in_thread
+from repro.server.client import parallel_queries
+from repro.service import SACService
+
+K = 4
+EPS = {"epsilon_f": 0.5}
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    """One small geo-social graph shared by every server in this module."""
+    return brightkite_like(num_vertices=500, seed=7)
+
+
+@pytest.fixture(scope="module")
+def reference(base_graph):
+    """The serial engine whose answers the server must reproduce exactly."""
+    return QueryEngine(base_graph)
+
+
+def _serve(base_graph, **config_kwargs):
+    """Start a fresh incremental-engine server over a private graph copy."""
+    service = SACService(engine=IncrementalEngine(base_graph.mutable_copy()))
+    defaults = dict(port=0, max_linger_ms=2.0)
+    defaults.update(config_kwargs)
+    return start_in_thread(service, ServerConfig(**defaults))
+
+
+@pytest.fixture(scope="module")
+def server(base_graph):
+    """A shared server for the read-only tests."""
+    handle = _serve(base_graph)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    """A client bound to the shared read-only server."""
+    with SACClient(server.host, server.port) as shared:
+        yield shared
+
+
+def _expected(graph, result):
+    """The JSON fields a correct response carries for an engine result."""
+    return {
+        "found": True,
+        "algorithm": result.algorithm,
+        "size": result.size,
+        "radius": result.circle.radius,
+        "center": [result.circle.center.x, result.circle.center.y],
+        "members": [graph.label_of(v) for v in sorted(result.members)],
+    }
+
+
+def _eligible_labels(reference, count, k=K):
+    """Labels of the first ``count`` vertices inside some k-core."""
+    cores = reference.core_numbers()
+    graph = reference.graph
+    picked = [graph.label_of(v) for v in range(graph.num_vertices) if cores[v] >= k]
+    assert len(picked) >= count, "test graph too sparse for the requested k"
+    return picked[:count]
+
+
+class TestQueryEndpoint:
+    def test_query_is_bit_identical_to_serial_engine(self, client, reference, base_graph):
+        for label in _eligible_labels(reference, 5):
+            response = client.query(label, K, params=EPS)
+            result = reference.search(base_graph.index_of(label), K, **EPS)
+            for field, value in _expected(base_graph, result).items():
+                assert response[field] == value, field
+
+    def test_query_outside_kcore_reports_not_found(self, client, reference, base_graph):
+        cores = reference.core_numbers()
+        lonely = next(
+            base_graph.label_of(v)
+            for v in range(base_graph.num_vertices)
+            if cores[v] < K
+        )
+        response = client.query(lonely, K)
+        assert response == {"found": False, "query": lonely, "k": K}
+
+    def test_unknown_vertex_is_a_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.query("no-such-user", K)
+        assert excinfo.value.status == 400
+
+    def test_unknown_algorithm_is_a_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.query(0, K, algorithm="quantum")
+        assert excinfo.value.status == 400
+
+    def test_missing_vertex_field_is_a_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/query", {"k": K})
+        assert excinfo.value.status == 400
+        assert "vertex" in excinfo.value.message
+
+    def test_bad_parameter_type_is_a_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.query(0, K, params={"epsilon_f": "half"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_algorithm_parameter_is_a_400(self, client):
+        """A wrong parameter name must be refused at parse time, not 500."""
+        with pytest.raises(ServerError) as excinfo:
+            client.query(0, K, params={"bogus": 1.0})
+        assert excinfo.value.status == 400
+        assert "bogus" in excinfo.value.message
+        # Same for a convenience key the chosen algorithm does not take.
+        with pytest.raises(ServerError) as excinfo:
+            client.query(0, K, algorithm="appinc", params={"epsilon_f": 0.5})
+        assert excinfo.value.status == 400
+
+    def test_lingering_query_survives_concurrent_batch_traffic(
+        self, base_graph, reference
+    ):
+        """A coalescing query must not be starved by a stream of batches."""
+        labels = _eligible_labels(reference, 6)
+        handle = _serve(base_graph, max_linger_ms=150.0)
+        outcome = {}
+        stop = threading.Event()
+
+        def batch_storm():
+            with SACClient(handle.host, handle.port) as mine:
+                while not stop.is_set():
+                    mine.batch(labels, K, params=EPS)
+
+        storms = [threading.Thread(target=batch_storm) for _ in range(2)]
+        try:
+            for storm in storms:
+                storm.start()
+            time.sleep(0.05)
+            with SACClient(handle.host, handle.port) as client:
+                started = time.perf_counter()
+                outcome["response"] = client.query(labels[0], K, params=EPS)
+                outcome["seconds"] = time.perf_counter() - started
+        finally:
+            stop.set()
+            for storm in storms:
+                storm.join(timeout=10)
+            handle.stop()
+        assert outcome["response"]["found"] is True
+        assert outcome["seconds"] < 5.0
+
+    def test_concurrent_queries_coalesce_and_stay_identical(
+        self, base_graph, reference
+    ):
+        labels = _eligible_labels(reference, 12)
+        handle = _serve(base_graph, max_linger_ms=25.0)
+        try:
+            jobs = [{"vertex": label, "k": K, "params": EPS} for label in labels]
+            responses = parallel_queries((handle.host, handle.port), jobs, threads=6)
+            stats = handle.server.batcher_stats
+        finally:
+            handle.stop()
+        assert len(responses) == len(labels)
+        for label, response in zip(labels, responses):
+            result = reference.search(base_graph.index_of(label), K, **EPS)
+            assert response["members"] == [
+                base_graph.label_of(v) for v in sorted(result.members)
+            ]
+            assert response["radius"] == result.circle.radius
+        # At least one flush served more than one query — the coalescing
+        # actually happened (6 threads against a 25 ms linger).
+        assert stats.queries_coalesced == len(labels)
+        assert stats.batches_dispatched < len(labels)
+
+
+class TestBatchEndpoint:
+    def test_batch_matches_engine_and_second_round_hits_cache(
+        self, client, reference, base_graph
+    ):
+        labels = _eligible_labels(reference, 8)
+        first = client.batch(labels, K, params=EPS)
+        assert first["answered"] == len(labels)
+        assert first["failed"] == [] and first["errors"] == {}
+        for label in labels:
+            result = reference.search(base_graph.index_of(label), K, **EPS)
+            payload = first["results"][str(label)]
+            assert payload["members"] == [
+                base_graph.label_of(v) for v in sorted(result.members)
+            ]
+            assert payload["radius"] == result.circle.radius
+            assert payload["center"] == [
+                result.circle.center.x,
+                result.circle.center.y,
+            ]
+        second = client.batch(labels, K, params=EPS)
+        assert second["cache_hits"] == len(labels)
+        assert second["results"] == first["results"]
+
+    def test_oversized_batch_is_a_413(self, base_graph):
+        handle = _serve(base_graph, max_batch_queries=4)
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.batch(list(range(8)), K)
+                assert excinfo.value.status == 413
+                # The refusal must not poison the connection.
+                assert client.batch([0], 1)["answered"] >= 0
+        finally:
+            handle.stop()
+
+    def test_empty_vertex_list_is_a_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.batch([], K)
+        assert excinfo.value.status == 400
+
+
+class TestProtocolRobustness:
+    def _raw(self, server, payload: bytes) -> bytes:
+        """Send raw bytes, return the raw response (connection closed after)."""
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return b"".join(chunks)
+                chunks.append(chunk)
+
+    def test_malformed_json_body_is_a_400(self, server):
+        body = b"{this is not json"
+        raw = self._raw(
+            server,
+            b"POST /query HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s" % (len(body), body),
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"not valid JSON" in raw
+
+    def test_non_object_json_body_is_a_400(self, server):
+        body = b"[1, 2, 3]"
+        raw = self._raw(
+            server,
+            b"POST /query HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s" % (len(body), body),
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_garbage_request_line_is_a_400(self, server):
+        raw = self._raw(server, b"EHLO example.com\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_oversized_body_is_a_413(self, base_graph):
+        handle = _serve(base_graph, max_body_bytes=64)
+        try:
+            raw = self._raw(
+                handle,
+                b"POST /query HTTP/1.1\r\nContent-Length: 100000\r\n\r\n",
+            )
+            assert raw.startswith(b"HTTP/1.1 413")
+        finally:
+            handle.stop()
+
+    def test_unknown_path_is_a_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_a_405(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/query")
+        assert excinfo.value.status == 405
+
+    def test_error_responses_keep_the_connection_usable(self, client):
+        for _ in range(3):
+            with pytest.raises(ServerError):
+                client.query("no-such-user", K)
+        assert client.healthz()["status"] == "ok"
+
+
+class TestObservability:
+    def test_healthz_shape(self, client, base_graph):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["vertices"] == base_graph.num_vertices
+        assert health["edges"] == base_graph.num_edges
+        assert health["incremental"] is True
+
+    def test_stats_counts_requests_and_batches(self, base_graph, reference):
+        handle = _serve(base_graph)
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                for label in _eligible_labels(reference, 3):
+                    client.query(label, K, params=EPS)
+                stats = client.stats()
+        finally:
+            handle.stop()
+        query_stats = stats["endpoints"]["POST /query"]
+        assert query_stats["requests"] == 3
+        assert query_stats["errors"] == 0
+        assert query_stats["mean_latency_ms"] > 0
+        assert stats["batcher"]["queries_coalesced"] == 3
+        assert stats["engine"]["queries_served"] == 3
+        assert stats["config"]["max_batch_size"] == 32
+
+
+class TestMutations:
+    def test_checkin_then_query_matches_serial_replay(self, base_graph, reference):
+        label = _eligible_labels(reference, 1)[0]
+        vertex = base_graph.index_of(label)
+        handle = _serve(base_graph)
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                before = client.query(label, K, params=EPS)
+                assert client.checkin(label, 0.99, 0.99)["applied"] is True
+                after = client.query(label, K, params=EPS)
+        finally:
+            handle.stop()
+        serial = IncrementalEngine(base_graph.mutable_copy())
+        expect_before = serial.search(vertex, K, **EPS)
+        serial.apply_checkin(vertex, 0.99, 0.99)
+        expect_after = serial.search(vertex, K, **EPS)
+        assert before == _expected(base_graph, expect_before) | {"query": label, "k": K}
+        assert after == _expected(base_graph, expect_after) | {"query": label, "k": K}
+        # The move must actually have changed the answer, or this test
+        # proves nothing about invalidation.
+        assert before["radius"] != after["radius"]
+
+    def test_edge_update_matches_serial_replay(self, base_graph, reference):
+        labels = _eligible_labels(reference, 24)
+        graph = base_graph
+        u_label, v_label = next(
+            (a, b)
+            for i, a in enumerate(labels)
+            for b in labels[i + 1 :]
+            if not graph.has_edge(graph.index_of(a), graph.index_of(b))
+        )
+        u, v = graph.index_of(u_label), graph.index_of(v_label)
+        handle = _serve(base_graph)
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                response = client.edge(u_label, v_label, "insert")
+                after = client.query(u_label, K, params=EPS)
+        finally:
+            handle.stop()
+        serial = IncrementalEngine(base_graph.mutable_copy())
+        changed = serial.apply_edge(u, v, "insert")
+        expect_after = serial.search(u, K, **EPS)
+        assert response["applied"] is True
+        assert response["cores_changed"] == [graph.label_of(int(w)) for w in changed]
+        assert after == _expected(base_graph, expect_after) | {"query": u_label, "k": K}
+
+    def test_mutation_during_inflight_batch_preserves_arrival_order(
+        self, base_graph, reference
+    ):
+        """A check-in racing a lingering micro-batch must behave serially.
+
+        The first query is sent on one connection and deliberately left to
+        linger (300 ms); the check-in arrives mid-linger on another
+        connection.  The single-writer barrier must flush the pending batch
+        *before* the mutation, so the first answer reflects the
+        pre-mutation graph and a follow-up query the post-mutation graph —
+        exactly the serial replay of the same arrival order.
+        """
+        label = _eligible_labels(reference, 1)[0]
+        vertex = base_graph.index_of(label)
+        handle = _serve(base_graph, max_linger_ms=300.0)
+        outcome = {}
+
+        def lingering_query():
+            with SACClient(handle.host, handle.port) as mine:
+                outcome["first"] = mine.query(label, K, params=EPS)
+
+        try:
+            racer = threading.Thread(target=lingering_query)
+            racer.start()
+            time.sleep(0.1)  # let the query join the pending micro-batch
+            with SACClient(handle.host, handle.port) as client:
+                client.checkin(label, 0.99, 0.99)
+                outcome["second"] = client.query(label, K, params=EPS)
+            racer.join(timeout=10)
+            assert not racer.is_alive()
+            flushes = handle.server.batcher_stats.flushes_mutation
+        finally:
+            handle.stop()
+
+        serial = IncrementalEngine(base_graph.mutable_copy())
+        expect_first = serial.search(vertex, K, **EPS)
+        serial.apply_checkin(vertex, 0.99, 0.99)
+        expect_second = serial.search(vertex, K, **EPS)
+        assert outcome["first"] == _expected(base_graph, expect_first) | {
+            "query": label, "k": K,
+        }
+        assert outcome["second"] == _expected(base_graph, expect_second) | {
+            "query": label, "k": K,
+        }
+        assert expect_first.circle.radius != expect_second.circle.radius
+        assert flushes >= 1  # the write barrier actually flushed the batch
+
+    def test_mutations_on_static_engine_are_a_400(self, base_graph):
+        service = SACService(engine=QueryEngine(base_graph))
+        handle = start_in_thread(service, ServerConfig(port=0, max_linger_ms=2.0))
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                assert client.healthz()["incremental"] is False
+                with pytest.raises(ServerError) as excinfo:
+                    client.checkin(0, 0.5, 0.5)
+                assert excinfo.value.status == 400
+                with pytest.raises(ServerError) as excinfo:
+                    client.edge(0, 1, "insert")
+                assert excinfo.value.status == 400
+        finally:
+            handle.stop()
+
+
+class TestSnapshotLifecycle:
+    def test_on_demand_snapshot_captures_mutated_state(self, base_graph, tmp_path):
+        """``request_snapshot`` (the SIGUSR1 path) writes a warm-startable store."""
+        snapshot = tmp_path / "live.store"
+        handle = _serve(base_graph, snapshot_path=str(snapshot))
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                client.query(base_graph.label_of(0), K, params=EPS)
+                client.checkin(base_graph.label_of(0), 0.25, 0.25)
+            done = asyncio.run_coroutine_threadsafe(
+                handle.server.request_snapshot(), handle._loop
+            )
+            assert done.result(timeout=30) is True
+        finally:
+            handle.stop()
+        assert (snapshot / "manifest.json").is_file()
+        warm = IncrementalEngine.from_store(str(snapshot))
+        # The pre-snapshot mutation is part of the snapshot.
+        assert warm.graph.position(0) == (0.25, 0.25)
+
+    def test_snapshot_without_path_reports_false(self, base_graph):
+        handle = _serve(base_graph)  # no snapshot_path configured
+        try:
+            done = asyncio.run_coroutine_threadsafe(
+                handle.server.request_snapshot(), handle._loop
+            )
+            assert done.result(timeout=30) is False
+        finally:
+            handle.stop()
+
+    def test_shutdown_writes_the_configured_snapshot(self, base_graph, tmp_path):
+        snapshot = tmp_path / "exit.store"
+        handle = _serve(base_graph, snapshot_path=str(snapshot))
+        with SACClient(handle.host, handle.port) as client:
+            client.query(base_graph.label_of(0), K, params=EPS)
+        handle.stop()
+        assert (snapshot / "manifest.json").is_file()
+
+
+class TestGracefulShutdown:
+    def test_drain_answers_pending_lingering_queries(self, base_graph, reference):
+        label = _eligible_labels(reference, 1)[0]
+        vertex = base_graph.index_of(label)
+        handle = _serve(base_graph, max_linger_ms=2000.0)
+        outcome = {}
+
+        def lingering_query():
+            with SACClient(handle.host, handle.port) as mine:
+                outcome["response"] = mine.query(label, K, params=EPS)
+
+        racer = threading.Thread(target=lingering_query)
+        racer.start()
+        time.sleep(0.15)  # the query is now lingering, far from its deadline
+        handle.stop()  # drain must flush and answer it, not strand it
+        racer.join(timeout=10)
+        assert not racer.is_alive()
+        expected = _expected(base_graph, reference.search(vertex, K, **EPS))
+        assert outcome["response"] == expected | {"query": label, "k": K}
+        assert handle.server.batcher_stats.flushes_drain == 1
+
+    def test_stopped_server_refuses_connections(self, base_graph):
+        handle = _serve(base_graph)
+        host, port = handle.host, handle.port
+        with SACClient(host, port) as client:
+            assert client.healthz()["status"] == "ok"
+        handle.stop()
+        with pytest.raises((ConnectionError, ServerError, OSError)):
+            SACClient(host, port, timeout=2).healthz()
+
+    def test_stop_is_idempotent(self, base_graph):
+        handle = _serve(base_graph)
+        handle.stop()
+        handle.stop()  # second stop must be a clean no-op

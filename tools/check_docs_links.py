@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Check every internal link and anchor in the Markdown documentation.
+
+A stdlib-only link checker over ``README.md`` and ``docs/*.md``: every
+inline Markdown link ``[text](target)`` whose target is not an external URL
+must point at a file that exists in the repository, and — when it carries a
+``#fragment`` — at a heading that actually renders to that anchor under
+GitHub's slug rules (lowercase, punctuation stripped, spaces to hyphens).
+Docs rot silently when a heading is reworded or a page is renamed; this
+check runs in CI and in the tier-1 suite (``tests/test_docs.py``) so a
+broken cross-reference fails the build instead of a reader.
+
+Exit status 0 when clean; 1 with a ``file:line: message`` listing otherwise.
+
+Usage::
+
+    python tools/check_docs_links.py [file ...]
+
+Defaults to ``README.md`` plus every ``docs/*.md`` in the repository.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links; images share the syntax with a ``!`` prefix.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings (``#`` to ``######``).
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Fenced code blocks must not contribute headings or links.
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+#: Schemes that are out of scope for an offline checker.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _display(path: Path) -> Path:
+    """Repo-relative rendering of a path; outside-repo paths stay absolute."""
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:  # files outside the repo (tests run on tmp dirs)
+        return path
+
+
+def default_files() -> List[Path]:
+    """README plus the docs tree — every page the repository publishes."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """Render one heading to its GitHub anchor slug.
+
+    Lowercase, inline markup and punctuation stripped, spaces collapsed to
+    single hyphens.  Word characters (including non-ASCII letters) and
+    existing hyphens survive.
+    """
+    text = heading.strip().lower()
+    # Inline code/emphasis markers render to nothing in the anchor.
+    text = re.sub(r"[`*_]", "", text)
+    # Markdown links in headings anchor on their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _iter_content_lines(text: str):
+    """Yield ``(line_number, line)`` outside fenced code blocks."""
+    fence: Optional[str] = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is None:
+            yield number, line
+
+
+def collect_anchors(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    """All heading anchors of one Markdown file (GitHub slug rules)."""
+    resolved = path.resolve()
+    if resolved in cache:
+        return cache[resolved]
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    for _, line in _iter_content_lines(path.read_text(encoding="utf-8")):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    cache[resolved] = anchors
+    return anchors
+
+
+def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
+    """Return ``file:line: message`` problems for one Markdown file."""
+    problems: List[str] = []
+    relative = _display(path)
+    for number, line in _iter_content_lines(path.read_text(encoding="utf-8")):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            if target.startswith("#"):
+                target_path, fragment = path, target[1:]
+            else:
+                raw_path, _, fragment = target.partition("#")
+                target_path = (path.parent / raw_path).resolve()
+                if not target_path.exists():
+                    problems.append(
+                        f"{relative}:{number}: broken link: {raw_path!r} does not exist"
+                    )
+                    continue
+            if fragment:
+                if target_path.suffix != ".md" or target_path.is_dir():
+                    continue  # anchors into non-Markdown targets are not checkable
+                anchors = collect_anchors(target_path, cache)
+                if fragment not in anchors:
+                    problems.append(
+                        f"{relative}:{number}: broken anchor: "
+                        f"{target!r} (no heading slugs to {fragment!r})"
+                    )
+    return problems
+
+
+def check_paths(paths: List[Path]) -> List[str]:
+    """Check every file; returns the concatenated problem listing."""
+    cache: Dict[Path, Set[str]] = {}
+    problems: List[str] = []
+    for path in paths:
+        problems.extend(check_file(path, cache))
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    paths = [Path(arg).resolve() for arg in argv] if argv else default_files()
+    problems = check_paths(paths)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"{len(problems)} broken link(s)/anchor(s)", file=sys.stderr)
+        return 1
+    checked = ", ".join(str(_display(path)) for path in paths)
+    print(f"documentation links OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
