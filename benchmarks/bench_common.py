@@ -10,17 +10,29 @@ The environment variable ``REPRO_BENCH_SCALE`` (default ``1.0``) multiplies
 the stand-in dataset sizes; ``REPRO_BENCH_QUERIES`` (default ``8``) sets the
 number of query vertices per measurement point.  Increase both to push the
 harness towards paper-scale runs.
+
+Machine-readable output
+-----------------------
+Besides the human-readable table under ``benchmarks/results``, every
+:func:`write_result` call also lands in a ``BENCH_<benchmark>.json`` file at
+the repo root, keyed by the calling benchmark module (so a script with
+several tables produces one JSON with several sections).  Committed
+baselines live under ``benchmarks/baselines`` and are diffed in CI by
+``tools/compare_bench.py``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments.tables import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
@@ -32,12 +44,69 @@ BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
 QUALITY_DATASETS = ("brightkite", "gowalla")
 EFFICIENCY_DATASETS = ("brightkite", "syn1")
 
+#: Per-benchmark accumulation of JSON sections, keyed by benchmark module
+#: name; the file is rewritten after every :func:`write_result` call so a
+#: crashing later table never loses the earlier ones.
+_JSON_SECTIONS: Dict[str, Dict[str, Dict[str, object]]] = {}
 
-def write_result(name: str, title: str, rows: List[Dict[str, object]]) -> str:
-    """Render ``rows`` as a table, write it under ``benchmarks/results``, return it."""
+
+def _caller_benchmark_name() -> str:
+    """Name of the benchmark module that called :func:`write_result`."""
+    frame = sys._getframe(2)
+    caller = frame.f_globals.get("__file__")
+    if caller:
+        return Path(caller).stem
+    return "unknown"
+
+
+def write_json_result(
+    benchmark: str,
+    section: str,
+    title: str,
+    rows: List[Dict[str, object]],
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Merge one section into ``BENCH_<benchmark>.json`` at the repo root."""
+    sections = _JSON_SECTIONS.get(benchmark)
+    if sections is None:
+        # Seed from the existing file so separate invocations of the same
+        # benchmark (e.g. the default mode and a sweep mode in two CI steps)
+        # accumulate sections instead of clobbering each other.
+        sections = {}
+        existing = REPO_ROOT / f"BENCH_{benchmark}.json"
+        if existing.exists():
+            try:
+                sections = dict(json.loads(existing.read_text())["sections"])
+            except (ValueError, KeyError, OSError):
+                sections = {}
+        _JSON_SECTIONS[benchmark] = sections
+    sections[section] = {
+        "title": title,
+        "rows": rows,
+        **({"extra": extra} if extra else {}),
+    }
+    path = REPO_ROOT / f"BENCH_{benchmark}.json"
+    payload = {"benchmark": benchmark, "sections": sections}
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8")
+    return path
+
+
+def write_result(
+    name: str,
+    title: str,
+    rows: List[Dict[str, object]],
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render ``rows`` as a table, write it under ``benchmarks/results``, return it.
+
+    Also appends the rows (plus the optional ``extra`` machine-readable
+    payload) as section ``name`` of the calling benchmark's
+    ``BENCH_<benchmark>.json`` at the repo root.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     table = format_table(rows)
     text = f"{title}\n{'=' * len(title)}\n{table}\n"
     (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    write_json_result(_caller_benchmark_name(), name, title, rows, extra)
     print(f"\n{text}")
     return text

@@ -17,11 +17,22 @@ reported per path; the headline ``service`` speedup comes from sharding on
 multi-core machines plus cache hits on repeat rounds, and the benchmark
 prints whether the ≥2× target over the serial path was met.
 
+An **overlap sweep** mode (``--overlap-sweep``) measures the factorised
+batch planner instead: the same base queries are duplicated 1×/2×/4×/8× and
+answered through ``QueryEngine.search_many`` with the plan on and off.  The
+per-query path pays every duplicate; the planner answers each distinct query
+once and shares each ``(component, k)`` group's candidate artifacts and
+distance matrix, so its per-query cost drops superlinearly with overlap
+(speedup at factor *f* exceeds *f*).  The sweep re-checks bit-identity
+across the planned, per-query, sharded, and cached paths and exits non-zero
+when answers diverge or the plan's factorisation counters stay zero.
+
 Run standalone::
 
     python benchmarks/bench_sharded_batch.py                 # full workload
     python benchmarks/bench_sharded_batch.py --quick         # CI smoke
     python benchmarks/bench_sharded_batch.py --workers 4 --rounds 4
+    python benchmarks/bench_sharded_batch.py --quick --overlap-sweep
 """
 
 from __future__ import annotations
@@ -163,10 +174,128 @@ def run_benchmark(dataset_names, *, scale, queries_per_dataset, k, epsilon_f, ro
     return rows, identical
 
 
+def _sweep_variants_identical(planned, serial, sharded, cached) -> bool:
+    """Check the four execution paths agree bitwise on every answered query."""
+    answered = {q for q, result in planned.items() if result is not None}
+    others = (
+        {q for q, result in serial.items() if result is not None},
+        set(sharded),
+        set(cached),
+    )
+    if any(other != answered for other in others):
+        return False
+    return all(
+        _identical(planned[q], serial[q])
+        and _identical(planned[q], sharded[q])
+        and _identical(planned[q], cached[q])
+        for q in answered
+    )
+
+
+def run_overlap_sweep(
+    dataset_name, *, scale, base_queries, factors, k, epsilon_f, workers
+):
+    """Duplicate a base batch by each factor; time planned vs per-query.
+
+    Returns ``(rows, identical, counters, superlinear)`` where ``counters``
+    snapshots the planned engine's factorisation stats and ``superlinear``
+    is whether the plan's speedup at the largest factor exceeds the factor
+    itself (dedupe alone would only reach the factor; the margin comes from
+    the shared per-group candidate sets and vectorised distance matrices).
+    """
+    graph = load_dataset(dataset_name, scale=scale)
+    base = select_query_vertices(graph, count=base_queries, min_core=k, seed=9)
+    if not base:
+        print(f"  {dataset_name}: no queries with core number >= {k}, skipped")
+        return [], True, {}, False
+
+    planned_engine = QueryEngine(graph)
+    serial_engine = QueryEngine(graph)
+    # Warm both engines on the base batch so the sweep times query
+    # answering, not the one-off core decomposition and bundle builds.
+    planned_engine.search_many(base, k, algorithm="appfast", epsilon_f=epsilon_f)
+    serial_engine.search_many(
+        base, k, algorithm="appfast", plan=False, epsilon_f=epsilon_f
+    )
+    executor = ShardedExecutor(QueryEngine(graph), workers=workers)
+    service = SACService(graph, workers=workers)
+
+    rows = []
+    identical = True
+    speedup_by_factor = {}
+    for factor in factors:
+        batch = [query for _ in range(factor) for query in base]
+
+        start = time.perf_counter()
+        planned = planned_engine.search_many(
+            batch, k, algorithm="appfast", epsilon_f=epsilon_f
+        )
+        planned_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        serial = serial_engine.search_many(
+            batch, k, algorithm="appfast", plan=False, epsilon_f=epsilon_f
+        )
+        serial_time = time.perf_counter() - start
+
+        sharded = executor.run(
+            batch, k, algorithm="appfast", epsilon_f=epsilon_f
+        ).results
+        cached = service.submit_batch(
+            batch, k, algorithm="appfast", epsilon_f=epsilon_f
+        ).results
+
+        matches = _sweep_variants_identical(planned, serial, sharded, cached)
+        identical &= matches
+        speedup = serial_time / planned_time if planned_time > 0 else float("inf")
+        speedup_by_factor[factor] = speedup
+        rows.append(
+            {
+                "dataset": dataset_name,
+                "factor": factor,
+                "batch": len(batch),
+                "planned_perquery_ms": round(planned_time / len(batch) * 1000.0, 4),
+                "perquery_ms": round(serial_time / len(batch) * 1000.0, 4),
+                "plan_speedup": round(speedup, 2),
+                "identical": matches,
+            }
+        )
+    executor.close()
+    service.close()
+
+    stats = planned_engine.stats
+    counters = {
+        "batches_planned": stats.batches_planned,
+        "plan_groups": stats.plan_groups,
+        "queries_deduped": stats.queries_deduped,
+        "queries_factorised": stats.queries_factorised,
+    }
+    largest = max(factors)
+    superlinear = speedup_by_factor[largest] > largest
+    return rows, identical, counters, superlinear
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small CI smoke workload")
+    parser.add_argument(
+        "--overlap-sweep",
+        action="store_true",
+        help="sweep batch-overlap factors through the factorised planner "
+        "instead of running the three-path serving benchmark",
+    )
+    parser.add_argument(
+        "--overlap-factors",
+        default="1,2,4,8",
+        help="comma-separated duplication factors for --overlap-sweep",
+    )
+    parser.add_argument(
+        "--overlap-queries",
+        type=int,
+        default=None,
+        help="base (distinct) queries per --overlap-sweep batch",
+    )
     parser.add_argument("--scale", type=float, default=None, help="dataset scale multiplier")
     parser.add_argument("--queries", type=int, default=None, help="queries per batch")
     parser.add_argument("--rounds", type=int, default=None, help="repeat rounds per batch")
@@ -184,6 +313,60 @@ def main(argv=None) -> int:
     queries = args.queries if args.queries is not None else (16 if args.quick else 48)
     rounds = args.rounds if args.rounds is not None else (3 if args.quick else 4)
     names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+
+    if args.overlap_sweep:
+        factors = sorted(
+            {int(part) for part in args.overlap_factors.split(",") if part.strip()}
+        )
+        base_queries = (
+            args.overlap_queries
+            if args.overlap_queries is not None
+            else (12 if args.quick else 32)
+        )
+        dataset = names[0]
+        print(
+            f"batch-overlap sweep: dataset={dataset} scale={scale} "
+            f"base_queries={base_queries} factors={factors} workers={args.workers} "
+            f"k={args.k}"
+        )
+        rows, identical, counters, superlinear = run_overlap_sweep(
+            dataset,
+            scale=scale,
+            base_queries=base_queries,
+            factors=factors,
+            k=args.k,
+            epsilon_f=args.epsilon_f,
+            workers=args.workers,
+        )
+        write_result(
+            "sharded_batch_overlap",
+            "Batch-overlap sweep: factorised plan vs per-query path",
+            rows,
+            extra={
+                "counters": counters,
+                "largest_factor": max(factors),
+                "superlinear": superlinear,
+            },
+        )
+        if not identical:
+            print("FAIL: execution paths returned diverging results", file=sys.stderr)
+            return 1
+        if not rows:
+            print("FAIL: sweep produced no measurements", file=sys.stderr)
+            return 1
+        if counters["queries_factorised"] == 0 or counters["queries_deduped"] == 0:
+            print(
+                f"FAIL: plan factorisation counters stayed zero: {counters}",
+                file=sys.stderr,
+            )
+            return 1
+        status = "superlinear" if superlinear else "NOT superlinear (machine-dependent)"
+        largest = max(factors)
+        print(
+            f"overlap sweep: plan speedup {rows[-1]['plan_speedup']}x at factor "
+            f"{largest} — per-query cost drop {status}; counters {counters}"
+        )
+        return 0
 
     print(
         f"sharded batch benchmark: datasets={names} scale={scale} queries={queries} "

@@ -146,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--epsilon-f", type=float, default=0.5, help="AppFast slack")
     batch.add_argument("--epsilon-a", type=float, default=0.5, help="AppAcc / Exact+ accuracy")
+    batch.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="answer batch queries one by one instead of through the "
+        "factorised batch plan",
+    )
 
     serve = subparsers.add_parser(
         "serve-batch",
@@ -195,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dispatch shards by re-pickling arrays every batch instead of "
         "publishing shared-memory segments once",
+    )
+    serve.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="answer batch queries one by one instead of through the "
+        "factorised batch plan",
     )
 
     daemon = subparsers.add_parser(
@@ -262,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dispatch shards by re-pickling arrays every batch instead of "
         "publishing shared-memory segments once",
+    )
+    daemon.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="answer batch queries one by one instead of through the "
+        "factorised batch plan",
     )
     daemon.add_argument(
         "--static",
@@ -451,6 +469,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         algorithm_params=_algorithm_params(args),
         engine=engine,
+        use_plan=not args.no_plan,
     )
     queries = _batch_queries(args, graph)
     batch = processor.run(queries)
@@ -488,6 +507,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
         use_shared_memory=not args.no_shared_memory,
+        use_plan=not args.no_plan,
     )
     queries = _batch_queries(args, graph)
     params = _algorithm_params(args)
@@ -538,6 +558,13 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         f"engine         : {stats.engine.components_materialised} bundles built, "
         f"{stats.engine.core_decompositions} core decomposition(s)"
     )
+    if not args.no_plan:
+        print(
+            f"plan           : {stats.engine.batches_planned} batches planned, "
+            f"{stats.engine.plan_groups} groups, "
+            f"{stats.engine.queries_deduped} deduped, "
+            f"{stats.engine.queries_factorised} factorised"
+        )
     return 0 if answered else 1
 
 
@@ -554,6 +581,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
         use_shared_memory=not args.no_shared_memory,
+        use_plan=not args.no_plan,
     )
     try:
         warm_ks = sorted({int(part) for part in args.warm_ks.split(",") if part.strip()})

@@ -152,6 +152,7 @@ class QueryContext:
         k: int,
         *,
         artifacts: Optional[CandidateArtifacts] = None,
+        distance_array: Optional[np.ndarray] = None,
     ) -> None:
         validate_query(graph, query, k)
         self.graph = graph
@@ -172,10 +173,21 @@ class QueryContext:
         qx, qy = graph.position(query)
         self.query_point = Point(qx, qy)
         self._candidate_list = artifacts.candidate_list
-        deltas = artifacts.candidate_coords - np.array([qx, qy])
+        if distance_array is None:
+            deltas = artifacts.candidate_coords - np.array([qx, qy])
+            distance_array = np.hypot(deltas[:, 0], deltas[:, 1])
+        elif distance_array.shape != (artifacts.candidate_array.size,):
+            raise InvalidParameterError(
+                "distance_array must hold one distance per candidate "
+                f"({artifacts.candidate_array.size}), got shape {distance_array.shape}"
+            )
         #: Distance from the query to each candidate, aligned with
-        #: ``artifacts.candidate_array`` (ascending vertex index).
-        self.distance_array: np.ndarray = np.hypot(deltas[:, 0], deltas[:, 1])
+        #: ``artifacts.candidate_array`` (ascending vertex index).  A caller
+        #: supplying ``distance_array`` (the group executor of
+        #: :mod:`repro.engine.plan`, which computes whole groups in one
+        #: vectorised pass) must pass exactly what this constructor would
+        #: compute — the bit-identity of every downstream probe rests on it.
+        self.distance_array: np.ndarray = distance_array
         self._distances: Optional[Dict[int, float]] = None
         self._grid = artifacts.grid
         # Position of the query inside candidate_array (= its local CSR id).

@@ -13,9 +13,31 @@ Two engines share that cache design:
   updates; it mutates its bound graph in place and repairs (check-ins) or
   selectively invalidates (edge updates) the cached artifacts, so replaying
   a stream never pays for a full rebuild.
+
+Batch traffic adds a third concern — redundancy *within* one batch — and
+:mod:`repro.engine.plan` owns it: :func:`plan_batch` resolves a batch into
+a :class:`BatchPlan` (queries grouped by k-ĉore component, duplicates
+deduped, cache hits pruned) that the engine, the sharded executor, and the
+service all execute with the shared per-group work paid once.
 """
 
 from repro.engine.engine import EngineStats, QueryEngine
 from repro.engine.incremental import IncrementalEngine
+from repro.engine.plan import (
+    BatchPlan,
+    PlanGroup,
+    execute_group,
+    execute_plan,
+    plan_batch,
+)
 
-__all__ = ["QueryEngine", "IncrementalEngine", "EngineStats"]
+__all__ = [
+    "QueryEngine",
+    "IncrementalEngine",
+    "EngineStats",
+    "BatchPlan",
+    "PlanGroup",
+    "plan_batch",
+    "execute_group",
+    "execute_plan",
+]

@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.base import CandidateArtifacts, QueryContext, validate_query
 from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
+from repro.engine.plan import BatchPlan, execute_plan, plan_batch
 from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
 from repro.graph.spatial_graph import Label, SpatialGraph
 from repro.kcore.decomposition import core_numbers, gather_neighbors
@@ -57,9 +58,22 @@ class EngineStats:
     Attributes
     ----------
     queries_served:
-        SAC queries answered through :meth:`QueryEngine.search`.
+        SAC queries answered through :meth:`QueryEngine.search` or a
+        planned group execution (:mod:`repro.engine.plan`).
     contexts_served:
         Query contexts handed out from the caches.
+    batches_planned:
+        Batches resolved into a :class:`~repro.engine.plan.BatchPlan` by
+        :func:`repro.engine.plan.plan_batch`.
+    plan_groups:
+        ``(component, k)`` execution groups those plans produced (after
+        cache-hit pruning dropped the fully cached ones).
+    queries_deduped:
+        Batch occurrences answered by fanning out another occurrence's
+        result instead of recomputing — the plan-time dedupe saving.
+    queries_factorised:
+        Distinct queries answered through the factorised group executor
+        (:func:`repro.engine.plan.execute_group`) rather than one-by-one.
     components_materialised:
         ``(k, component)`` artifact bundles actually built — the gap to
         ``contexts_served`` is the work the engine saved.
@@ -102,6 +116,10 @@ class EngineStats:
 
     queries_served: int = 0
     contexts_served: int = 0
+    batches_planned: int = 0
+    plan_groups: int = 0
+    queries_deduped: int = 0
+    queries_factorised: int = 0
     components_materialised: int = 0
     core_decompositions: int = 0
     ks_labelled: List[int] = field(default_factory=list)
@@ -385,6 +403,7 @@ class QueryEngine:
         algorithm: str = "appfast",
         missing_ok: bool = True,
         errors: Optional[Dict[int, str]] = None,
+        plan: bool = True,
         **params: float,
     ) -> Dict[int, Optional[SACResult]]:
         """Answer a sequence of queries, mapping each to its result.
@@ -396,14 +415,50 @@ class QueryEngine:
         query is recorded there as ``query -> message`` and maps to ``None``
         in the result, so one bad query never discards the rest of the
         batch's answers; without ``errors`` the first such error raises,
-        exactly like a single :meth:`search` call.  For full batch
-        bookkeeping (timings, failure lists, shard/cache stats) use
-        :class:`repro.service.SACService`, which is built on this engine.
+        exactly like a single :meth:`search` call.
+
+        With ``plan`` (the default) the batch runs through the factorised
+        pipeline of :mod:`repro.engine.plan` — duplicates answered once,
+        queries grouped by k-ĉore component, each group's artifacts fetched
+        and distance matrix computed in one pass — with **bit-identical**
+        answers; ``plan=False`` restores the per-query loop (the reference
+        both the differential tests and the ``--no-plan`` escape hatches
+        compare against).  For full batch bookkeeping (timings, failure
+        lists, shard/cache stats) use :class:`repro.service.SACService`,
+        which is built on this engine.
         """
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
             )
+        if plan:
+            try:
+                batch_plan = plan_batch(
+                    self, queries, k, algorithm=algorithm, params=params
+                )
+            except InvalidParameterError:
+                if not isinstance(k, int) or k < 1:
+                    # An invalid k surfaces per *query* on the serial path
+                    # (each search call rejects it), which the errors dict
+                    # contract depends on; replay it rather than raising
+                    # batch-wide.
+                    return self._search_many_serial(
+                        queries, k, algorithm, missing_ok, errors, params
+                    )
+                raise
+            return self._assemble_planned(batch_plan, missing_ok, errors)
+        return self._search_many_serial(queries, k, algorithm, missing_ok, errors, params)
+
+    def _search_many_serial(
+        self,
+        queries: Sequence[int],
+        k: int,
+        algorithm: str,
+        missing_ok: bool,
+        errors: Optional[Dict[int, str]],
+        params: Dict[str, float],
+    ) -> Dict[int, Optional[SACResult]]:
+        """The pre-plan per-query loop: one :meth:`search` per occurrence."""
         results: Dict[int, Optional[SACResult]] = {}
         for query in queries:
             query = int(query)
@@ -417,5 +472,51 @@ class QueryEngine:
                 if errors is None:
                     raise
                 errors[query] = str(error)
+                results[query] = None
+        return results
+
+    def _assemble_planned(
+        self,
+        batch_plan: "BatchPlan",
+        missing_ok: bool,
+        errors: Optional[Dict[int, str]],
+    ) -> Dict[int, Optional[SACResult]]:
+        """Execute a plan and restore the per-query loop's raise semantics.
+
+        The serial loop raises at the *first* offending occurrence in
+        submission order; with plan-time classification that query is known
+        before anything executes, so the same exception is raised up front
+        (re-running the single-query path for a "no community" raise, so
+        even the error detail matches).
+        """
+        failed = set(batch_plan.failed)
+        for query in batch_plan.order:
+            if errors is None and query in batch_plan.errors:
+                raise batch_plan.errors[query]
+            if not missing_ok and query in failed:
+                # Raises NoCommunityError with exactly the single-query
+                # path's message (including the k == 1 no-neighbour detail).
+                self.search(
+                    query,
+                    batch_plan.k,
+                    algorithm=batch_plan.algorithm,
+                    **batch_plan.params,
+                )
+        exec_errors: Optional[Dict[int, str]] = None if errors is None else {}
+        computed = execute_plan(
+            self, batch_plan, errors=exec_errors, failed=batch_plan.failed
+        )
+        failed = set(batch_plan.failed)
+        results: Dict[int, Optional[SACResult]] = {}
+        for query in batch_plan.order:
+            if query in computed:
+                results[query] = computed[query]
+            elif query in batch_plan.errors:
+                errors[query] = str(batch_plan.errors[query])
+                results[query] = None
+            elif exec_errors and query in exec_errors:
+                errors[query] = exec_errors[query]
+                results[query] = None
+            else:
                 results[query] = None
         return results

@@ -61,6 +61,11 @@ class BatchSACProcessor:
         Keep a :class:`repro.service.AnswerCache` across batches on this
         processor.  Off by default: the processor historically recomputed
         repeat queries, and some callers time exactly that.
+    use_plan:
+        Resolve each batch through the factorised
+        :class:`repro.engine.plan.BatchPlan` pipeline (the default);
+        ``False`` (the CLI's ``--no-plan``) restores the per-query path.
+        Answers are bit-identical either way.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class BatchSACProcessor:
         engine: Optional[QueryEngine] = None,
         workers: Optional[int] = None,
         use_cache: bool = False,
+        use_plan: bool = True,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
@@ -88,7 +94,7 @@ class BatchSACProcessor:
         self.algorithm_params = dict(algorithm_params or {})
         self.engine = engine if engine is not None else QueryEngine(graph)
         self.service = SACService(
-            engine=self.engine, workers=workers, use_cache=use_cache
+            engine=self.engine, workers=workers, use_cache=use_cache, use_plan=use_plan
         )
 
     # ---------------------------------------------------------------- queries

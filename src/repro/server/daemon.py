@@ -175,12 +175,17 @@ class BatcherStats:
     ``flushes_*`` split says *why* batches closed: ``size`` flushes mean the
     server is saturated (raise ``max_batch_size``), ``linger`` flushes mean
     traffic is sparse, ``mutation`` flushes count write-barrier flushes, and
-    ``drain`` flushes happen only at shutdown.
+    ``drain`` flushes happen only at shutdown.  ``queries_deduped`` counts
+    coalesced queries that repeated a vertex already pending in the same
+    group — the occurrences the batch plan answers by fan-out instead of
+    recomputation (the engine-side twin is
+    ``EngineStats.queries_deduped``).
     """
 
     queries_coalesced: int = 0
     batches_dispatched: int = 0
     largest_batch: int = 0
+    queries_deduped: int = 0
     flushes_size: int = 0
     flushes_linger: int = 0
     flushes_mutation: int = 0
@@ -449,6 +454,7 @@ class SACServer:
         stats.batches_dispatched += 1
         stats.queries_coalesced += len(entries)
         stats.largest_batch = max(stats.largest_batch, len(entries))
+        stats.queries_deduped += len(entries) - len({entry.vertex for entry in entries})
         setattr(stats, f"flushes_{reason}", getattr(stats, f"flushes_{reason}") + 1)
         k, algorithm, params = key
         vertices = [entry.vertex for entry in entries]
@@ -689,14 +695,22 @@ class SACServer:
         }
 
     async def _handle_stats(self, request: Request) -> Tuple[int, dict]:
-        """``GET /stats`` — endpoint, batcher, and service counters."""
+        """``GET /stats`` — endpoint, batcher, plan, and service counters."""
         service_stats = self.service.stats()
+        engine_stats = service_stats.engine
         return 200, {
             "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
             "endpoints": {
                 name: stats.as_dict() for name, stats in sorted(self.endpoint_stats.items())
             },
             "batcher": asdict(self.batcher_stats),
+            "plan": {
+                "enabled": self.service.use_plan,
+                "batches_planned": engine_stats.batches_planned,
+                "groups": engine_stats.plan_groups,
+                "queries_deduped": engine_stats.queries_deduped,
+                "queries_factorised": engine_stats.queries_factorised,
+            },
             "engine": asdict(service_stats.engine),
             "executor": asdict(service_stats.executor),
             "cache": asdict(service_stats.cache) if service_stats.cache is not None else None,

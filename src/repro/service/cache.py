@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.result import SACResult
 from repro.engine import QueryEngine
@@ -186,6 +186,87 @@ class AnswerCache:
         )
         self._entries.move_to_end(key)
         self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def lookup_group(
+        self,
+        engine: QueryEngine,
+        queries: Sequence[int],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+        *,
+        representative: int,
+        version: int,
+    ) -> Tuple[Dict[int, SACResult], List[int]]:
+        """Group-level lookup: split one plan group into ``(hits, misses)``.
+
+        All queries of a :class:`repro.engine.plan.PlanGroup` share one
+        component, so the planner resolves the ``(representative, version)``
+        pair once per group and this lookup only compares stored stamps
+        against it — no per-query ``component_of`` walk.  Validation is the
+        same as :meth:`lookup`: a stamp mismatch (the vertex changed
+        component, or the component's artifacts moved) drops the entry and
+        reports a miss.  Hits carry fresh stats-dict copies, misses keep the
+        group's first-seen query order.
+        """
+        hits: Dict[int, SACResult] = {}
+        misses: List[int] = []
+        if k == 1:
+            self.stats.uncacheable += len(queries)
+            return hits, list(queries)
+        for query in queries:
+            query = int(query)
+            key = self._key(engine, query, k, algorithm, params)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                misses.append(query)
+                continue
+            result, stored_rep, stored_version = entry
+            if stored_rep != int(representative) or stored_version != int(version):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                misses.append(query)
+                continue
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            hits[query] = replace(result, stats=dict(result.stats))
+        return hits, misses
+
+    def store_group(
+        self,
+        engine: QueryEngine,
+        results: Dict[int, SACResult],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+        *,
+        representative: int,
+        version: int,
+    ) -> None:
+        """Group-level fill: cache one plan group's freshly computed answers.
+
+        The counterpart of :meth:`lookup_group`: every entry is stamped with
+        the group's ``(representative, version)`` resolved at plan time —
+        one version read per group instead of one ``component_of`` per
+        answer.  LRU eviction runs once after the whole group is written.
+        """
+        if k == 1:
+            self.stats.uncacheable += len(results)
+            return
+        for query, result in results.items():
+            key = self._key(engine, query, k, algorithm, params)
+            self._entries[key] = (
+                replace(result, stats=dict(result.stats)),
+                int(representative),
+                int(version),
+            )
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
 from repro.engine import EngineStats, IncrementalEngine, QueryEngine
+from repro.engine.plan import plan_batch
 from repro.exceptions import InvalidParameterError
 from repro.graph.spatial_graph import SpatialGraph
 from repro.service.cache import AnswerCache, CacheStats
@@ -68,6 +69,12 @@ class SACService:
         Forwarded to :class:`~repro.service.sharding.ShardedExecutor`:
         publish shard artifacts once into shared-memory segments (default)
         instead of re-pickling them every batch.
+    use_plan:
+        Resolve each batch into a :class:`repro.engine.plan.BatchPlan`
+        before executing (the default): duplicates answered once, cache
+        lookups and fills done group-at-a-time, the serial path factorised
+        per component.  ``False`` (the CLI's ``--no-plan``) restores the
+        pre-plan per-query pipeline; answers are bit-identical either way.
     pool_factory:
         Forwarded to :class:`~repro.service.sharding.ShardedExecutor`.
 
@@ -89,15 +96,18 @@ class SACService:
         use_cache: bool = True,
         cache_capacity: int = 4096,
         use_shared_memory: bool = True,
+        use_plan: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
     ) -> None:
         if (graph is None) == (engine is None):
             raise InvalidParameterError("pass exactly one of graph or engine")
         self.engine = engine if engine is not None else QueryEngine(graph)
+        self.use_plan = bool(use_plan)
         self.executor = ShardedExecutor(
             self.engine,
             workers=workers,
             use_shared_memory=use_shared_memory,
+            use_plan=use_plan,
             pool_factory=pool_factory,
         )
         self.cache: Optional[AnswerCache] = (
@@ -134,6 +144,7 @@ class SACService:
         use_cache: bool = True,
         cache_capacity: int = 4096,
         use_shared_memory: bool = True,
+        use_plan: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
     ) -> "SACService":
         """Open a service over a snapshot written by :meth:`save`.
@@ -152,6 +163,7 @@ class SACService:
             use_cache=use_cache,
             cache_capacity=cache_capacity,
             use_shared_memory=use_shared_memory,
+            use_plan=use_plan,
             pool_factory=pool_factory,
         )
 
@@ -193,11 +205,19 @@ class SACService:
         (which are stored back into the cache) into one
         :class:`BatchResult`; ``cache_hits`` counts the queries that never
         reached the executor.
+
+        With ``use_plan`` (the default) the whole pipeline is driven by one
+        :class:`repro.engine.plan.BatchPlan`: duplicates and cache hits are
+        resolved at plan time (group-level lookups), the executor runs only
+        the surviving groups, and freshly computed answers are stored back
+        group-at-a-time.
         """
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
             )
+        if self.use_plan:
+            return self._submit_batch_planned(queries, k, algorithm, params)
         if self.cache is None:
             return self.executor.run(queries, k, algorithm=algorithm, **params)
 
@@ -226,6 +246,39 @@ class SACService:
             batch = BatchResult()
         batch.results.update(hits)
         batch.cache_hits = hit_count
+        batch.elapsed_seconds = perf_counter() - start
+        return batch
+
+    def _submit_batch_planned(
+        self,
+        queries: Sequence[int],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+    ) -> BatchResult:
+        """The plan-driven batch pipeline: plan -> execute groups -> fill cache."""
+        start = perf_counter()
+        plan = plan_batch(
+            self.engine, queries, k, algorithm=algorithm, params=params, cache=self.cache
+        )
+        batch = self.executor.run_plan(plan)
+        if self.cache is not None:
+            for group in plan.groups:
+                computed = {
+                    query: batch.results[query]
+                    for query in group.queries
+                    if query in batch.results
+                }
+                if computed:
+                    self.cache.store_group(
+                        self.engine,
+                        computed,
+                        k,
+                        algorithm,
+                        params,
+                        representative=group.representative,
+                        version=group.version,
+                    )
         batch.elapsed_seconds = perf_counter() - start
         return batch
 

@@ -41,6 +41,13 @@ class BatchResult:
     cache_hits:
         Queries answered straight from the :class:`repro.service.AnswerCache`
         (0 when the executing surface has no cache).
+    deduped:
+        Occurrences answered by fanning out another occurrence's result —
+        duplicate ``(query, k, algorithm, params)`` entries the batch plan
+        resolved without recomputing (0 on the ``--no-plan`` path).
+    plan_groups:
+        ``(component, k)`` execution groups the batch plan produced after
+        cache-hit pruning (0 on the ``--no-plan`` path).
     """
 
     results: Dict[int, SACResult] = field(default_factory=dict)
@@ -49,6 +56,8 @@ class BatchResult:
     elapsed_seconds: float = 0.0
     shared_preprocessing_seconds: float = 0.0
     cache_hits: int = 0
+    deduped: int = 0
+    plan_groups: int = 0
 
     @property
     def answered(self) -> int:

@@ -54,6 +54,7 @@ from repro.core.base import CandidateArtifacts, QueryContext
 from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
 from repro.engine import QueryEngine
+from repro.engine.plan import BatchPlan, execute_group, plan_batch
 from repro.exceptions import InvalidParameterError, NoCommunityError, ReproError
 from repro.geometry.grid import GridIndex
 from repro.graph.spatial_graph import SpatialGraph
@@ -374,6 +375,14 @@ class ShardedExecutor:
         the executor's remaining lifetime (counted in
         ``stats.shm_fallbacks``), so an shm-less platform pays the failed
         attempt once, not per batch.
+    use_plan:
+        Resolve each batch into a :class:`repro.engine.plan.BatchPlan`
+        first (the default): duplicates answered once, queries grouped by
+        component at plan time, and the serial path executed through the
+        factorised group executor.  ``False`` restores the pre-plan
+        per-query partition-and-loop — the reference the differential tests
+        and the ``--no-plan`` CLI escape hatch compare against.  Answers
+        are bit-identical either way.
     pool_factory:
         Callable ``workers -> pool`` (anything with ``map``; ``shutdown`` is
         honoured if present).  The pool is created lazily on the first
@@ -404,6 +413,7 @@ class ShardedExecutor:
         workers: Optional[int] = None,
         min_parallel_queries: int = 2,
         use_shared_memory: bool = True,
+        use_plan: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
     ) -> None:
         if workers is not None and (not isinstance(workers, int) or workers < 0):
@@ -414,6 +424,7 @@ class ShardedExecutor:
         self.workers = int(workers) if workers else 0
         self.min_parallel_queries = int(min_parallel_queries)
         self.use_shared_memory = bool(use_shared_memory)
+        self.use_plan = bool(use_plan)
         self.pool_factory = pool_factory
         self.stats = ExecutorStats()
         self._pool = None
@@ -488,10 +499,19 @@ class ShardedExecutor:
         :class:`BatchResult`: out-of-range vertices land in ``errors``,
         vertices outside every k-core in ``failed``, and the merged results
         are bit-identical regardless of the path taken.
+
+        With ``use_plan`` (the default) the batch is first resolved by
+        :func:`repro.engine.plan.plan_batch` and executed via
+        :meth:`run_plan`; the legacy partition below is the ``--no-plan``
+        reference path.
         """
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        if self.use_plan:
+            return self.run_plan(
+                plan_batch(self.engine, queries, k, algorithm=algorithm, params=params)
             )
         start = perf_counter()
         batch = BatchResult()
@@ -539,6 +559,59 @@ class ShardedExecutor:
 
         batch.elapsed_seconds = perf_counter() - start
         return batch
+
+    def run_plan(self, plan: BatchPlan) -> BatchResult:
+        """Execute a resolved :class:`~repro.engine.plan.BatchPlan`.
+
+        The executor's half of the three-stage pipeline: the plan already
+        classified every occurrence (errors, failures, duplicates, cache
+        hits), so this method only executes the surviving groups — on the
+        pool when the batch qualifies (shards are exactly the plan groups,
+        so shared-memory segments are fetched once per group), serially
+        through the factorised group executor otherwise or after a pool
+        failure.  Plan-resolved answers (``plan.cached``) are merged into
+        the returned :class:`BatchResult`, whose ``deduped`` / ``plan_groups``
+        fields carry the factorisation accounting.
+        """
+        start = perf_counter()
+        batch = BatchResult()
+        batch.shared_preprocessing_seconds = plan.planning_seconds
+        batch.errors.update(plan.error_messages())
+        batch.failed.extend(plan.failed)
+        batch.deduped = plan.deduped
+        batch.plan_groups = len(plan.groups)
+        batch.cache_hits = plan.cache_hits
+
+        eligible = plan.planned
+        if plan.k > 1 and self.workers >= 2 and eligible >= self.min_parallel_queries:
+            shards = {group.component: list(group.queries) for group in plan.groups}
+            try:
+                self._run_parallel(shards, plan.k, plan.algorithm, plan.params, batch)
+                self.stats.batches_parallel += 1
+                self.stats.queries_parallel += eligible
+            except ReproError:
+                # Deterministic per-query errors (bad algorithm parameters)
+                # raised inside a worker are the caller's to see — the
+                # serial path would raise exactly the same.
+                raise
+            except Exception:
+                self.close()
+                self.stats.serial_fallbacks += 1
+                self._run_serial_plan(plan, batch)
+        elif eligible:
+            self._run_serial_plan(plan, batch)
+        batch.results.update(plan.cached)
+        batch.elapsed_seconds = plan.planning_seconds + (perf_counter() - start)
+        return batch
+
+    def _run_serial_plan(self, plan: BatchPlan, batch: BatchResult) -> None:
+        """Answer the plan's groups in-process via the factorised executor."""
+        self.stats.batches_serial += 1
+        for group in plan.groups:
+            batch.results.update(
+                execute_group(self.engine, plan, group, failed=batch.failed)
+            )
+            self.stats.queries_serial += len(group.queries)
 
     # ----------------------------------------------------------------- shards
     def _shard_chunks(self, shards: Dict[int, List[int]]) -> List[Tuple[int, List[int]]]:

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Diff emitted ``BENCH_*.json`` benchmark results against committed baselines.
+
+Every benchmark run writes a machine-readable ``BENCH_<benchmark>.json`` at
+the repo root (see ``benchmarks/bench_common.write_result``); the blessed
+reference copies live under ``benchmarks/baselines``.  This checker compares
+the two with a **tolerance band**: structure must match exactly — sections,
+row counts, and every string/int/bool cell (so dataset names, query counts,
+and above all the ``identical`` bit-identity flags cannot silently change) —
+while float cells (timings, queries/sec, speedups) only need to land within
+a relative factor of the baseline, because absolute performance varies
+across machines.
+
+Exit status 0 when every baseline is matched; 1 with a
+``file: section[row].key: message`` listing otherwise.
+
+Usage::
+
+    python tools/compare_bench.py [--tolerance 20] [baseline ...]
+
+Defaults to every ``benchmarks/baselines/BENCH_*.json``, each compared
+against the repo-root file of the same name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINES_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+
+def _within_band(baseline: float, current: float, tolerance: float) -> bool:
+    """Relative tolerance check handling zero and sign gracefully."""
+    if baseline == current:
+        return True
+    if baseline == 0.0 or current == 0.0:
+        # A measurement collapsing to (or appearing from) zero is a real
+        # structural change, not machine noise.
+        return False
+    if (baseline < 0.0) != (current < 0.0):
+        return False
+    ratio = abs(current) / abs(baseline)
+    return 1.0 / tolerance <= ratio <= tolerance
+
+
+def _compare_cell(
+    path: str, baseline: object, current: object, tolerance: float
+) -> List[str]:
+    """Compare one row cell; floats get the band, everything else is exact."""
+    numeric = isinstance(baseline, (int, float)) and not isinstance(baseline, bool)
+    numeric &= isinstance(current, (int, float)) and not isinstance(current, bool)
+    if numeric and (isinstance(baseline, float) or isinstance(current, float)):
+        if not _within_band(float(baseline), float(current), tolerance):
+            return [
+                f"{path}: {current!r} outside {tolerance}x tolerance band "
+                f"of baseline {baseline!r}"
+            ]
+        return []
+    if baseline != current:
+        return [f"{path}: expected {baseline!r}, got {current!r}"]
+    return []
+
+
+def compare_payloads(
+    name: str, baseline: Dict, current: Dict, tolerance: float
+) -> List[str]:
+    """Return a list of mismatch messages between two BENCH payloads."""
+    problems: List[str] = []
+    base_sections = baseline.get("sections", {})
+    curr_sections = current.get("sections", {})
+    for section, base_body in sorted(base_sections.items()):
+        if section not in curr_sections:
+            problems.append(f"{name}: section {section!r} missing from current run")
+            continue
+        base_rows = base_body.get("rows", [])
+        curr_rows = curr_sections[section].get("rows", [])
+        if len(base_rows) != len(curr_rows):
+            problems.append(
+                f"{name}: {section}: expected {len(base_rows)} rows, "
+                f"got {len(curr_rows)}"
+            )
+            continue
+        for index, (base_row, curr_row) in enumerate(zip(base_rows, curr_rows)):
+            if set(base_row) != set(curr_row):
+                problems.append(
+                    f"{name}: {section}[{index}]: column mismatch "
+                    f"({sorted(base_row)} vs {sorted(curr_row)})"
+                )
+                continue
+            for key in sorted(base_row):
+                problems.extend(
+                    _compare_cell(
+                        f"{name}: {section}[{index}].{key}",
+                        base_row[key],
+                        curr_row[key],
+                        tolerance,
+                    )
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "baselines",
+        nargs="*",
+        type=Path,
+        help="baseline JSON files (default: benchmarks/baselines/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=20.0,
+        help="relative factor float cells may drift from the baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 1.0:
+        parser.error(f"--tolerance must be >= 1, got {args.tolerance}")
+
+    baselines = args.baselines or sorted(BASELINES_DIR.glob("BENCH_*.json"))
+    if not baselines:
+        print("no baselines found under benchmarks/baselines", file=sys.stderr)
+        return 1
+
+    problems: List[str] = []
+    for baseline_path in baselines:
+        current_path = REPO_ROOT / baseline_path.name
+        if not current_path.exists():
+            problems.append(
+                f"{baseline_path.name}: no current run at {current_path} "
+                "(run the benchmark first)"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        current = json.loads(current_path.read_text(encoding="utf-8"))
+        mismatches = compare_payloads(
+            baseline_path.name, baseline, current, args.tolerance
+        )
+        problems.extend(mismatches)
+        status = "OK" if not mismatches else f"{len(mismatches)} mismatch(es)"
+        print(f"{baseline_path.name}: {status}")
+
+    if problems:
+        print(f"\n{len(problems)} problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
