@@ -208,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer batch queries one by one instead of through the "
         "factorised batch plan",
     )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-round deadline budget: answer each batch through the SLO "
+        "algorithm ladder, --algorithm becoming the quality ceiling",
+    )
 
     daemon = subparsers.add_parser(
         "serve",
@@ -285,6 +292,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--static",
         action="store_true",
         help="serve a read-only QueryEngine (mutation endpoints answer 400)",
+    )
+    daemon.add_argument(
+        "--slo",
+        action="store_true",
+        help="calibrate the SLO cost model at start-up for every --warm-ks "
+        "threshold, so the first deadline-carrying request pays no probes",
+    )
+    daemon.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to /query and /batch requests that carry no "
+        "deadline_ms of their own (default: best-effort, no deadline)",
+    )
+    daemon.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        help="admission limit per lane: queued queries beyond this are "
+        "refused with HTTP 429 + Retry-After",
+    )
+    daemon.add_argument(
+        "--retry-after-seconds",
+        type=float,
+        default=1.0,
+        help="the Retry-After backoff advertised on 429 responses",
     )
 
     track = subparsers.add_parser(
@@ -500,6 +533,10 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
     if args.rounds < 1:
         raise InvalidParameterError(f"--rounds must be at least 1, got {args.rounds}")
+    if args.deadline_ms is not None and not args.deadline_ms > 0:
+        raise InvalidParameterError(
+            f"--deadline-ms must be positive, got {args.deadline_ms}"
+        )
     engine = _load_engine(args, QueryEngine)
     graph = engine.graph
     service = SACService(
@@ -514,14 +551,21 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
     mode = f"{args.workers} workers" if args.workers and args.workers >= 2 else "serial"
     cache_mode = "no cache" if args.no_cache else "answer cache on"
-    print(f"algorithm      : {args.algorithm} (k={args.k}, {mode}, {cache_mode})")
+    role = "quality ceiling" if args.deadline_ms is not None else "algorithm"
+    print(f"algorithm      : {args.algorithm} ({role}; k={args.k}, {mode}, {cache_mode})")
+    if args.deadline_ms is not None:
+        print(f"deadline       : {args.deadline_ms:g} ms per round (SLO ladder on)")
     print(f"queries        : {len(queries)} per round, {args.rounds} round(s)")
     answered = 0
     try:
         for round_index in range(args.rounds):
             start = time.perf_counter()
             batch = service.submit_batch(
-                queries, args.k, algorithm=args.algorithm, **params
+                queries,
+                args.k,
+                algorithm=args.algorithm,
+                deadline_ms=args.deadline_ms,
+                **params,
             )
             elapsed = time.perf_counter() - start
             answered = batch.answered
@@ -531,6 +575,14 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                 f"{len(batch.failed)} without community, {len(batch.errors)} errors, "
                 f"{batch.cache_hits} cache hits, {elapsed:.4f}s ({rate:.1f} q/s)"
             )
+            if args.deadline_ms is not None:
+                rungs: dict = {}
+                for rung in batch.algorithm_used.values():
+                    rungs[rung] = rungs.get(rung, 0) + 1
+                missed = sum(1 for late in batch.deadline_missed.values() if late)
+                print(
+                    f"    slo: rungs {rungs}, {missed} answers past the deadline"
+                )
             for query, message in sorted(batch.errors.items()):
                 print(f"    error vertex {query}: {message}", file=sys.stderr)
     finally:
@@ -598,6 +650,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_batch_queries=args.max_batch_queries,
         warm_ks=warm_ks,
         snapshot_path=args.snapshot_to,
+        slo_enabled=args.slo,
+        default_deadline_ms=args.default_deadline_ms,
+        max_queue_depth=args.max_queue_depth,
+        retry_after_seconds=args.retry_after_seconds,
     )
 
     async def _run() -> None:

@@ -329,6 +329,30 @@ class QueryEngine:
         """
         return self._bundle_versions.get((k, int(representative)), 0)
 
+    def bundle_resident(self, k: int, representative: int) -> bool:
+        """Whether the ``(k, representative)`` artifact bundle is materialised.
+
+        A pure cache probe — never builds anything.  The SLO cost model
+        (:mod:`repro.service.slo`) reads this to charge a bundle-build
+        surcharge to groups whose artifacts a query would have to
+        materialise first.
+        """
+        return (int(k), int(representative)) in self._artifacts
+
+    def component_size(self, k: int, component: int) -> int:
+        """Member count of one k-ĉore component in the current labelling.
+
+        ``component`` indexes the labelling of :meth:`component_labels`;
+        raises :class:`InvalidParameterError` when it is out of range.  The
+        SLO cost model uses this as its primary cost feature.
+        """
+        labels, count = self.component_labels(k)
+        if not 0 <= int(component) < count:
+            raise InvalidParameterError(
+                f"component {component!r} is out of range for k={k} ({count} components)"
+            )
+        return int(np.count_nonzero(labels == int(component)))
+
     def component_artifacts(self, k: int, component: int) -> CandidateArtifacts:
         """Return the cached artifact bundle of one ``(k, component)``.
 

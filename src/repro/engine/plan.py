@@ -83,12 +83,27 @@ class PlanGroup:
     queries:
         The distinct query vertices to compute, in first-seen batch order.
         Cache-hit pruning removes entries; a group can end up empty.
+    algorithm / params:
+        Optional per-group overrides of the plan-wide search arguments.
+        ``None`` (the default) inherits the plan's; the SLO ladder
+        (:mod:`repro.service.slo`) sets them when a deadline buys this
+        group a different rung than the batch requested.
     """
 
     component: int
     representative: int
     version: int
     queries: List[int] = field(default_factory=list)
+    algorithm: Optional[str] = None
+    params: Optional[Dict[str, float]] = None
+
+    def effective_algorithm(self, plan: "BatchPlan") -> str:
+        """The algorithm this group executes under (override or plan-wide)."""
+        return self.algorithm if self.algorithm is not None else plan.algorithm
+
+    def effective_params(self, plan: "BatchPlan") -> Dict[str, float]:
+        """The parameters this group executes under (override or plan-wide)."""
+        return self.params if self.params is not None else plan.params
 
 
 @dataclass
@@ -288,8 +303,15 @@ def execute_group(
     single-query contract) or are recorded there as ``query -> message``;
     queries whose community evaporated since planning land in ``failed``
     when a list is supplied.
+
+    A group carrying an :attr:`PlanGroup.algorithm` / :attr:`PlanGroup.params`
+    override executes under those instead of the plan-wide arguments — the
+    hook the SLO ladder uses to answer each group at the rung its deadline
+    affords.
     """
-    run = ALGORITHMS[plan.algorithm]
+    algorithm = group.effective_algorithm(plan)
+    group_params = group.effective_params(plan)
+    run = ALGORITHMS[algorithm]
     graph = engine.graph
     stats = getattr(engine, "stats", None)
     results: Dict[int, SACResult] = {}
@@ -302,7 +324,7 @@ def execute_group(
     if plan.k == 1:
         for query in group.queries:
             try:
-                results[query] = run(graph, query, 1, **plan.params)
+                results[query] = run(graph, query, 1, **group_params)
             except NoCommunityError as error:
                 if failed is None:
                     raise error  # pragma: no cover - labels admitted the query
@@ -333,7 +355,7 @@ def execute_group(
                 if stats is not None:
                     stats.contexts_served += 1
                 results[query] = run(
-                    graph, query, plan.k, context=context, **plan.params
+                    graph, query, plan.k, context=context, **group_params
                 )
             except NoCommunityError as error:  # pragma: no cover - labels admitted it
                 if failed is None:

@@ -20,12 +20,20 @@ from typing import Dict, List, Optional, Sequence
 
 
 class ServerError(Exception):
-    """A non-2xx response from the daemon, carrying status and server message."""
+    """A non-2xx response from the daemon, carrying status and server message.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` is the parsed ``Retry-After`` header in seconds (set on
+    admission-control 429s, ``None`` otherwise) — a well-behaved client
+    backs off that long before resending.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: Optional[float] = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class SACClient:
@@ -94,7 +102,18 @@ class SACClient:
         except json.JSONDecodeError:
             raise ServerError(response.status, f"non-JSON response: {raw[:120]!r}") from None
         if response.status >= 400:
-            raise ServerError(response.status, decoded.get("error", raw.decode("utf-8", "replace")))
+            retry_after: Optional[float] = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            raise ServerError(
+                response.status,
+                decoded.get("error", raw.decode("utf-8", "replace")),
+                retry_after=retry_after,
+            )
         return decoded
 
     def close(self) -> None:
@@ -115,11 +134,23 @@ class SACClient:
         vertex: object,
         k: int = 4,
         *,
-        algorithm: str = "appfast",
+        algorithm: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
         params: Optional[Dict[str, float]] = None,
     ) -> dict:
-        """``POST /query`` — answer one SAC query (label-addressed)."""
-        body: dict = {"vertex": vertex, "k": k, "algorithm": algorithm}
+        """``POST /query`` — answer one SAC query (label-addressed).
+
+        ``deadline_ms`` opts the query into SLO serving: the daemon answers
+        at the best ladder rung that fits the budget and reports
+        ``algorithm_used`` / ``bound`` / ``deadline_missed``.  ``algorithm``
+        defaults to the server's choice — ``appfast`` best-effort, the
+        ``exact+`` quality ceiling under a deadline.
+        """
+        body: dict = {"vertex": vertex, "k": k}
+        if algorithm is not None:
+            body["algorithm"] = algorithm
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
         if params:
             body["params"] = dict(params)
         return self._request("POST", "/query", body)
@@ -129,11 +160,20 @@ class SACClient:
         vertices: Sequence[object],
         k: int = 4,
         *,
-        algorithm: str = "appfast",
+        algorithm: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
         params: Optional[Dict[str, float]] = None,
     ) -> dict:
-        """``POST /batch`` — answer an explicit batch as one unit."""
-        body: dict = {"vertices": list(vertices), "k": k, "algorithm": algorithm}
+        """``POST /batch`` — answer an explicit batch as one unit.
+
+        ``deadline_ms`` applies one budget to the whole batch (SLO mode);
+        see :meth:`query` for the ``algorithm`` default.
+        """
+        body: dict = {"vertices": list(vertices), "k": k}
+        if algorithm is not None:
+            body["algorithm"] = algorithm
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
         if params:
             body["params"] = dict(params)
         return self._request("POST", "/batch", body)

@@ -22,6 +22,18 @@ network server.  Three ideas organise it:
   pre-mutation graph, queries received after against the post-mutation
   graph, and the engine's component-version counters invalidate exactly
   the cached answers the mutation could have changed.
+* **SLO serving** — a request carrying ``deadline_ms`` (or a server-wide
+  ``--default-deadline-ms``) rides the **deadline lane**: its micro-batch
+  group jumps ahead of queued best-effort batches (never ahead of
+  mutations — the write barrier stays a fence, so bit-identity to
+  arrival-order replay is preserved: reads commute with reads), and the
+  service answers it through the calibrated algorithm ladder
+  (:mod:`repro.service.slo`), shedding to faster rungs as the budget
+  drains.  Every answer reports ``algorithm_used``, its approximation
+  ``bound``, and ``deadline_missed``.  **Admission control** backs the
+  lanes: each lane admits at most ``max_queue_depth`` unanswered queries
+  and refuses the rest with ``429`` + ``Retry-After`` — so overload sheds
+  quality first (the ladder), then admission, and never latency-by-hanging.
 * **Operability** — warm start from an :class:`repro.store.ArtifactStore`
   snapshot (``SACService.open``), snapshot-to-store on ``SIGUSR1`` and on
   shutdown, graceful drain (pending queries are flushed and answered, the
@@ -39,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import math
 import signal
 import sys
 import threading
@@ -59,30 +72,22 @@ from repro.server.http import (
 )
 from repro.service import SACService
 from repro.service.results import BatchResult
+from repro.service.slo import (
+    DEFAULT_CEILING,
+    algorithm_parameter_names as _algorithm_parameter_names,
+    approximation_bound,
+    ladder_from,
+    params_for,
+)
 
-#: Pending micro-batch group key: (k, algorithm, canonicalised params).
-BatchKey = Tuple[int, str, Tuple[Tuple[str, float], ...]]
+#: The two admission lanes: deadline-carrying traffic vs best-effort.
+LANE_DEADLINE = "deadline"
+LANE_BESTEFFORT = "besteffort"
 
-
-def _algorithm_parameter_names(algorithm: str) -> frozenset:
-    """Keyword parameters ``algorithm`` accepts (beyond graph/query/k/context).
-
-    Derived from the callable's signature so the server's 400-validation can
-    never drift from what the algorithms take — an unknown name must be
-    refused at parse time, not explode as a ``TypeError`` inside the writer.
-    """
-    import inspect
-
-    names = []
-    for parameter in inspect.signature(ALGORITHMS[algorithm]).parameters.values():
-        if parameter.name in ("graph", "query", "k", "context"):
-            continue
-        if parameter.kind in (
-            inspect.Parameter.POSITIONAL_OR_KEYWORD,
-            inspect.Parameter.KEYWORD_ONLY,
-        ):
-            names.append(parameter.name)
-    return frozenset(names)
+#: Pending micro-batch group key: (k, algorithm, canonicalised params, lane).
+#: Deadline traffic never coalesces with best-effort traffic — the lanes
+#: have different flush urgency and different ``submit_batch`` arguments.
+BatchKey = Tuple[int, str, Tuple[Tuple[str, float], ...], str]
 
 #: A handler returns (HTTP status, JSON payload).
 Handler = Callable[[Request], Awaitable[Tuple[int, dict]]]
@@ -120,6 +125,21 @@ class ServerConfig:
     drain_timeout_seconds:
         How long :meth:`SACServer.stop` waits for in-flight requests to
         complete before closing their connections anyway.
+    slo_enabled:
+        Calibrate the service's SLO cost model at start-up for every warmed
+        ``k`` (the CLI's ``--slo``), so the first deadline-carrying request
+        never pays for probe queries.  Per-request ``deadline_ms`` is
+        honoured either way — this knob only moves the calibration cost.
+    default_deadline_ms:
+        Deadline applied to ``/query`` and ``/batch`` requests that do not
+        carry their own ``deadline_ms``; ``None`` (the default) leaves such
+        requests on the best-effort explicit-algorithm path.
+    max_queue_depth:
+        Admission limit per lane: at most this many admitted-but-unanswered
+        queries may be queued per lane before further requests are refused
+        with ``429`` + ``Retry-After``.
+    retry_after_seconds:
+        The ``Retry-After`` delay advertised on 429 responses.
     """
 
     host: str = "127.0.0.1"
@@ -131,6 +151,10 @@ class ServerConfig:
     warm_ks: Sequence[int] = ()
     snapshot_path: Optional[str] = None
     drain_timeout_seconds: float = 10.0
+    slo_enabled: bool = False
+    default_deadline_ms: Optional[float] = None
+    max_queue_depth: int = 1024
+    retry_after_seconds: float = 1.0
 
 
 @dataclass
@@ -190,6 +214,10 @@ class BatcherStats:
     flushes_linger: int = 0
     flushes_mutation: int = 0
     flushes_drain: int = 0
+    queries_deadline: int = 0
+    queries_besteffort: int = 0
+    rejected_deadline: int = 0
+    rejected_besteffort: int = 0
 
 
 @dataclass
@@ -198,6 +226,8 @@ class _PendingQuery:
 
     vertex: int
     future: "asyncio.Future[BatchResult]"
+    deadline_ms: Optional[float] = None
+    arrived: float = 0.0
 
 
 @dataclass
@@ -208,6 +238,70 @@ class _Job:
     run: Callable[[], object]
     entries: List[_PendingQuery] = field(default_factory=list)
     future: Optional["asyncio.Future[object]"] = None
+    urgent: bool = False
+
+
+class _JobQueue:
+    """Single-consumer FIFO job queue with a deadline fast lane.
+
+    Drop-in for the ``asyncio.Queue`` subset the writer uses
+    (``put_nowait`` / ``get`` / ``task_done`` / ``join`` / ``empty``), plus
+    one twist: a job enqueued with ``urgent=True`` is inserted ahead of the
+    queued **best-effort batch** jobs but never ahead of another urgent job
+    (deadline traffic stays FIFO among itself) and never ahead of a
+    ``mutate`` / ``snapshot`` job.  Mutations are fences: reads may be
+    reordered among reads between two fences without changing any answer
+    (they don't mutate the graph), so the daemon's bit-identity-to-
+    arrival-order guarantee survives the fast lane.
+    """
+
+    def __init__(self) -> None:
+        from collections import deque
+
+        self._jobs: "deque[_Job]" = deque()
+        self._not_empty = asyncio.Event()
+        self._all_done = asyncio.Event()
+        self._all_done.set()
+        self._unfinished = 0
+
+    def put_nowait(self, job: _Job, *, urgent: bool = False) -> None:
+        """Enqueue ``job``; ``urgent`` jobs overtake queued best-effort batches."""
+        job.urgent = bool(urgent)
+        if job.urgent:
+            index = len(self._jobs)
+            while index > 0:
+                ahead = self._jobs[index - 1]
+                if ahead.kind == "batch" and not ahead.urgent:
+                    index -= 1
+                else:
+                    break
+            self._jobs.insert(index, job)
+        else:
+            self._jobs.append(job)
+        self._unfinished += 1
+        self._all_done.clear()
+        self._not_empty.set()
+
+    async def get(self) -> _Job:
+        """Dequeue the next job (single consumer)."""
+        while not self._jobs:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        return self._jobs.popleft()
+
+    def task_done(self) -> None:
+        """Mark one dequeued job finished (for :meth:`join`)."""
+        self._unfinished -= 1
+        if self._unfinished <= 0:
+            self._all_done.set()
+
+    async def join(self) -> None:
+        """Wait until every enqueued job has been marked done."""
+        await self._all_done.wait()
+
+    def empty(self) -> bool:
+        """Whether no jobs are waiting to be dequeued."""
+        return not self._jobs
 
 
 class SACServer:
@@ -241,9 +335,12 @@ class SACServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         # The asyncio primitives are created inside start() so construction
         # never touches an event loop (Python 3.9 binds them at creation).
-        self._jobs: Optional["asyncio.Queue[_Job]"] = None
+        self._jobs: Optional[_JobQueue] = None
         self._writer_task: Optional[asyncio.Task] = None
         self._pending: Dict[BatchKey, List[_PendingQuery]] = {}
+        # Admitted-but-unanswered query occurrences per lane — the depth the
+        # admission controller compares against max_queue_depth.
+        self._lane_pending: Dict[str, int] = {LANE_DEADLINE: 0, LANE_BESTEFFORT: 0}
         self._linger_timers: Dict[BatchKey, asyncio.TimerHandle] = {}
         # Groups whose linger expired while the writer was busy: they keep
         # coalescing (flushing early would only queue them) and are
@@ -283,7 +380,7 @@ class SACServer:
         from concurrent.futures import ThreadPoolExecutor
 
         self._loop = asyncio.get_running_loop()
-        self._jobs = asyncio.Queue()
+        self._jobs = _JobQueue()
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
@@ -295,6 +392,10 @@ class SACServer:
         )
         for k in self.config.warm_ks:
             await self._loop.run_in_executor(self._engine_thread, self.service.warm, int(k))
+            if self.config.slo_enabled:
+                await self._loop.run_in_executor(
+                    self._engine_thread, self.service.calibrate_slo, int(k)
+                )
         self._writer_task = self._loop.create_task(self._writer_loop())
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
@@ -401,24 +502,38 @@ class SACServer:
                         writer, *error_payload(error.status, error.message), keep_alive=False
                     )
                 return
-            status, payload = await self._dispatch(request)
+            status, payload, headers = await self._dispatch(request)
             keep_alive = request.keep_alive and not self._draining
             try:
-                await write_response(writer, status, payload, keep_alive=keep_alive)
+                await write_response(
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=headers or None,
+                )
             except ConnectionError:
                 return
             if not keep_alive:
                 return
 
-    async def _dispatch(self, request: Request) -> Tuple[int, dict]:
-        """Route one request, tracking per-endpoint latency and errors."""
+    async def _dispatch(self, request: Request) -> Tuple[int, dict, Dict[str, str]]:
+        """Route one request, tracking per-endpoint latency and errors.
+
+        Returns ``(status, payload, extra response headers)`` — the headers
+        carry ``Retry-After`` on admission-control 429s.
+        """
+        headers: Dict[str, str] = {}
         handler = self._routes.get((request.method, request.path))
         if handler is None:
             if any(path == request.path for _, path in self._routes):
-                return error_payload(405, f"method {request.method} not allowed on {request.path}")
-            return error_payload(404, f"no such endpoint: {request.path}")
+                return (
+                    *error_payload(405, f"method {request.method} not allowed on {request.path}"),
+                    headers,
+                )
+            return (*error_payload(404, f"no such endpoint: {request.path}"), headers)
         if self._draining and request.method != "GET":
-            return error_payload(503, "server is draining")
+            return (*error_payload(503, "server is draining"), headers)
         name = f"{request.method} {request.path}"
         stats = self.endpoint_stats.setdefault(name, EndpointStats())
         start = time.perf_counter()
@@ -428,6 +543,9 @@ class SACServer:
             status, payload = await handler(request)
         except HttpError as error:
             status, payload = error_payload(error.status, error.message)
+            headers = dict(error.headers)
+            if "Retry-After" in headers:
+                payload["retry_after"] = float(headers["Retry-After"])
         except ReproError as error:
             status, payload = error_payload(400, str(error))
         except Exception as error:  # noqa: BLE001 - the connection must survive
@@ -438,7 +556,7 @@ class SACServer:
             if self._inflight == 0:
                 self._idle.set()
         stats.record(time.perf_counter() - start, error=status >= 400)
-        return status, payload
+        return status, payload, headers
 
     # ------------------------------------------------------------ micro-batching
     def _flush(self, key: BatchKey, reason: str) -> None:
@@ -456,23 +574,86 @@ class SACServer:
         stats.largest_batch = max(stats.largest_batch, len(entries))
         stats.queries_deduped += len(entries) - len({entry.vertex for entry in entries})
         setattr(stats, f"flushes_{reason}", getattr(stats, f"flushes_{reason}") + 1)
-        k, algorithm, params = key
+        k, algorithm, params, lane = key
         vertices = [entry.vertex for entry in entries]
-        run = lambda: self.service.submit_batch(  # noqa: E731
-            vertices, k, algorithm=algorithm, **dict(params)
-        )
-        self._jobs.put_nowait(_Job(kind="batch", run=run, entries=entries))
+        if lane == LANE_DEADLINE:
+            def run(entries=entries, vertices=vertices, k=k, algorithm=algorithm, params=params):
+                # The remaining budget is measured when the job actually
+                # starts on the engine thread, so time spent queued behind
+                # other jobs automatically sheds the group to faster rungs.
+                now = time.perf_counter()
+                remaining = min(
+                    entry.deadline_ms - (now - entry.arrived) * 1000.0
+                    for entry in entries
+                )
+                return self.service.submit_batch(
+                    vertices,
+                    k,
+                    algorithm=algorithm,
+                    deadline_ms=max(0.0, remaining),
+                    **dict(params),
+                )
+
+            self._jobs.put_nowait(
+                _Job(kind="batch", run=run, entries=entries), urgent=True
+            )
+        else:
+            run = lambda: self.service.submit_batch(  # noqa: E731
+                vertices, k, algorithm=algorithm, **dict(params)
+            )
+            self._jobs.put_nowait(_Job(kind="batch", run=run, entries=entries))
 
     def _flush_all(self, reason: str) -> None:
         """Flush every pending group — the write barrier and the drain path."""
         for key in list(self._pending):
             self._flush(key, reason)
 
-    def _enqueue_query(self, vertex: int, key: BatchKey) -> "asyncio.Future[BatchResult]":
+    def _admit(self, lane: str, count: int = 1) -> None:
+        """Admission control: claim ``count`` slots in ``lane`` or raise 429.
+
+        Lanes are independent — a saturated best-effort lane never blocks
+        deadline traffic (and vice versa).  The refusal carries
+        ``Retry-After`` both as a header and in the JSON payload.  The
+        caller owns releasing the slots via :meth:`_release`.
+        """
+        depth = self._lane_pending[lane]
+        if depth + count > self.config.max_queue_depth:
+            stats = self.batcher_stats
+            if lane == LANE_DEADLINE:
+                stats.rejected_deadline += count
+            else:
+                stats.rejected_besteffort += count
+            retry_after = max(1, math.ceil(self.config.retry_after_seconds))
+            raise HttpError(
+                429,
+                f"{lane} lane is full ({depth} queries queued, "
+                f"limit {self.config.max_queue_depth}); retry after {retry_after}s",
+                headers={"Retry-After": str(retry_after)},
+            )
+        self._lane_pending[lane] += count
+        if lane == LANE_DEADLINE:
+            self.batcher_stats.queries_deadline += count
+        else:
+            self.batcher_stats.queries_besteffort += count
+
+    def _release(self, lane: str, count: int = 1) -> None:
+        """Return ``count`` admission slots to ``lane`` (answer delivered)."""
+        self._lane_pending[lane] = max(0, self._lane_pending[lane] - count)
+
+    def _enqueue_query(
+        self, vertex: int, key: BatchKey, deadline_ms: Optional[float] = None
+    ) -> "asyncio.Future[BatchResult]":
         """Join ``vertex`` to its pending micro-batch group; returns its future."""
         future: "asyncio.Future[BatchResult]" = self._loop.create_future()
         entries = self._pending.setdefault(key, [])
-        entries.append(_PendingQuery(vertex=vertex, future=future))
+        entries.append(
+            _PendingQuery(
+                vertex=vertex,
+                future=future,
+                deadline_ms=deadline_ms,
+                arrived=time.perf_counter(),
+            )
+        )
         if len(entries) >= self.config.max_batch_size:
             self._flush(key, reason="size")
         elif key not in self._linger_timers and key not in self._ripe:
@@ -558,10 +739,30 @@ class SACServer:
             raise HttpError(400, f"'k' must be an integer, got {value!r}")
         return value
 
+    def _parse_deadline(self, body: dict) -> Optional[float]:
+        """Extract the request's deadline budget (or the server default)."""
+        value = body.get("deadline_ms", self.config.default_deadline_ms)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or not value > 0:
+            raise HttpError(
+                400, f"'deadline_ms' must be a positive number, got {value!r}"
+            )
+        return float(value)
+
     @staticmethod
-    def _parse_params(body: dict) -> Tuple[str, Tuple[Tuple[str, float], ...]]:
-        """Extract (algorithm, canonicalised params) from a request body."""
-        algorithm = body.get("algorithm", "appfast")
+    def _parse_params(
+        body: dict, *, deadline: bool = False
+    ) -> Tuple[str, Tuple[Tuple[str, float], ...]]:
+        """Extract (algorithm, canonicalised params) from a request body.
+
+        Under a deadline, ``algorithm`` defaults to the quality ceiling
+        (``exact+``) instead of ``appfast``, and any parameter accepted by
+        *some* rung at or below the ceiling is allowed — the ladder may
+        answer at a different rung than the ceiling, and each rung receives
+        only its own knobs (:func:`repro.service.slo.params_for`).
+        """
+        algorithm = body.get("algorithm", DEFAULT_CEILING if deadline else "appfast")
         if algorithm not in ALGORITHMS:
             raise HttpError(
                 400, f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
@@ -573,7 +774,12 @@ class SACServer:
         for convenience in ("epsilon_f", "epsilon_a"):
             if convenience in body:
                 params[convenience] = body[convenience]
-        allowed = _algorithm_parameter_names(algorithm)
+        if deadline:
+            allowed = frozenset().union(
+                *(_algorithm_parameter_names(rung) for rung in ladder_from(algorithm))
+            )
+        else:
+            allowed = _algorithm_parameter_names(algorithm)
         for name, value in params.items():
             if name not in allowed:
                 raise HttpError(
@@ -585,37 +791,87 @@ class SACServer:
                 raise HttpError(400, f"parameter {name!r} must be a number, got {value!r}")
         return algorithm, tuple(sorted((str(n), float(v)) for n, v in params.items()))
 
-    def _result_payload(self, vertex: int, batch: BatchResult, k: int) -> Tuple[int, dict]:
-        """Build one query's JSON answer out of its batch's outcome."""
+    def _result_payload(
+        self,
+        vertex: int,
+        batch: BatchResult,
+        k: int,
+        params: Tuple[Tuple[str, float], ...] = (),
+        deadline_ms: Optional[float] = None,
+        arrived: Optional[float] = None,
+    ) -> Tuple[int, dict]:
+        """Build one query's JSON answer out of its batch's outcome.
+
+        Every answer reports ``algorithm_used`` and its approximation
+        ``bound`` (the deadline ladder may have answered below the requested
+        ceiling); deadline-carrying requests additionally get
+        ``deadline_ms`` / ``deadline_missed``, where "missed" is judged
+        against the *request's* wall clock (``arrived``), not the cost
+        model's opinion — a lying model can only mislabel rungs, never
+        unflag a late answer.
+        """
         graph = self.service.graph
         label = graph.label_of(vertex)
         if vertex in batch.errors:
             return error_payload(400, batch.errors[vertex])
         result = batch.results.get(vertex)
         if result is None:
-            return 200, {"found": False, "query": label, "k": k}
-        return 200, {
-            "found": True,
-            "query": label,
-            "k": k,
-            "algorithm": result.algorithm,
-            "size": result.size,
-            "radius": result.radius,
-            "center": [result.circle.center.x, result.circle.center.y],
-            "members": [graph.label_of(v) for v in sorted(result.members)],
-        }
+            payload = {
+                "found": False,
+                "query": label,
+                "k": k,
+                "algorithm_used": None,
+                "bound": None,
+            }
+        else:
+            payload = {
+                "found": True,
+                "query": label,
+                "k": k,
+                "algorithm": result.algorithm,
+                "algorithm_used": result.algorithm,
+                "bound": approximation_bound(
+                    result.algorithm, params_for(result.algorithm, dict(params))
+                ),
+                "size": result.size,
+                "radius": result.radius,
+                "center": [result.circle.center.x, result.circle.center.y],
+                "members": [graph.label_of(v) for v in sorted(result.members)],
+            }
+        if deadline_ms is not None:
+            late = bool(batch.deadline_missed.get(vertex, False))
+            if arrived is not None:
+                late = late or (time.perf_counter() - arrived) * 1000.0 > deadline_ms
+            payload["deadline_ms"] = deadline_ms
+            payload["deadline_missed"] = late
+        return 200, payload
 
     # ----------------------------------------------------------------- handlers
     async def _handle_query(self, request: Request) -> Tuple[int, dict]:
-        """``POST /query`` — one query, answered through a micro-batch."""
+        """``POST /query`` — one query, answered through a micro-batch.
+
+        A ``deadline_ms`` (explicit or the server default) routes the query
+        through the deadline lane: admission-checked, coalesced only with
+        other deadline traffic, dispatched ahead of queued best-effort
+        batches, and answered through the SLO ladder.
+        """
         body = request.json()
         if "vertex" not in body:
             raise HttpError(400, "missing required field 'vertex'")
         vertex = self._resolve_vertex(body["vertex"], "vertex")
         k = self._parse_k(body)
-        algorithm, params = self._parse_params(body)
-        batch = await self._enqueue_query(vertex, (k, algorithm, params))
-        return self._result_payload(vertex, batch, k)
+        deadline_ms = self._parse_deadline(body)
+        algorithm, params = self._parse_params(body, deadline=deadline_ms is not None)
+        lane = LANE_DEADLINE if deadline_ms is not None else LANE_BESTEFFORT
+        self._admit(lane)
+        arrived = time.perf_counter()
+        try:
+            batch = await self._enqueue_query(
+                vertex, (k, algorithm, params, lane), deadline_ms
+            )
+        finally:
+            self._release(lane)
+        return self._result_payload(vertex, batch, k, params, deadline_ms, arrived)
 
     async def _handle_batch(self, request: Request) -> Tuple[int, dict]:
         """``POST /batch`` — an explicit batch, dispatched as one unit."""
@@ -630,28 +886,64 @@ class SACServer:
                 f"{self.config.max_batch_queries} query limit",
             )
         k = self._parse_k(body)
-        algorithm, params = self._parse_params(body)
+        deadline_ms = self._parse_deadline(body)
+        algorithm, params = self._parse_params(body, deadline=deadline_ms is not None)
         graph = self.service.graph
         vertices = [self._resolve_vertex(label, "vertices") for label in labels]
-        future: "asyncio.Future[object]" = self._loop.create_future()
-        run = lambda: self.service.submit_batch(  # noqa: E731
-            vertices, k, algorithm=algorithm, **dict(params)
-        )
-        self._jobs.put_nowait(_Job(kind="batch", run=run, future=future))
-        batch: BatchResult = await future
+        lane = LANE_DEADLINE if deadline_ms is not None else LANE_BESTEFFORT
+        self._admit(lane, len(vertices))
+        arrived = time.perf_counter()
+        try:
+            future: "asyncio.Future[object]" = self._loop.create_future()
+            if deadline_ms is not None:
+                def run(vertices=vertices, k=k, algorithm=algorithm, params=params, deadline_ms=deadline_ms, arrived=arrived):
+                    remaining = deadline_ms - (time.perf_counter() - arrived) * 1000.0
+                    return self.service.submit_batch(
+                        vertices,
+                        k,
+                        algorithm=algorithm,
+                        deadline_ms=max(0.0, remaining),
+                        **dict(params),
+                    )
+
+                self._jobs.put_nowait(
+                    _Job(kind="batch", run=run, future=future), urgent=True
+                )
+            else:
+                run = lambda: self.service.submit_batch(  # noqa: E731
+                    vertices, k, algorithm=algorithm, **dict(params)
+                )
+                self._jobs.put_nowait(_Job(kind="batch", run=run, future=future))
+            batch: BatchResult = await future
+        finally:
+            self._release(lane, len(vertices))
         results = {}
+        algorithms_used: Dict[str, int] = {}
         for vertex in dict.fromkeys(vertices):
             if vertex in batch.results:
-                _, payload = self._result_payload(vertex, batch, k)
+                _, payload = self._result_payload(
+                    vertex, batch, k, params, deadline_ms, arrived
+                )
                 results[str(graph.label_of(vertex))] = payload
-        return 200, {
+                rung = batch.results[vertex].algorithm
+                algorithms_used[rung] = algorithms_used.get(rung, 0) + 1
+        response = {
             "answered": batch.answered,
             "failed": [graph.label_of(v) for v in batch.failed],
             "errors": {str(graph.label_of(v)): msg for v, msg in batch.errors.items()},
             "cache_hits": batch.cache_hits,
             "elapsed_seconds": batch.elapsed_seconds,
+            "algorithms_used": algorithms_used,
             "results": results,
         }
+        if deadline_ms is not None:
+            response["deadline_ms"] = deadline_ms
+            response["deadline_missed"] = sum(
+                1
+                for payload in results.values()
+                if payload.get("deadline_missed", False)
+            )
+        return 200, response
 
     async def _handle_checkin(self, request: Request) -> Tuple[int, dict]:
         """``POST /checkin`` — one location update through the write barrier."""
@@ -714,10 +1006,37 @@ class SACServer:
             "engine": asdict(service_stats.engine),
             "executor": asdict(service_stats.executor),
             "cache": asdict(service_stats.cache) if service_stats.cache is not None else None,
+            "slo": {
+                "enabled": self.config.slo_enabled,
+                "default_deadline_ms": self.config.default_deadline_ms,
+                "lanes": {
+                    LANE_DEADLINE: {
+                        "pending": self._lane_pending[LANE_DEADLINE],
+                        "admitted": self.batcher_stats.queries_deadline,
+                        "rejected": self.batcher_stats.rejected_deadline,
+                    },
+                    LANE_BESTEFFORT: {
+                        "pending": self._lane_pending[LANE_BESTEFFORT],
+                        "admitted": self.batcher_stats.queries_besteffort,
+                        "rejected": self.batcher_stats.rejected_besteffort,
+                    },
+                },
+                "service": asdict(service_stats.slo)
+                if service_stats.slo is not None
+                else None,
+                "cost_model": {
+                    algorithm: asdict(coefficients)
+                    for algorithm, coefficients in sorted(
+                        self.service.slo_model.rungs.items()
+                    )
+                },
+            },
             "config": {
                 "max_batch_size": self.config.max_batch_size,
                 "max_linger_ms": self.config.max_linger_ms,
                 "max_batch_queries": self.config.max_batch_queries,
+                "max_queue_depth": self.config.max_queue_depth,
+                "retry_after_seconds": self.config.retry_after_seconds,
             },
         }
 

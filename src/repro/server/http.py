@@ -30,6 +30,7 @@ REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -43,12 +44,19 @@ MAX_HEADER_COUNT = 100
 
 
 class HttpError(Exception):
-    """A protocol-level failure, carrying the HTTP status to answer with."""
+    """A protocol-level failure, carrying the HTTP status to answer with.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` (optional) are emitted verbatim on the error response — the
+    admission controller uses this to attach ``Retry-After`` to its 429s.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers: Dict[str, str] = dict(headers or {})
 
 
 @dataclass
@@ -172,10 +180,19 @@ def encode_response(
 
 
 async def write_response(
-    writer: StreamWriter, status: int, payload: dict, *, keep_alive: bool = True
+    writer: StreamWriter,
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> None:
     """Write one JSON response and flush it."""
-    writer.write(encode_response(status, payload, keep_alive=keep_alive))
+    writer.write(
+        encode_response(
+            status, payload, keep_alive=keep_alive, extra_headers=extra_headers
+        )
+    )
     await writer.drain()
 
 

@@ -13,6 +13,14 @@ Serving heavy SAC traffic over one graph stacks three reuse levels:
    across batches, invalidated per component by the engine's version
    counters so dynamic updates evict only what they touched.
 
+On top of the reuse stack sits **SLO mode** (:mod:`repro.service.slo`):
+give :meth:`SACService.submit_batch` a ``deadline_ms`` and a calibrated
+:class:`CostModel` picks, per plan group, the best rung of the paper's
+quality/latency ladder predicted to fit the remaining budget
+(:func:`select_rung`), reporting every answer's ``algorithm_used`` and
+approximation bound (:func:`approximation_bound`) and flagging late
+answers instead of dropping them.
+
 :class:`SACService` fronts all three — and persists them:
 :meth:`SACService.save` snapshots the engine into an
 :class:`repro.store.ArtifactStore`, :meth:`SACService.open` warm-starts a
@@ -30,15 +38,43 @@ from repro.service.sharding import (
     ShardPayload,
     ShardTask,
 )
+from repro.service.slo import (
+    DEFAULT_CEILING,
+    FULL_LADDER,
+    LADDER,
+    CostModel,
+    CostModelStats,
+    RungChoice,
+    RungCoefficients,
+    SloStats,
+    algorithm_parameter_names,
+    approximation_bound,
+    ladder_from,
+    params_for,
+    select_rung,
+)
 
 __all__ = [
     "AnswerCache",
     "BatchResult",
     "CacheStats",
+    "CostModel",
+    "CostModelStats",
+    "DEFAULT_CEILING",
     "ExecutorStats",
+    "FULL_LADDER",
+    "LADDER",
+    "RungChoice",
+    "RungCoefficients",
     "SACService",
     "ServiceStats",
     "ShardPayload",
     "ShardTask",
     "ShardedExecutor",
+    "SloStats",
+    "algorithm_parameter_names",
+    "approximation_bound",
+    "ladder_from",
+    "params_for",
+    "select_rung",
 ]

@@ -237,6 +237,39 @@ class AnswerCache:
             hits[query] = replace(result, stats=dict(result.stats))
         return hits, misses
 
+    def peek_group(
+        self,
+        engine: QueryEngine,
+        queries: Sequence[int],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+        *,
+        representative: int,
+        version: int,
+    ) -> List[int]:
+        """Side-effect-free variant of :meth:`lookup_group`: the misses only.
+
+        The SLO rung selector probes several candidate rungs per group to
+        learn how many queries each would actually have to compute; a probe
+        must not touch hit/miss counters, LRU recency, or stale entries —
+        only the rung finally chosen does a real :meth:`lookup_group`.  A
+        stale stamp counts as a miss here but the entry is left in place.
+        """
+        if k == 1:
+            return [int(query) for query in queries]
+        misses: List[int] = []
+        for query in queries:
+            query = int(query)
+            entry = self._entries.get(self._key(engine, query, k, algorithm, params))
+            if (
+                entry is None
+                or entry[1] != int(representative)
+                or entry[2] != int(version)
+            ):
+                misses.append(query)
+        return misses
+
     def store_group(
         self,
         engine: QueryEngine,

@@ -29,21 +29,29 @@ import numpy as np
 from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
 from repro.engine import EngineStats, IncrementalEngine, QueryEngine
-from repro.engine.plan import plan_batch
+from repro.engine.plan import execute_group, plan_batch
 from repro.exceptions import InvalidParameterError
 from repro.graph.spatial_graph import SpatialGraph
 from repro.service.cache import AnswerCache, CacheStats
 from repro.service.results import BatchResult
 from repro.service.sharding import ExecutorStats, ShardedExecutor, default_pool_factory
+from repro.service.slo import (
+    CostModel,
+    SloStats,
+    ladder_from,
+    params_for,
+    select_rung,
+)
 
 
 @dataclass
 class ServiceStats:
-    """Aggregated view over the service's three moving parts."""
+    """Aggregated view over the service's moving parts."""
 
     engine: EngineStats
     executor: ExecutorStats
     cache: Optional[CacheStats]
+    slo: Optional[SloStats] = None
 
 
 class SACService:
@@ -113,6 +121,12 @@ class SACService:
         self.cache: Optional[AnswerCache] = (
             AnswerCache(cache_capacity) if use_cache else None
         )
+        #: The deadline ladder's calibrated cost model; fitted lazily on the
+        #: first deadline-carrying request per ``k`` (or eagerly via
+        #: :meth:`calibrate_slo`) and refreshed from observed latencies.
+        self.slo_model = CostModel()
+        self.slo_stats = SloStats()
+        self._slo_calibrated_ks: set = set()
 
     @property
     def graph(self) -> SpatialGraph:
@@ -172,8 +186,27 @@ class SACService:
         """Warm the engine caches for threshold ``k``; returns #components."""
         return self.engine.prepare(k)
 
+    def calibrate_slo(self, k: int) -> int:
+        """Fit the SLO cost model for ``k`` from probe queries; returns #probes.
+
+        Idempotent per ``k`` — the first call probes, later calls return 0.
+        Called lazily by the first deadline-carrying request, or eagerly at
+        warm-up (the server does this under ``--slo`` for every warmed
+        ``k``) so the first real deadline never pays for calibration.
+        """
+        if k in self._slo_calibrated_ks:
+            return 0
+        self._slo_calibrated_ks.add(k)
+        return self.slo_model.calibrate(self.engine, k)
+
     def search(
-        self, query: int, k: int, *, algorithm: str = "appfast", **params: float
+        self,
+        query: int,
+        k: int,
+        *,
+        algorithm: str = "appfast",
+        deadline_ms: Optional[float] = None,
+        **params: float,
     ) -> SACResult:
         """Answer one query, consulting the answer cache first.
 
@@ -181,7 +214,22 @@ class SACService:
         a cache hit returns the previously computed result, which the
         version-guarded invalidation keeps bit-identical to a fresh
         computation.
+
+        With ``deadline_ms`` set, ``algorithm`` becomes the quality
+        *ceiling* and the SLO ladder picks the best rung predicted to fit
+        the budget (see :meth:`submit_batch`); the returned result's
+        ``algorithm`` attribute records the rung that answered.
         """
+        if deadline_ms is not None:
+            batch = self._submit_batch_slo(
+                [query], k, algorithm, dict(params), float(deadline_ms)
+            )
+            query = int(query)
+            if query in batch.results:
+                return batch.results[query]
+            # Unknown vertex / no community: delegate to the engine so the
+            # caller gets exactly the single-query exception semantics.
+            return self.engine.search(query, k, algorithm=algorithm, **params)
         if self.cache is not None:
             cached = self.cache.lookup(self.engine, query, k, algorithm, params)
             if cached is not None:
@@ -197,6 +245,7 @@ class SACService:
         k: int,
         *,
         algorithm: str = "appfast",
+        deadline_ms: Optional[float] = None,
         **params: float,
     ) -> BatchResult:
         """Answer a batch: cache hits first, the rest sharded to the executor.
@@ -211,10 +260,26 @@ class SACService:
         resolved at plan time (group-level lookups), the executor runs only
         the surviving groups, and freshly computed answers are stored back
         group-at-a-time.
+
+        With ``deadline_ms`` set, the batch runs in **SLO mode**:
+        ``algorithm`` becomes the quality *ceiling* and each plan group is
+        answered at the best ladder rung the calibrated cost model predicts
+        to fit the remaining budget (:mod:`repro.service.slo`), descending
+        to faster rungs — never to a refusal — as the budget drains.  The
+        returned batch records per answer which rung ran
+        (:attr:`BatchResult.algorithm_used`) and which answers landed after
+        the deadline (:attr:`BatchResult.deadline_missed`).
+        ``deadline_ms=None`` (the default) leaves this path entirely — the
+        explicit-algorithm pipeline is untouched and bit-identical to
+        before.
         """
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        if deadline_ms is not None:
+            return self._submit_batch_slo(
+                queries, k, algorithm, dict(params), float(deadline_ms)
             )
         if self.use_plan:
             return self._submit_batch_planned(queries, k, algorithm, params)
@@ -282,6 +347,164 @@ class SACService:
         batch.elapsed_seconds = perf_counter() - start
         return batch
 
+    def _submit_batch_slo(
+        self,
+        queries: Sequence[int],
+        k: int,
+        ceiling: str,
+        params: Dict[str, float],
+        deadline_ms: float,
+    ) -> BatchResult:
+        """The deadline-driven batch pipeline: plan, pick rungs, execute, flag.
+
+        Plans the batch once (no plan-time cache pruning — rung choice owns
+        the cache), then walks the groups largest-first; before each group
+        the remaining budget is re-measured and :func:`select_rung` picks
+        the best rung whose predicted cost fits it, probing the answer cache
+        per candidate rung (a rung whose answers are all cached is free).
+        Groups execute serially on the engine — deadline work wants the
+        predictable single-thread latency the cost model was calibrated on,
+        not pool dispatch jitter.  Observed group latencies feed back into
+        the model, and any answer completed after the deadline is flagged in
+        ``deadline_missed`` — late answers are delivered, never dropped, so
+        a mispredicting (even adversarially lying) model degrades to
+        honest flags rather than hangs.
+        """
+        # Warm-up calibration is a one-time cost of the service, not of the
+        # request that happened to arrive first — fit before the clock starts.
+        self.calibrate_slo(k)
+        start = perf_counter()
+        deadline_ms = max(0.0, float(deadline_ms))
+        plan = plan_batch(
+            self.engine, queries, k, algorithm=ceiling, params=params, cache=None
+        )
+        occurrences: Dict[int, int] = {}
+        for query in plan.order:
+            occurrences[query] = occurrences.get(query, 0) + 1
+
+        batch = BatchResult()
+        batch.deadline_ms = deadline_ms
+        batch.failed = list(plan.failed)
+        batch.errors = plan.error_messages()
+        batch.deduped = plan.deduped
+        batch.plan_groups = len(plan.groups)
+        self.slo_stats.batches += 1
+        self.slo_stats.queries += len(plan.order)
+
+        # Largest components first: they dominate the budget, so deciding
+        # them while the most budget remains gives the ladder room to trade
+        # their quality for everyone's deadline.
+        groups = sorted(
+            plan.groups,
+            key=lambda group: -self.engine.component_size(k, group.component),
+        )
+        for group in groups:
+            size = self.engine.component_size(k, group.component)
+            resident = self.engine.bundle_resident(k, group.representative)
+            remaining = deadline_ms - (perf_counter() - start) * 1000.0
+
+            ladder_pending: Dict[str, int] = {}
+            for rung in ladder_from(ceiling):
+                rung_params = params_for(rung, params)
+                if self.cache is not None and k != 1:
+                    misses = self.cache.peek_group(
+                        self.engine,
+                        group.queries,
+                        k,
+                        rung,
+                        rung_params,
+                        representative=group.representative,
+                        version=group.version,
+                    )
+                    ladder_pending[rung] = len(misses)
+                else:
+                    ladder_pending[rung] = len(group.queries)
+
+            choice = select_rung(
+                self.slo_model,
+                remaining,
+                size=size,
+                resident=resident,
+                pending=ladder_pending,
+                ceiling=ceiling,
+            )
+            rung_params = params_for(choice.algorithm, params)
+            self.slo_stats.groups += 1
+            self.slo_stats.rungs[choice.algorithm] = (
+                self.slo_stats.rungs.get(choice.algorithm, 0) + 1
+            )
+            if choice.algorithm != ceiling:
+                self.slo_stats.downgrades += 1
+            if not choice.fits:
+                self.slo_stats.overloads += 1
+
+            # Real cache lookup at the chosen rung only.
+            to_compute = list(group.queries)
+            if self.cache is not None:
+                hits, to_compute = self.cache.lookup_group(
+                    self.engine,
+                    group.queries,
+                    k,
+                    choice.algorithm,
+                    rung_params,
+                    representative=group.representative,
+                    version=group.version,
+                )
+                if hits:
+                    batch.results.update(hits)
+                    batch.cache_hits += sum(
+                        occurrences.get(query, 1) for query in hits
+                    )
+                    batch.deduped -= sum(
+                        occurrences.get(query, 1) - 1 for query in hits
+                    )
+
+            computed: Dict[int, SACResult] = {}
+            if to_compute:
+                group.algorithm = choice.algorithm
+                group.params = rung_params
+                group.queries = to_compute
+                group_start = perf_counter()
+                computed = execute_group(
+                    self.engine, plan, group, errors=batch.errors, failed=batch.failed
+                )
+                group_ms = (perf_counter() - group_start) * 1000.0
+                self.slo_model.observe(
+                    choice.algorithm,
+                    size,
+                    queries=len(to_compute),
+                    elapsed_ms=group_ms,
+                    resident=resident,
+                )
+                batch.results.update(computed)
+                if self.cache is not None and computed:
+                    self.cache.store_group(
+                        self.engine,
+                        computed,
+                        k,
+                        choice.algorithm,
+                        rung_params,
+                        representative=group.representative,
+                        version=group.version,
+                    )
+
+            late = (perf_counter() - start) * 1000.0 > deadline_ms
+            for query in computed:
+                batch.deadline_missed[query] = late
+                if late:
+                    self.slo_stats.deadline_missed += 1
+
+        # Cache hits and plan-time outcomes resolved before any execution
+        # are late only if the deadline was blown overall.
+        late = (perf_counter() - start) * 1000.0 > deadline_ms
+        for query in batch.results:
+            if query not in batch.deadline_missed:
+                batch.deadline_missed[query] = late
+                if late:
+                    self.slo_stats.deadline_missed += 1
+        batch.elapsed_seconds = perf_counter() - start
+        return batch
+
     # ------------------------------------------------------------- mutation
     def _incremental_engine(self) -> IncrementalEngine:
         """Return the bound engine if it supports in-place mutation."""
@@ -322,4 +545,5 @@ class SACService:
             engine=self.engine.stats,
             executor=self.executor.stats,
             cache=self.cache.stats if self.cache is not None else None,
+            slo=self.slo_stats,
         )

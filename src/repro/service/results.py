@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.result import SACResult
 
@@ -48,6 +48,13 @@ class BatchResult:
     plan_groups:
         ``(component, k)`` execution groups the batch plan produced after
         cache-hit pruning (0 on the ``--no-plan`` path).
+    deadline_ms:
+        The deadline budget the batch ran under, or ``None`` when it ran on
+        the explicit-algorithm path (no SLO ladder engaged).
+    deadline_missed:
+        Query vertex -> ``True`` for answers delivered after the deadline
+        had already passed (the service still answers — shed-to-faster-rung,
+        never shed-to-silence).  Empty when ``deadline_ms`` is ``None``.
     """
 
     results: Dict[int, SACResult] = field(default_factory=dict)
@@ -58,8 +65,37 @@ class BatchResult:
     cache_hits: int = 0
     deduped: int = 0
     plan_groups: int = 0
+    deadline_ms: "Optional[float]" = None
+    deadline_missed: Dict[int, bool] = field(default_factory=dict)
 
     @property
     def answered(self) -> int:
         """Number of queries that produced a community."""
         return len(self.results)
+
+    @property
+    def algorithm_used(self) -> Dict[int, str]:
+        """Query vertex -> the algorithm that produced its answer.
+
+        Under a deadline the SLO ladder may answer different groups of one
+        batch at different rungs; this is the per-answer record of which
+        rung each query actually got (on the explicit path it is uniformly
+        the requested algorithm).
+        """
+        return {query: result.algorithm for query, result in self.results.items()}
+
+    def __repr__(self) -> str:
+        """Compact operator-facing summary, including the SLO outcome."""
+        rungs = sorted({result.algorithm for result in self.results.values()})
+        parts = [
+            f"answered={self.answered}",
+            f"failed={len(self.failed)}",
+            f"errors={len(self.errors)}",
+            f"cache_hits={self.cache_hits}",
+            f"algorithm_used={rungs}",
+        ]
+        if self.deadline_ms is not None:
+            missed = sum(1 for flag in self.deadline_missed.values() if flag)
+            parts.append(f"deadline_ms={self.deadline_ms}")
+            parts.append(f"deadline_missed={missed}")
+        return f"BatchResult({', '.join(parts)})"

@@ -29,7 +29,7 @@ from repro.datasets.geosocial import brightkite_like
 from repro.engine import IncrementalEngine, QueryEngine
 from repro.server import SACClient, ServerConfig, ServerError, start_in_thread
 from repro.server.client import parallel_queries
-from repro.service import SACService
+from repro.service import FULL_LADDER, SACService, approximation_bound
 
 K = 4
 EPS = {"epsilon_f": 0.5}
@@ -70,11 +70,13 @@ def client(server):
         yield shared
 
 
-def _expected(graph, result):
+def _expected(graph, result, params=EPS):
     """The JSON fields a correct response carries for an engine result."""
     return {
         "found": True,
         "algorithm": result.algorithm,
+        "algorithm_used": result.algorithm,
+        "bound": approximation_bound(result.algorithm, params),
         "size": result.size,
         "radius": result.circle.radius,
         "center": [result.circle.center.x, result.circle.center.y],
@@ -107,7 +109,13 @@ class TestQueryEndpoint:
             if cores[v] < K
         )
         response = client.query(lonely, K)
-        assert response == {"found": False, "query": lonely, "k": K}
+        assert response == {
+            "found": False,
+            "query": lonely,
+            "k": K,
+            "algorithm_used": None,
+            "bound": None,
+        }
 
     def test_unknown_vertex_is_a_400(self, client):
         with pytest.raises(ServerError) as excinfo:
@@ -507,3 +515,159 @@ class TestGracefulShutdown:
         handle = _serve(base_graph)
         handle.stop()
         handle.stop()  # second stop must be a clean no-op
+
+
+class TestSloServing:
+    """Deadline-lane serving: rung reporting, admission, fault injection."""
+
+    def test_deadline_query_reports_rung_and_bound(self, base_graph, reference):
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(base_graph, slo_enabled=True, warm_ks=(K,))
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                response = client.query(label, K, deadline_ms=60_000.0)
+        finally:
+            handle.stop()
+        assert response["found"] is True
+        assert response["algorithm_used"] in FULL_LADDER
+        assert response["bound"] >= 1.0
+        assert response["deadline_ms"] == 60_000.0
+        # A one-minute budget on a 500-vertex graph is unmissable.
+        assert response["deadline_missed"] is False
+
+    def test_generous_deadline_serves_the_quality_ceiling(self, base_graph, reference):
+        """With room to spare, the ladder must pick exact+, not a fast rung."""
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(base_graph, slo_enabled=True, warm_ks=(K,))
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                response = client.query(label, K, deadline_ms=60_000.0)
+        finally:
+            handle.stop()
+        assert response["algorithm_used"] == "exact+"
+        assert response["bound"] == 1.5
+
+    def test_lying_cost_model_still_answers_with_missed_flag(
+        self, base_graph, reference
+    ):
+        """A cost model claiming everything is free must not hide lateness.
+
+        ``deadline_missed`` is judged against the request's wall clock, not
+        against the model's predictions — so a pathologically optimistic
+        model yields a *late but valid* answer, never a hang or a lie.
+        """
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(base_graph, slo_enabled=True, warm_ks=(K,))
+        try:
+            # Every rung fits any budget, says the model — even one that has
+            # already expired — so the ladder picks the quality ceiling.
+            handle.server.service.slo_model.predict_group = (
+                lambda *args, **kwargs: -1e9
+            )
+            with SACClient(handle.host, handle.port) as client:
+                response = client.query(label, K, deadline_ms=0.001)
+        finally:
+            handle.stop()
+        assert response["found"] is True
+        assert response["algorithm_used"] == "exact+"
+        assert response["members"]  # a real, complete answer
+        assert response["deadline_missed"] is True
+
+    def test_pessimistic_cost_model_sheds_to_fastest_rung(
+        self, base_graph, reference
+    ):
+        """A model claiming nothing fits must degrade, not refuse."""
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(base_graph, slo_enabled=True, warm_ks=(K,))
+        try:
+            handle.server.service.slo_model.predict_group = (
+                lambda *args, **kwargs: float("inf")
+            )
+            with SACClient(handle.host, handle.port) as client:
+                response = client.query(label, K, deadline_ms=60_000.0)
+        finally:
+            handle.stop()
+        assert response["found"] is True
+        assert response["algorithm_used"] == "appfast"
+
+    def test_lane_full_429_carries_retry_after(self, base_graph, reference):
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(base_graph, max_queue_depth=0, retry_after_seconds=3.0)
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                for kwargs in ({}, {"deadline_ms": 100.0}):  # both lanes
+                    with pytest.raises(ServerError) as excinfo:
+                        client.query(label, K, **kwargs)
+                    assert excinfo.value.status == 429
+                    assert excinfo.value.retry_after == 3.0
+            stats = SACClient(handle.host, handle.port).stats()
+            assert stats["slo"]["lanes"]["besteffort"]["rejected"] == 1
+            assert stats["slo"]["lanes"]["deadline"]["rejected"] == 1
+        finally:
+            handle.stop()
+
+    def test_saturated_besteffort_lane_does_not_block_deadline_lane(
+        self, base_graph, reference
+    ):
+        """Lane isolation: deadline traffic rides through best-effort overload."""
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(base_graph, max_queue_depth=1, max_linger_ms=2000.0)
+        outcome = {}
+
+        def lingering_besteffort():
+            with SACClient(handle.host, handle.port) as mine:
+                outcome["lingering"] = mine.query(label, K, params=EPS)
+
+        try:
+            racer = threading.Thread(target=lingering_besteffort)
+            racer.start()
+            time.sleep(0.15)  # the best-effort lane is now at its depth limit
+            with SACClient(handle.host, handle.port) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.query(label, K)  # best-effort: refused
+                assert excinfo.value.status == 429
+                deadline_answer = client.query(label, K, deadline_ms=10_000.0)
+            assert deadline_answer["found"] is True
+            racer.join(timeout=10)
+            assert not racer.is_alive()
+        finally:
+            handle.stop()
+        assert outcome["lingering"]["found"] is True
+
+    def test_drain_under_burst_answers_every_admitted_query(
+        self, base_graph, reference
+    ):
+        """Every query the server admitted must be answered through a drain."""
+        labels = _eligible_labels(reference, 8)
+        handle = _serve(base_graph, max_linger_ms=2000.0, slo_enabled=True, warm_ks=(K,))
+        answers = []
+        rejected = []
+        lock = threading.Lock()
+
+        def fire(label, deadline_ms):
+            try:
+                with SACClient(handle.host, handle.port) as mine:
+                    response = mine.query(label, K, deadline_ms=deadline_ms)
+                with lock:
+                    answers.append(response)
+            except ServerError as error:
+                with lock:
+                    rejected.append(error)
+
+        burst = [
+            threading.Thread(target=fire, args=(label, deadline))
+            for label in labels
+            for deadline in (None, 5_000.0)
+        ]
+        for thread in burst:
+            thread.start()
+        time.sleep(0.2)  # the burst is now lingering in both lanes
+        handle.stop()  # drain must flush and answer all of it
+        for thread in burst:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        assert not rejected  # depth 1024 admits a 16-query burst outright
+        assert len(answers) == len(burst)
+        for response in answers:
+            assert response["found"] is True
+            assert response["algorithm_used"] in FULL_LADDER
