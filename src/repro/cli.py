@@ -42,7 +42,10 @@ Three subcommands cover the common workflows of a downstream user:
     serialised ``/checkin``/``/edge`` mutations, ``/stats``, and
     ``/healthz``.  Warm-starts from ``--store``, snapshots to
     ``--snapshot-to`` on ``SIGUSR1`` and on shutdown, and drains gracefully
-    on ``SIGTERM``/``SIGINT``.
+    on ``SIGTERM``/``SIGINT``.  ``--role writer|replica|coordinator`` runs
+    the same daemon as one member of the replicated tier
+    (:mod:`repro.replication`): the writer appends mutations to ``--wal-dir``,
+    replicas tail it and serve reads, the coordinator routes between them.
 
 ``stats``
     Print the Table-4 style summary of a graph file.
@@ -317,7 +320,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-after-seconds",
         type=float,
         default=1.0,
-        help="the Retry-After backoff advertised on 429 responses",
+        help="the Retry-After backoff advertised on 429 responses "
+        "(integer-valued per RFC 9110: sub-second values advertise 1)",
+    )
+    daemon.add_argument(
+        "--role",
+        choices=("writer", "replica", "coordinator"),
+        default=None,
+        help="replication role: 'writer' appends every mutation to --wal-dir, "
+        "'replica' tails --wal-dir read-only and refuses mutations, "
+        "'coordinator' proxies traffic across --writer-addr/--replicas "
+        "(default: standalone, no replication)",
+    )
+    daemon.add_argument(
+        "--wal-dir",
+        help="write-ahead log directory shared by the writer and its replicas "
+        "(required for --role writer and --role replica)",
+    )
+    daemon.add_argument(
+        "--wal-fsync",
+        action="store_true",
+        help="fsync the WAL after every append (machine-crash durability at "
+        "a heavy per-mutation cost)",
+    )
+    daemon.add_argument(
+        "--writer-url",
+        help="the writer's base URL, advertised in a replica's 403 mutation "
+        "refusals (replica role only)",
+    )
+    daemon.add_argument(
+        "--poll-interval-ms",
+        type=float,
+        default=25.0,
+        help="how often a replica polls the WAL for new records (replica role only)",
+    )
+    daemon.add_argument(
+        "--writer-addr",
+        help="the writer backend as host:port (coordinator role only)",
+    )
+    daemon.add_argument(
+        "--replicas",
+        default="",
+        help="comma-separated replica backends as host:port (coordinator role only)",
+    )
+    daemon.add_argument(
+        "--max-staleness-lsn",
+        type=int,
+        default=0,
+        help="bounded staleness: a replica may serve reads while at most this "
+        "many WAL records behind the writer (coordinator role only)",
+    )
+    daemon.add_argument(
+        "--health-interval-ms",
+        type=float,
+        default=200.0,
+        help="backend /healthz probe period, the failover detection latency "
+        "(coordinator role only)",
     )
 
     track = subparsers.add_parser(
@@ -620,11 +678,65 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     return 0 if answered else 1
 
 
+def _serve_coordinator(args: argparse.Namespace) -> int:
+    """``serve --role coordinator``: run the replication tier's router."""
+    import asyncio
+
+    from repro.replication import Coordinator, CoordinatorConfig
+
+    if not args.writer_addr:
+        raise InvalidParameterError(
+            "--role coordinator requires --writer-addr HOST:PORT"
+        )
+    replicas = tuple(part.strip() for part in args.replicas.split(",") if part.strip())
+    if args.max_staleness_lsn < 0:
+        raise InvalidParameterError(
+            f"--max-staleness-lsn must be non-negative, got {args.max_staleness_lsn}"
+        )
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        writer=args.writer_addr,
+        replicas=replicas,
+        max_staleness_lsn=args.max_staleness_lsn,
+        health_interval_ms=args.health_interval_ms,
+        max_body_bytes=args.max_body_bytes,
+    )
+
+    async def _run() -> None:
+        coordinator = Coordinator(config)
+        await coordinator.start()
+        print(
+            f"coordinating on {coordinator.url}: writer {config.writer}, "
+            f"{len(replicas)} replica(s), max staleness {config.max_staleness_lsn} "
+            f"LSN(s)",
+            flush=True,
+        )
+        await coordinator.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal path exercised in CI
+        pass
+    print("server stopped", flush=True)
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.server import SACServer, ServerConfig
     from repro.service import SACService
+
+    if args.role == "coordinator":
+        return _serve_coordinator(args)
+    if args.role in ("writer", "replica") and not args.wal_dir:
+        raise InvalidParameterError(f"--role {args.role} requires --wal-dir")
+    if args.role == "replica" and args.static:
+        raise InvalidParameterError(
+            "--role replica needs an incremental engine to replay the WAL; "
+            "drop --static"
+        )
 
     engine_cls = QueryEngine if args.static else IncrementalEngine
     engine = _load_engine(args, engine_cls)
@@ -635,12 +747,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         use_shared_memory=not args.no_shared_memory,
         use_plan=not args.no_plan,
     )
+    if args.store is not None:
+        service.store_path = str(args.store)
     try:
         warm_ks = sorted({int(part) for part in args.warm_ks.split(",") if part.strip()})
     except ValueError:
         raise InvalidParameterError(
             f"--warm-ks must be comma-separated integers, got {args.warm_ks!r}"
         ) from None
+    # A snapshot records the last WAL LSN folded into it; starting the log
+    # (writer) or the replay cursor (replica) just past it is what makes
+    # cold-start O(snapshot) instead of O(history).
+    snapshot_lsn = 0
+    if args.role in ("writer", "replica") and args.store is not None:
+        from repro.store import ArtifactStore
+
+        snapshot_lsn = ArtifactStore.open(args.store).lsn
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -654,16 +776,30 @@ def _command_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.default_deadline_ms,
         max_queue_depth=args.max_queue_depth,
         retry_after_seconds=args.retry_after_seconds,
+        wal_dir=args.wal_dir if args.role in ("writer", "replica") else None,
+        wal_fsync=args.wal_fsync,
+        snapshot_lsn=snapshot_lsn,
     )
 
     async def _run() -> None:
-        server = SACServer(service, config)
+        if args.role == "replica":
+            from repro.replication import ReplicaServer
+
+            server = ReplicaServer(
+                service,
+                config,
+                writer_url=args.writer_url,
+                poll_interval_ms=args.poll_interval_ms,
+            )
+        else:
+            server = SACServer(service, config)
         await server.start()
         mode = f"{args.workers} workers" if args.workers >= 2 else "serial execution"
+        role = f", role {server.role}" if server.role != "single" else ""
         print(
             f"serving {engine.graph.num_vertices} vertices on {server.url} "
             f"({mode}, micro-batch <= {config.max_batch_size} / "
-            f"{config.max_linger_ms:g} ms linger)",
+            f"{config.max_linger_ms:g} ms linger{role})",
             flush=True,
         )
         await server.serve_forever()

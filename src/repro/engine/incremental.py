@@ -88,6 +88,35 @@ class IncrementalEngine(QueryEngine):
                 self._bump_version(key)
         self.stats.location_updates += 1
 
+    # ------------------------------------------------------------ WAL replay
+    def apply_record(self, record: "dict") -> None:
+        """Replay one write-ahead-log mutation record (see :mod:`repro.store.wal`).
+
+        This is the replication tier's replay entry point: the writer
+        serialises every applied mutation as a record, and replicas feed the
+        records through here **in LSN order** — the same in-place repair
+        paths then run on the replica that ran on the writer, so replayed
+        state (including the per-``(k, representative)`` version counters
+        that drive cache invalidation) is bit-identical to the writer's.
+
+        Two record shapes are understood; vertex ids are internal indices,
+        which are identical across engines warm-started from one snapshot::
+
+            {"op": "checkin", "user": 3, "x": 0.5, "y": 0.25}
+            {"op": "edge", "u": 3, "v": 9, "action": "insert" | "delete"}
+
+        Unknown ``op`` values raise
+        :class:`~repro.exceptions.InvalidParameterError` so a replica halts
+        on a log written by a newer build instead of silently diverging.
+        """
+        op = record.get("op")
+        if op == "checkin":
+            self.apply_checkin(record["user"], record["x"], record["y"])
+        elif op == "edge":
+            self.apply_edge(record["u"], record["v"], str(record.get("action", "insert")))
+        else:
+            raise InvalidParameterError(f"unknown WAL record op {op!r}")
+
     # ----------------------------------------------------------- edge updates
     def apply_edge(self, u: int, v: int, op: str = "insert") -> np.ndarray:
         """Insert or delete edge ``{u, v}`` and repair the caches incrementally.

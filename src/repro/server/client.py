@@ -61,6 +61,10 @@ class SACClient:
         self.port = int(port)
         self.timeout = timeout
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: Response headers of the most recent request, lower-cased — how
+        #: callers read the coordinator's ``X-Served-By`` /
+        #: ``X-Staleness-LSN`` routing stamps (see ``docs/serving.md``).
+        self.last_headers: Dict[str, str] = {}
 
     # -------------------------------------------------------------- transport
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
@@ -95,6 +99,9 @@ class SACClient:
                 self.close()
                 if attempt == 2 or not resend_safe:
                     raise
+        self.last_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
         if response.getheader("Connection", "").lower() == "close":
             self.close()
         try:
@@ -185,6 +192,14 @@ class SACClient:
     def edge(self, u: object, v: object, op: str = "insert") -> dict:
         """``POST /edge`` — insert or delete one friendship edge."""
         return self._request("POST", "/edge", {"u": u, "v": v, "op": op})
+
+    def compact(self) -> dict:
+        """``POST /compact`` — roll the writer's WAL into a fresh snapshot.
+
+        Writer-role daemons only (replicas answer 403, unconfigured daemons
+        400); see the Replication section of ``docs/serving.md``.
+        """
+        return self._request("POST", "/compact", {})
 
     def stats(self) -> dict:
         """``GET /stats`` — endpoint, batcher, engine, executor, cache counters."""

@@ -72,6 +72,7 @@ from repro.server.http import (
 )
 from repro.service import SACService
 from repro.service.results import BatchResult
+from repro.store.wal import WalCursor, WriteAheadLog
 from repro.service.slo import (
     DEFAULT_CEILING,
     algorithm_parameter_names as _algorithm_parameter_names,
@@ -139,7 +140,27 @@ class ServerConfig:
         queries may be queued per lane before further requests are refused
         with ``429`` + ``Retry-After``.
     retry_after_seconds:
-        The ``Retry-After`` delay advertised on 429 responses.
+        The ``Retry-After`` delay advertised on 429 responses.  HTTP's
+        ``Retry-After`` header is integer-valued (RFC 9110 §10.2.3), so the
+        advertised delay is ``ceil`` of this value with a floor of one
+        second — a sub-second configuration still advertises ``1``.  The
+        JSON payload's ``retry_after`` field always equals the header.
+    wal_dir:
+        Directory of the mutation write-ahead log
+        (:class:`repro.store.WriteAheadLog`).  Setting it makes this daemon
+        the replication tier's **writer**: every applied ``checkin``/``edge``
+        is appended as one WAL record (its LSN is returned in the mutation
+        response), snapshots are stamped with the covered LSN, and
+        ``POST /compact`` rolls the log into a fresh snapshot.  ``None``
+        (the default) serves standalone with no log.
+    wal_fsync:
+        ``fsync`` the WAL after every append (machine-crash durability) at
+        a heavy per-mutation cost; the default flushes to the OS only.
+    snapshot_lsn:
+        The WAL LSN the serving engine's state already covers — the opened
+        snapshot's :attr:`repro.store.ArtifactStore.lsn`.  On start the
+        writer replays any retained WAL records beyond it before accepting
+        traffic, so a restart resumes exactly at the last durable LSN.
     """
 
     host: str = "127.0.0.1"
@@ -155,6 +176,9 @@ class ServerConfig:
     default_deadline_ms: Optional[float] = None
     max_queue_depth: int = 1024
     retry_after_seconds: float = 1.0
+    wal_dir: Optional[str] = None
+    wal_fsync: bool = False
+    snapshot_lsn: int = 0
 
 
 @dataclass
@@ -316,6 +340,13 @@ class SACServer:
         static engine serves queries and answers mutations with ``400``.
     config:
         A :class:`ServerConfig`; defaults throughout.
+    clock:
+        The **monotonic** time source (seconds, arbitrary epoch) every
+        deadline, arrival stamp, latency counter, and uptime figure is
+        measured on; defaults to :func:`time.perf_counter`.  The daemon
+        never consults the wall clock — an NTP step cannot flag in-flight
+        queries late (or launder genuinely late ones).  Tests inject a
+        stepped fake clock here.
 
     Examples
     --------
@@ -324,13 +355,23 @@ class SACServer:
     >>> print(server.port)                                                   # doctest: +SKIP
     """
 
-    def __init__(self, service: SACService, config: Optional[ServerConfig] = None) -> None:
+    def __init__(
+        self,
+        service: SACService,
+        config: Optional[ServerConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.service = service
         self.config = config or ServerConfig()
         self.endpoint_stats: Dict[str, EndpointStats] = {}
         self.batcher_stats = BatcherStats()
-        self.started_at = time.time()
-        self._monotonic_start = time.perf_counter()
+        # All timing below runs on this one monotonic clock — deadlines,
+        # arrival stamps, latencies, uptime.  time.time() is deliberately
+        # absent from this module: wall-clock steps must not move deadlines.
+        self._clock: Callable[[], float] = clock or time.perf_counter
+        self._monotonic_start = self._clock()
+        self._wal: Optional[WriteAheadLog] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         # The asyncio primitives are created inside start() so construction
@@ -358,9 +399,46 @@ class SACServer:
             ("POST", "/batch"): self._handle_batch,
             ("POST", "/checkin"): self._handle_checkin,
             ("POST", "/edge"): self._handle_edge,
+            ("POST", "/compact"): self._handle_compact,
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/healthz"): self._handle_healthz,
         }
+
+    # --------------------------------------------------------------- replication
+    @property
+    def role(self) -> str:
+        """This daemon's replication role: ``writer`` or ``single``.
+
+        ``writer`` when a WAL is configured (mutations are logged for
+        replicas to replay); ``single`` when serving standalone.
+        :class:`repro.replication.ReplicaServer` overrides with ``replica``.
+        """
+        return "writer" if self.config.wal_dir is not None else "single"
+
+    @property
+    def durable_lsn(self) -> Optional[int]:
+        """Last WAL LSN this daemon has made durable (``None`` without a WAL)."""
+        return self._wal.last_lsn if self._wal is not None else None
+
+    @property
+    def applied_lsn(self) -> Optional[int]:
+        """Last WAL LSN applied to the serving engine.
+
+        On the writer this equals :attr:`durable_lsn` (a mutation is logged
+        in the same serialised job that applies it); replicas lag it by
+        their replay position.
+        """
+        return self.durable_lsn
+
+    def _wal_append(self, record: dict) -> Optional[int]:
+        """Append one mutation record to the WAL; its LSN, or None without a WAL.
+
+        Called on the engine thread inside the same serialised job that
+        applied the mutation, so WAL order is exactly apply order.
+        """
+        if self._wal is None:
+            return None
+        return self._wal.append(record)
 
     # ---------------------------------------------------------------- lifecycle
     @property
@@ -390,6 +468,27 @@ class SACServer:
         self._engine_thread = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="sac-engine"
         )
+        if self.config.wal_dir is not None and self.role == "writer":
+            # Writer recovery: reopen the log (truncating any torn tail),
+            # then replay every retained record beyond the snapshot the
+            # engine was warm-started from — a restarted writer resumes at
+            # the last durable LSN with state identical to never crashing.
+            # (ReplicaServer overrides role: replicas tail the same wal_dir
+            # with a read-only cursor and never open the append handle.)
+            self._wal = WriteAheadLog(
+                self.config.wal_dir,
+                start_lsn=self.config.snapshot_lsn + 1,
+                fsync=self.config.wal_fsync,
+            )
+            replayed = await self._loop.run_in_executor(
+                self._engine_thread, self._replay_outstanding
+            )
+            if replayed:
+                print(
+                    f"server: replayed {replayed} WAL records "
+                    f"(engine now at lsn {self._wal.last_lsn})",
+                    file=sys.stderr,
+                )
         for k in self.config.warm_ks:
             await self._loop.run_in_executor(self._engine_thread, self.service.warm, int(k))
             if self.config.slo_enabled:
@@ -400,6 +499,18 @@ class SACServer:
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
+
+    def _replay_outstanding(self) -> int:
+        """Replay WAL records beyond ``snapshot_lsn`` into the engine (writer start)."""
+        cursor = WalCursor(self.config.wal_dir, start_lsn=self.config.snapshot_lsn + 1)
+        replayed = 0
+        while True:
+            records = cursor.poll(max_records=512)
+            if not records:
+                return replayed
+            for record in records:
+                self.service.apply_record(record)
+                replayed += 1
 
     async def serve_forever(self) -> None:
         """Run until :meth:`stop` — the CLI entry point installs signals here.
@@ -428,9 +539,21 @@ class SACServer:
             return False
         future: "asyncio.Future[object]" = self._loop.create_future()
         path = self.config.snapshot_path
-        self._jobs.put_nowait(_Job(kind="snapshot", run=lambda: self.service.save(path), future=future))
+        self._jobs.put_nowait(
+            _Job(kind="snapshot", run=lambda: self._save_snapshot(path), future=future)
+        )
         await future
         return True
+
+    def _save_snapshot(self, path: str) -> None:
+        """Snapshot the engine, stamping the covered WAL LSN when logging.
+
+        Runs on the engine thread inside a serialised job, so the WAL's
+        ``last_lsn`` at this instant is exactly the set of applied mutations
+        the snapshot captures.
+        """
+        lsn = self._wal.last_lsn if self._wal is not None else None
+        self.service.save(path, lsn=lsn)
 
     async def stop(self) -> None:
         """Drain and stop: refuse new work, answer everything in flight, release.
@@ -453,7 +576,7 @@ class SACServer:
             await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout_seconds)
         if self.config.snapshot_path is not None:
             await self._loop.run_in_executor(
-                self._engine_thread, self.service.save, self.config.snapshot_path
+                self._engine_thread, self._save_snapshot, self.config.snapshot_path
             )
         if self._writer_task is not None:
             self._writer_task.cancel()
@@ -461,6 +584,8 @@ class SACServer:
                 await self._writer_task
         await self._loop.run_in_executor(self._engine_thread, self.service.close)
         self._engine_thread.shutdown(wait=True)
+        if self._wal is not None:
+            self._wal.close()
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -536,7 +661,7 @@ class SACServer:
             return (*error_payload(503, "server is draining"), headers)
         name = f"{request.method} {request.path}"
         stats = self.endpoint_stats.setdefault(name, EndpointStats())
-        start = time.perf_counter()
+        start = self._clock()
         self._inflight += 1
         self._idle.clear()
         try:
@@ -545,7 +670,10 @@ class SACServer:
             status, payload = error_payload(error.status, error.message)
             headers = dict(error.headers)
             if "Retry-After" in headers:
-                payload["retry_after"] = float(headers["Retry-After"])
+                # The header is the source of truth: HTTP Retry-After is
+                # integer-valued, and the JSON payload must agree with what
+                # the header actually advertised (not the raw float config).
+                payload["retry_after"] = int(headers["Retry-After"])
         except ReproError as error:
             status, payload = error_payload(400, str(error))
         except Exception as error:  # noqa: BLE001 - the connection must survive
@@ -555,7 +683,7 @@ class SACServer:
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
-        stats.record(time.perf_counter() - start, error=status >= 400)
+        stats.record(self._clock() - start, error=status >= 400)
         return status, payload, headers
 
     # ------------------------------------------------------------ micro-batching
@@ -581,7 +709,7 @@ class SACServer:
                 # The remaining budget is measured when the job actually
                 # starts on the engine thread, so time spent queued behind
                 # other jobs automatically sheds the group to faster rungs.
-                now = time.perf_counter()
+                now = self._clock()
                 remaining = min(
                     entry.deadline_ms - (now - entry.arrived) * 1000.0
                     for entry in entries
@@ -651,7 +779,7 @@ class SACServer:
                 vertex=vertex,
                 future=future,
                 deadline_ms=deadline_ms,
-                arrived=time.perf_counter(),
+                arrived=self._clock(),
             )
         )
         if len(entries) >= self.config.max_batch_size:
@@ -806,9 +934,10 @@ class SACServer:
         ``bound`` (the deadline ladder may have answered below the requested
         ceiling); deadline-carrying requests additionally get
         ``deadline_ms`` / ``deadline_missed``, where "missed" is judged
-        against the *request's* wall clock (``arrived``), not the cost
-        model's opinion — a lying model can only mislabel rungs, never
-        unflag a late answer.
+        against the request's arrival stamp on the server's monotonic clock
+        (``arrived``), not the cost model's opinion — a lying model can only
+        mislabel rungs, never unflag a late answer — and never against the
+        wall clock, which NTP may step mid-request.
         """
         graph = self.service.graph
         label = graph.label_of(vertex)
@@ -841,7 +970,7 @@ class SACServer:
         if deadline_ms is not None:
             late = bool(batch.deadline_missed.get(vertex, False))
             if arrived is not None:
-                late = late or (time.perf_counter() - arrived) * 1000.0 > deadline_ms
+                late = late or (self._clock() - arrived) * 1000.0 > deadline_ms
             payload["deadline_ms"] = deadline_ms
             payload["deadline_missed"] = late
         return 200, payload
@@ -864,7 +993,7 @@ class SACServer:
         algorithm, params = self._parse_params(body, deadline=deadline_ms is not None)
         lane = LANE_DEADLINE if deadline_ms is not None else LANE_BESTEFFORT
         self._admit(lane)
-        arrived = time.perf_counter()
+        arrived = self._clock()
         try:
             batch = await self._enqueue_query(
                 vertex, (k, algorithm, params, lane), deadline_ms
@@ -892,12 +1021,12 @@ class SACServer:
         vertices = [self._resolve_vertex(label, "vertices") for label in labels]
         lane = LANE_DEADLINE if deadline_ms is not None else LANE_BESTEFFORT
         self._admit(lane, len(vertices))
-        arrived = time.perf_counter()
+        arrived = self._clock()
         try:
             future: "asyncio.Future[object]" = self._loop.create_future()
             if deadline_ms is not None:
                 def run(vertices=vertices, k=k, algorithm=algorithm, params=params, deadline_ms=deadline_ms, arrived=arrived):
-                    remaining = deadline_ms - (time.perf_counter() - arrived) * 1000.0
+                    remaining = deadline_ms - (self._clock() - arrived) * 1000.0
                     return self.service.submit_batch(
                         vertices,
                         k,
@@ -956,13 +1085,18 @@ class SACServer:
         for name, value in (("x", x), ("y", y)):
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise HttpError(400, f"{name!r} must be a number, got {value!r}")
-        await self._run_mutation(
-            lambda: self.service.apply_checkin(user, float(x), float(y))
-        )
+        def run(user=user, x=float(x), y=float(y)):
+            self.service.apply_checkin(user, x, y)
+            # Logged only after the apply succeeded, in the same serialised
+            # job — the WAL holds exactly the applied mutations, in order.
+            return self._wal_append({"op": "checkin", "user": user, "x": x, "y": y})
+
+        lsn = await self._run_mutation(run)
         return 200, {
             "applied": True,
             "user": self.service.graph.label_of(user),
             "location_updates": self.service.engine.stats.location_updates,
+            "lsn": lsn,
         }
 
     async def _handle_edge(self, request: Request) -> Tuple[int, dict]:
@@ -976,7 +1110,12 @@ class SACServer:
         op = body.get("op", "insert")
         if op not in ("insert", "delete"):
             raise HttpError(400, f"'op' must be 'insert' or 'delete', got {op!r}")
-        changed = await self._run_mutation(lambda: self.service.apply_edge(u, v, op))
+        def run(u=u, v=v, op=op):
+            changed = self.service.apply_edge(u, v, op)
+            lsn = self._wal_append({"op": "edge", "u": u, "v": v, "action": op})
+            return changed, lsn
+
+        changed, lsn = await self._run_mutation(run)
         graph = self.service.graph
         return 200, {
             "applied": True,
@@ -984,14 +1123,49 @@ class SACServer:
             "u": graph.label_of(u),
             "v": graph.label_of(v),
             "cores_changed": [graph.label_of(int(w)) for w in changed],
+            "lsn": lsn,
         }
+
+    async def _handle_compact(self, request: Request) -> Tuple[int, dict]:
+        """``POST /compact`` — roll the WAL into a fresh LSN-stamped snapshot.
+
+        Writer-only (requires both ``wal_dir`` and ``snapshot_path``).  The
+        engine is snapshotted with the last durable LSN stamped into the
+        manifest, then the log rotates to a fresh segment and drops the
+        records the snapshot now covers — replica cold-start stays
+        O(snapshot) instead of O(full mutation history).  Replicas that had
+        not reached the compaction point resync from this snapshot (see
+        :class:`repro.replication.ReplicaServer`).
+        """
+        if self._wal is None:
+            raise HttpError(400, "this server has no WAL to compact (no --wal-dir)")
+        if self.config.snapshot_path is None:
+            raise HttpError(400, "compaction needs a snapshot path (no --snapshot-to)")
+        path = self.config.snapshot_path
+
+        def run(path=path):
+            lsn = self._wal.last_lsn
+            self.service.save(path, lsn=lsn)
+            first = self._wal.rotate()
+            return {"compacted": True, "snapshot_lsn": lsn, "wal_starts_at": first,
+                    "snapshot_path": path}
+
+        future: "asyncio.Future[object]" = self._loop.create_future()
+        self._jobs.put_nowait(_Job(kind="snapshot", run=run, future=future))
+        return 200, await future
 
     async def _handle_stats(self, request: Request) -> Tuple[int, dict]:
         """``GET /stats`` — endpoint, batcher, plan, and service counters."""
         service_stats = self.service.stats()
         engine_stats = service_stats.engine
         return 200, {
-            "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
+            "uptime_seconds": round(self._clock() - self._monotonic_start, 3),
+            "replication": {
+                "role": self.role,
+                "lsn": self.durable_lsn,
+                "applied_lsn": self.applied_lsn,
+                "wal_dir": self.config.wal_dir,
+            },
             "endpoints": {
                 name: stats.as_dict() for name, stats in sorted(self.endpoint_stats.items())
             },
@@ -1048,10 +1222,13 @@ class SACServer:
         return 200, {
             "status": "draining" if self._draining else "ok",
             "version": __version__,
-            "uptime_seconds": round(time.perf_counter() - self._monotonic_start, 3),
+            "uptime_seconds": round(self._clock() - self._monotonic_start, 3),
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
             "incremental": isinstance(self.service.engine, IncrementalEngine),
+            "role": self.role,
+            "lsn": self.durable_lsn,
+            "applied_lsn": self.applied_lsn,
         }
 
 
@@ -1086,21 +1263,29 @@ class ServerHandle:
         self.stop()
 
 
-def start_in_thread(service: SACService, config: Optional[ServerConfig] = None) -> ServerHandle:
+def start_in_thread(
+    service: SACService,
+    config: Optional[ServerConfig] = None,
+    *,
+    server_factory: Optional[Callable[[SACService, ServerConfig], SACServer]] = None,
+) -> ServerHandle:
     """Run a :class:`SACServer` in a daemon thread; returns when it is listening.
 
     The in-process harness the tests and ``bench_server_latency.py`` use:
     no subprocess, no fixed port (pass ``port=0``), deterministic shutdown
     via :meth:`ServerHandle.stop`.  Signal handlers are NOT installed (they
     only work on the main thread); the handle's ``stop`` is the only
-    shutdown path.
+    shutdown path.  ``server_factory`` swaps in a :class:`SACServer`
+    subclass — how the replication tests boot
+    :class:`repro.replication.ReplicaServer` instances in-process.
     """
     config = config or ServerConfig(port=0)
+    factory = server_factory or SACServer
     started = threading.Event()
     box: dict = {}
 
     async def _run() -> None:
-        server = SACServer(service, config)
+        server = factory(service, config)
         await server.start()
         box["server"] = server
         box["loop"] = asyncio.get_running_loop()

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
@@ -33,7 +34,9 @@ REASONS = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Upper bound on one header line (and the request line); longer is a 431.
@@ -199,3 +202,76 @@ async def write_response(
 def error_payload(status: int, message: str) -> Tuple[int, dict]:
     """Build the uniform error body every failure path answers with."""
     return status, {"error": message, "status": status}
+
+
+def encode_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    *,
+    host: str = "localhost",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one request to wire bytes — the client half of the framing.
+
+    Used by the replication coordinator (:mod:`repro.replication`) to proxy
+    requests to backends over asyncio streams; bodies are passed through as
+    raw bytes so a proxied request is re-framed, never re-interpreted.
+    """
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def read_response(
+    reader: StreamReader, *, max_body_bytes: int
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse one HTTP response off the stream: ``(status, headers, body)``.
+
+    The client-side twin of :func:`read_request`, with the same bounded
+    header and body limits.  Raises :class:`ConnectionClosed` on EOF before
+    the status line and :class:`HttpError` (as a 502-ish framing failure)
+    for malformed upstream responses.
+    """
+    line = await _read_line(reader)
+    parts = line.split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/1."):
+        raise HttpError(502, f"malformed response status line: {line[:120]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(502, f"malformed response status {parts[1]!r}") from None
+
+    headers: Dict[str, str] = {}
+    while True:
+        if len(headers) > MAX_HEADER_COUNT:
+            raise HttpError(502, "too many response header lines")
+        try:
+            raw = await _read_line(reader)
+        except ConnectionClosed:
+            raise HttpError(502, "connection closed inside response headers") from None
+        if not raw:
+            break
+        name, sep, value = raw.partition(b":")
+        if not sep:
+            raise HttpError(502, f"malformed response header: {raw[:120]!r}")
+        headers[name.decode("latin-1").strip().lower()] = value.decode("latin-1").strip()
+
+    body = b""
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(502, "invalid response Content-Length") from None
+    if length < 0 or length > max_body_bytes:
+        raise HttpError(502, f"unacceptable response body length {length}")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except IncompleteReadError:
+            raise HttpError(502, "connection closed inside the response body") from None
+    return status, headers, body

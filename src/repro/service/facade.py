@@ -85,6 +85,12 @@ class SACService:
         pre-plan per-query pipeline; answers are bit-identical either way.
     pool_factory:
         Forwarded to :class:`~repro.service.sharding.ShardedExecutor`.
+    clock:
+        Monotonic time source (seconds) for every elapsed-time and deadline
+        measurement — batch timings, SLO budgets, late flags; defaults to
+        :func:`time.perf_counter`.  The service never reads the wall clock,
+        so deadline judgments are immune to clock steps; tests inject a
+        stepped fake clock here.
 
     Examples
     --------
@@ -106,11 +112,17 @@ class SACService:
         use_shared_memory: bool = True,
         use_plan: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if (graph is None) == (engine is None):
             raise InvalidParameterError("pass exactly one of graph or engine")
         self.engine = engine if engine is not None else QueryEngine(graph)
         self.use_plan = bool(use_plan)
+        self._clock: Callable[[], float] = clock or perf_counter
+        #: Path of the snapshot this service was opened from (set by
+        #: :meth:`open`, ``None`` otherwise) — the replication tier resyncs
+        #: a lagging replica by reopening it.
+        self.store_path: Optional[str] = None
         self.executor = ShardedExecutor(
             self.engine,
             workers=workers,
@@ -134,7 +146,7 @@ class SACService:
         return self.engine.graph
 
     # ------------------------------------------------------------- persistence
-    def save(self, path) -> None:
+    def save(self, path, *, lsn: Optional[int] = None) -> None:
         """Snapshot the engine (graph + cached artifacts) to a store directory.
 
         Everything the engine has computed so far — core numbers, k-ĉore
@@ -142,11 +154,13 @@ class SACService:
         :class:`repro.store.ArtifactStore` at ``path``; call
         :meth:`warm` (and run representative batches) first to capture a
         fully materialised state.  Reopen with :meth:`open` for a
-        millisecond warm start.
+        millisecond warm start.  ``lsn`` stamps the snapshot with the WAL
+        sequence number it covers (the replication writer passes its last
+        durable LSN; see :attr:`repro.store.ArtifactStore.lsn`).
         """
         from repro.store import ArtifactStore
 
-        ArtifactStore.save(path, self.engine)
+        ArtifactStore.save(path, self.engine, lsn=lsn)
 
     @classmethod
     def open(
@@ -160,6 +174,7 @@ class SACService:
         use_shared_memory: bool = True,
         use_plan: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
+        clock: Optional[Callable[[], float]] = None,
     ) -> "SACService":
         """Open a service over a snapshot written by :meth:`save`.
 
@@ -168,10 +183,11 @@ class SACService:
         :meth:`apply_checkin` / :meth:`apply_edge` work out of the box; pass
         ``incremental=False`` for a plain read-only
         :class:`~repro.engine.QueryEngine`).  All other parameters match the
-        constructor.
+        constructor.  The opened path is remembered as :attr:`store_path`
+        so the replication tier can reopen the snapshot in place.
         """
         engine_cls = IncrementalEngine if incremental else QueryEngine
-        return cls(
+        service = cls(
             engine=engine_cls.from_store(path),
             workers=workers,
             use_cache=use_cache,
@@ -179,7 +195,10 @@ class SACService:
             use_shared_memory=use_shared_memory,
             use_plan=use_plan,
             pool_factory=pool_factory,
+            clock=clock,
         )
+        service.store_path = str(path)
+        return service
 
     # ----------------------------------------------------------------- serving
     def warm(self, k: int) -> int:
@@ -286,7 +305,7 @@ class SACService:
         if self.cache is None:
             return self.executor.run(queries, k, algorithm=algorithm, **params)
 
-        start = perf_counter()
+        start = self._clock()
         hits: Dict[int, SACResult] = {}
         misses: List[int] = []
         hit_count = 0
@@ -311,7 +330,7 @@ class SACService:
             batch = BatchResult()
         batch.results.update(hits)
         batch.cache_hits = hit_count
-        batch.elapsed_seconds = perf_counter() - start
+        batch.elapsed_seconds = self._clock() - start
         return batch
 
     def _submit_batch_planned(
@@ -322,7 +341,7 @@ class SACService:
         params: Dict[str, float],
     ) -> BatchResult:
         """The plan-driven batch pipeline: plan -> execute groups -> fill cache."""
-        start = perf_counter()
+        start = self._clock()
         plan = plan_batch(
             self.engine, queries, k, algorithm=algorithm, params=params, cache=self.cache
         )
@@ -344,7 +363,7 @@ class SACService:
                         representative=group.representative,
                         version=group.version,
                     )
-        batch.elapsed_seconds = perf_counter() - start
+        batch.elapsed_seconds = self._clock() - start
         return batch
 
     def _submit_batch_slo(
@@ -373,7 +392,7 @@ class SACService:
         # Warm-up calibration is a one-time cost of the service, not of the
         # request that happened to arrive first — fit before the clock starts.
         self.calibrate_slo(k)
-        start = perf_counter()
+        start = self._clock()
         deadline_ms = max(0.0, float(deadline_ms))
         plan = plan_batch(
             self.engine, queries, k, algorithm=ceiling, params=params, cache=None
@@ -401,7 +420,7 @@ class SACService:
         for group in groups:
             size = self.engine.component_size(k, group.component)
             resident = self.engine.bundle_resident(k, group.representative)
-            remaining = deadline_ms - (perf_counter() - start) * 1000.0
+            remaining = deadline_ms - (self._clock() - start) * 1000.0
 
             ladder_pending: Dict[str, int] = {}
             for rung in ladder_from(ceiling):
@@ -464,11 +483,11 @@ class SACService:
                 group.algorithm = choice.algorithm
                 group.params = rung_params
                 group.queries = to_compute
-                group_start = perf_counter()
+                group_start = self._clock()
                 computed = execute_group(
                     self.engine, plan, group, errors=batch.errors, failed=batch.failed
                 )
-                group_ms = (perf_counter() - group_start) * 1000.0
+                group_ms = (self._clock() - group_start) * 1000.0
                 self.slo_model.observe(
                     choice.algorithm,
                     size,
@@ -488,7 +507,7 @@ class SACService:
                         version=group.version,
                     )
 
-            late = (perf_counter() - start) * 1000.0 > deadline_ms
+            late = (self._clock() - start) * 1000.0 > deadline_ms
             for query in computed:
                 batch.deadline_missed[query] = late
                 if late:
@@ -496,13 +515,13 @@ class SACService:
 
         # Cache hits and plan-time outcomes resolved before any execution
         # are late only if the deadline was blown overall.
-        late = (perf_counter() - start) * 1000.0 > deadline_ms
+        late = (self._clock() - start) * 1000.0 > deadline_ms
         for query in batch.results:
             if query not in batch.deadline_missed:
                 batch.deadline_missed[query] = late
                 if late:
                     self.slo_stats.deadline_missed += 1
-        batch.elapsed_seconds = perf_counter() - start
+        batch.elapsed_seconds = self._clock() - start
         return batch
 
     # ------------------------------------------------------------- mutation
@@ -533,6 +552,17 @@ class SACService:
         bumps.
         """
         return self._incremental_engine().apply_edge(u, v, op)
+
+    def apply_record(self, record: dict) -> None:
+        """Replay one WAL mutation record through the incremental engine.
+
+        The replication tier's replay path: replicas (and a restarting
+        writer) feed :class:`repro.store.WalCursor` records here in LSN
+        order; :meth:`repro.engine.IncrementalEngine.apply_record` runs the
+        same in-place repairs the writer ran, and the answer cache follows
+        via the component-version bumps exactly as for first-hand mutations.
+        """
+        self._incremental_engine().apply_record(record)
 
     def close(self) -> None:
         """Release the executor's process pool (recreated on next use)."""

@@ -159,11 +159,18 @@ class RungCoefficients:
 
 @dataclass
 class CostModelStats:
-    """Calibration/feedback counters of one :class:`CostModel`."""
+    """Calibration/feedback counters of one :class:`CostModel`.
+
+    ``observations_clamped`` counts feedback updates that hit the
+    per-calibration-window ratchet bound (see :meth:`CostModel.observe`) —
+    a persistently high count means the machine has genuinely drifted from
+    its probes and a recalibration is due.
+    """
 
     calibrations: int = 0
     probes: int = 0
     observations: int = 0
+    observations_clamped: int = 0
 
 
 @dataclass
@@ -222,6 +229,22 @@ class CostModel:
         #: ``(algorithm, component size, measured ms)`` triples recorded by
         #: :meth:`calibrate` — kept for inspection and the convergence tests.
         self.calibration_probes: List[Tuple[str, int, float]] = []
+        #: Total drift :meth:`observe` may accumulate per calibration window
+        #: — coefficients stay within ``[anchor / 10, anchor * 10]`` of the
+        #: values the last :meth:`calibrate` fitted (or the priors).
+        self.window_clamp = 10.0
+        self._window_anchors: Dict[str, RungCoefficients] = {}
+        self._reset_window_anchors()
+
+    def _reset_window_anchors(self) -> None:
+        """Re-anchor the feedback clamp window at the current coefficients."""
+        self._window_anchors = {
+            algorithm: RungCoefficients(
+                fixed_ms=coefficients.fixed_ms,
+                per_candidate_ms=coefficients.per_candidate_ms,
+            )
+            for algorithm, coefficients in self.rungs.items()
+        }
 
     # -------------------------------------------------------------- predict
     def predict(self, algorithm: str, size: int, *, resident: bool = True) -> float:
@@ -339,6 +362,9 @@ class CostModel:
                 coefficients.fixed_ms = max(_COEFFICIENT_FLOOR, intercept)
         self.stats.calibrations += 1
         self.stats.probes += ran
+        # A fresh fit opens a fresh feedback window: observe() may drift the
+        # coefficients up to window_clamp away from THESE values, no further.
+        self._reset_window_anchors()
         return ran
 
     # -------------------------------------------------------------- observe
@@ -359,8 +385,17 @@ class CostModel:
         average — a multiplicative update, so the model converges onto a
         machine that is uniformly faster or slower than its probes without
         ever producing a non-positive (monotonicity-breaking) coefficient.
-        Per-update scaling is clamped to one order of magnitude so a single
-        scheduler hiccup cannot wreck the fit.
+
+        Two clamps bound the feedback.  Per update, the observed/predicted
+        ratio is limited to one order of magnitude so a single scheduler
+        hiccup cannot wreck the fit.  Per **calibration window**, the
+        coefficients themselves are held within ``window_clamp`` (10×) of
+        the values the last :meth:`calibrate` fitted — without this, a burst
+        of pathological group latencies compounds the per-update clamp
+        (1.0 → 10× per batch of ~9 updates at the default learning rate)
+        and can ratchet the model arbitrarily far.  Under the window clamp,
+        adversarial observation streams saturate at the envelope and stop;
+        escaping it requires an actual recalibration.
         """
         if queries <= 0 or elapsed_ms < 0:
             return
@@ -375,11 +410,26 @@ class CostModel:
         ratio = observed / max(_COEFFICIENT_FLOOR, predicted)
         ratio = min(10.0, max(0.1, ratio))
         factor = (1.0 - learning_rate) + learning_rate * ratio
-        coefficients.fixed_ms = max(_COEFFICIENT_FLOOR, coefficients.fixed_ms * factor)
-        coefficients.per_candidate_ms = max(
-            _COEFFICIENT_FLOOR, coefficients.per_candidate_ms * factor
+        anchor = self._window_anchors.get(algorithm, coefficients)
+        clamped = False
+
+        def _bounded(value: float, anchor_value: float) -> float:
+            nonlocal clamped
+            low = max(_COEFFICIENT_FLOOR, anchor_value / self.window_clamp)
+            high = max(_COEFFICIENT_FLOOR, anchor_value * self.window_clamp)
+            bounded = min(high, max(low, value))
+            clamped = clamped or bounded != value
+            return bounded
+
+        coefficients.fixed_ms = _bounded(
+            coefficients.fixed_ms * factor, anchor.fixed_ms
+        )
+        coefficients.per_candidate_ms = _bounded(
+            coefficients.per_candidate_ms * factor, anchor.per_candidate_ms
         )
         self.stats.observations += 1
+        if clamped:
+            self.stats.observations_clamped += 1
 
 
 def select_rung(

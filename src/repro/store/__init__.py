@@ -18,11 +18,25 @@ artifacts from the computing process:
   arrays once into a ``multiprocessing.shared_memory`` segment and workers
   attach views, so per-batch messages carry query ids instead of megabytes;
 * :mod:`repro.store.manifest` — the shared versioned manifest schema, also
-  embedded in the graph ``.npz`` cache format of :mod:`repro.graph.io`.
+  embedded in the graph ``.npz`` cache format of :mod:`repro.graph.io`;
+* :class:`WriteAheadLog` / :class:`WalCursor` — the append-only mutation
+  log that keeps :mod:`repro.replication` read replicas bit-identical to
+  the single writer: framed JSON records with monotonic LSNs and CRCs,
+  torn-tail recovery, and segment rotation for log compaction.
 """
 
 from repro.store.artifact_store import ArtifactStore
 from repro.store.manifest import STORE_FORMAT, STORE_VERSION
 from repro.store.sharedmem import SharedArrayPack
+from repro.store.wal import WalCursor, WalError, WalGapError, WriteAheadLog
 
-__all__ = ["ArtifactStore", "SharedArrayPack", "STORE_FORMAT", "STORE_VERSION"]
+__all__ = [
+    "ArtifactStore",
+    "SharedArrayPack",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "WalCursor",
+    "WalError",
+    "WalGapError",
+    "WriteAheadLog",
+]

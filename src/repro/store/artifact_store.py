@@ -278,7 +278,7 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------ save
     @classmethod
-    def save(cls, path: "str | Path", engine) -> "ArtifactStore":
+    def save(cls, path: "str | Path", engine, *, lsn: Optional[int] = None) -> "ArtifactStore":
         """Snapshot a live engine (graph + every cached artifact) to ``path``.
 
         ``engine`` is any object with the
@@ -287,6 +287,12 @@ class ArtifactStore:
         overwritten in place, but a non-empty directory that is not a store
         is refused rather than clobbered.  Only integer-labelled graphs can
         be snapshotted (the same restriction as the graph ``.npz`` format).
+
+        ``lsn`` stamps the snapshot with the write-ahead-log sequence number
+        it covers (see :mod:`repro.store.wal`): a replica warm-starting from
+        this snapshot resumes WAL replay at ``lsn + 1``.  Omitted for
+        snapshots taken outside the replication tier; readers of such
+        snapshots see :attr:`lsn` ``== 0``.
         """
         path = Path(path)
         graph: SpatialGraph = engine.graph
@@ -305,6 +311,10 @@ class ArtifactStore:
             return array_entry(blobs[name], name)
 
         manifest: Dict[str, object] = manifest_header("engine")
+        if lsn is not None:
+            if not isinstance(lsn, int) or lsn < 0:
+                raise StoreError(f"snapshot lsn must be a non-negative int, got {lsn!r}")
+            manifest["lsn"] = lsn
         graph_arrays = graph.export_arrays()
         labels_array = np.asarray(labels, dtype=np.int64)
         graph_section: Dict[str, object] = {
@@ -401,6 +411,19 @@ class ArtifactStore:
         """Manifest format version of the opened snapshot."""
         return int(self.manifest.get("version", STORE_VERSION))
 
+    @property
+    def lsn(self) -> int:
+        """WAL sequence number this snapshot covers (0 when not stamped).
+
+        Snapshots written by the replication tier's compaction path record
+        the last WAL LSN folded into them; everything at or below this LSN
+        is already part of the snapshot, and replay resumes at ``lsn + 1``.
+        Snapshots from older builds or non-replicated flows carry no stamp
+        and report 0 (replay, if any, starts from the beginning).
+        """
+        value = self.manifest.get("lsn", 0)
+        return int(value) if isinstance(value, int) else 0
+
     def nbytes(self) -> int:
         """Total size of the snapshot's array pack on disk."""
         pack = self.path / PACK_NAME
@@ -418,4 +441,5 @@ class ArtifactStore:
             "ks": [int(item["k"]) for item in self.manifest.get("labellings", [])],
             "bundles": len(self.manifest.get("bundles", [])),
             "bytes": self.nbytes(),
+            "lsn": self.lsn,
         }

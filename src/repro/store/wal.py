@@ -1,0 +1,318 @@
+"""Append-only write-ahead log for replicating engine mutations.
+
+The replication tier (:mod:`repro.replication`) keeps N read replicas
+bit-identical to one writer by replaying the writer's mutation stream: every
+``checkin``/``edge`` the writer applies is appended here as one framed
+record, and replicas tail the log with a :class:`WalCursor`, feeding each
+record through :meth:`repro.engine.IncrementalEngine.apply_record`.
+
+Format
+------
+A log is a directory of **segment** files named ``wal-<first_lsn>.seg``,
+where ``<first_lsn>`` is the LSN the segment starts at (zero-padded so
+lexicographic order is LSN order).  Each record is framed as::
+
+    <length:4 LE> <crc32(payload):4 LE> <payload: UTF-8 JSON>
+
+The payload is a JSON object whose first key is the record's ``lsn`` —
+log sequence numbers are assigned by the writer, start at 1, and increase
+by exactly 1 per record with no gaps inside the retained log.
+
+Crash safety
+------------
+* A torn tail (process killed mid-append) is detected on reopen — the
+  trailing bytes fail the length or CRC check and are truncated, and the
+  writer resumes at the last *durable* LSN + 1.
+* Readers treat an incomplete or CRC-failing tail as "not yet written" and
+  simply retry on the next poll; a partially flushed record is therefore
+  never replayed.
+* :meth:`WriteAheadLog.rotate` (log compaction) creates the new segment
+  before unlinking old ones, so a concurrent reader either still sees the
+  old records or observes a clean gap — never an empty directory.  A reader
+  whose position was compacted away gets :class:`WalGapError` and must
+  resync from the snapshot that covered the compaction point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import StoreError
+
+#: Record header: payload length then CRC-32 of the payload, little-endian.
+_HEADER = struct.Struct("<II")
+
+#: Upper bound on one record's payload; anything larger is corruption.
+_MAX_RECORD_BYTES = 1 << 24
+
+#: Segment file names sort lexicographically in LSN order at this width.
+_LSN_DIGITS = 20
+
+
+class WalError(StoreError):
+    """A write-ahead log is corrupt or was used inconsistently."""
+
+
+class WalGapError(WalError):
+    """The requested LSN was compacted out of the log.
+
+    Raised by :meth:`WalCursor.poll` when the oldest retained segment starts
+    *after* the cursor's next LSN.  The reader must resync from a snapshot
+    whose manifest LSN is at least ``available_lsn - 1`` and resume from
+    there.
+    """
+
+    def __init__(self, needed_lsn: int, available_lsn: int) -> None:
+        super().__init__(
+            f"WAL records from lsn {needed_lsn} were compacted away; "
+            f"log now starts at lsn {available_lsn} — resync from snapshot"
+        )
+        self.needed_lsn = needed_lsn
+        self.available_lsn = available_lsn
+
+
+def _segment_name(first_lsn: int) -> str:
+    """File name of the segment starting at ``first_lsn``."""
+    return f"wal-{first_lsn:0{_LSN_DIGITS}d}.seg"
+
+
+def _segments(path: Path) -> List[Tuple[int, Path]]:
+    """All segment files under ``path`` as ``(first_lsn, file)``, sorted."""
+    found: List[Tuple[int, Path]] = []
+    for entry in path.glob("wal-*.seg"):
+        digits = entry.name[len("wal-") : -len(".seg")]
+        if digits.isdigit():
+            found.append((int(digits), entry))
+    found.sort()
+    return found
+
+
+def _scan_frames(buffer: bytes, base_offset: int) -> List[Tuple[int, bytes]]:
+    """Parse complete, CRC-valid frames out of ``buffer``.
+
+    Returns ``(end_offset, payload)`` pairs where ``end_offset`` is absolute
+    (``base_offset``-relative input, absolute output).  Scanning stops at the
+    first incomplete or CRC-failing frame — by construction that is either
+    the torn tail of a crashed writer or bytes a live writer has not finished
+    flushing; callers decide whether to truncate (writer recovery) or retry
+    later (readers).
+    """
+    frames: List[Tuple[int, bytes]] = []
+    offset = 0
+    end = len(buffer)
+    while offset + _HEADER.size <= end:
+        length, crc = _HEADER.unpack_from(buffer, offset)
+        stop = offset + _HEADER.size + length
+        if length > _MAX_RECORD_BYTES or stop > end:
+            break
+        payload = buffer[offset + _HEADER.size : stop]
+        if zlib.crc32(payload) != crc:
+            break
+        frames.append((base_offset + stop, payload))
+        offset = stop
+    return frames
+
+
+def _decode(payload: bytes, source: str) -> Dict[str, object]:
+    """Decode one CRC-verified payload into its record dict."""
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise WalError(f"{source}: undecodable WAL record: {error}") from None
+    if not isinstance(record, dict) or not isinstance(record.get("lsn"), int):
+        raise WalError(f"{source}: WAL record lacks an integer lsn")
+    return record
+
+
+class WriteAheadLog:
+    """The single writer's append handle over a WAL directory.
+
+    Opening recovers the log: the last segment's torn tail (if any) is
+    truncated and appending resumes at the last durable LSN + 1.  Exactly one
+    process may hold a :class:`WriteAheadLog` on a directory at a time; any
+    number of :class:`WalCursor` readers may tail it concurrently.
+
+    Parameters
+    ----------
+    path:
+        The WAL directory (created if missing).
+    start_lsn:
+        First LSN of a *fresh* log (ignored when segments already exist).
+        A writer warm-starting from a snapshot at manifest LSN ``L`` with no
+        retained WAL passes ``L + 1``.
+    fsync:
+        When true, ``fsync`` after every append — durable against machine
+        crashes, at a heavy per-record cost.  The default flushes to the OS
+        (durable against *process* crashes), which is the right trade for
+        the replication tier where the snapshot is the recovery anchor.
+    """
+
+    def __init__(
+        self, path: "str | Path", *, start_lsn: int = 1, fsync: bool = False
+    ) -> None:
+        if start_lsn < 1:
+            raise WalError(f"start_lsn must be >= 1, got {start_lsn}")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._fsync = bool(fsync)
+        segments = _segments(self.path)
+        if not segments:
+            self._segment_first = start_lsn
+            self._next_lsn = start_lsn
+            segment_path = self.path / _segment_name(start_lsn)
+            self._file = open(segment_path, "ab")
+            return
+        first_lsn, tail_path = segments[-1]
+        raw = tail_path.read_bytes()
+        frames = _scan_frames(raw, 0)
+        durable_end = frames[-1][0] if frames else 0
+        if durable_end < len(raw):
+            # Torn tail from a crashed append: drop the partial record so
+            # the next append lands on a clean frame boundary.
+            with open(tail_path, "r+b") as handle:
+                handle.truncate(durable_end)
+        self._segment_first = first_lsn
+        if frames:
+            last = _decode(frames[-1][1], str(tail_path))
+            self._next_lsn = int(last["lsn"]) + 1
+        else:
+            self._next_lsn = first_lsn
+        self._file = open(tail_path, "ab")
+
+    # ------------------------------------------------------------- appending
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next :meth:`append` will assign."""
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """The last durable LSN (0 when the log has never been written)."""
+        return self._next_lsn - 1
+
+    def append(self, record: Dict[str, object]) -> int:
+        """Append one mutation record; returns its assigned LSN.
+
+        The record must be JSON-serialisable; an ``lsn`` key, if present, is
+        ignored and replaced by the assigned sequence number.
+        """
+        lsn = self._next_lsn
+        body = {"lsn": lsn}
+        body.update((key, value) for key, value in record.items() if key != "lsn")
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        if len(payload) > _MAX_RECORD_BYTES:
+            raise WalError(f"WAL record of {len(payload)} bytes exceeds the frame limit")
+        self._file.write(_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        self._next_lsn = lsn + 1
+        return lsn
+
+    # ------------------------------------------------------------ compaction
+    def rotate(self) -> int:
+        """Start a fresh segment at ``next_lsn`` and drop all older ones.
+
+        This is the log-compaction primitive: the caller first snapshots the
+        engine with ``lsn=self.last_lsn`` (so every dropped record is covered
+        by the snapshot), then rotates.  The new segment is created *before*
+        old segments are unlinked.  Returns the first LSN of the new segment.
+        """
+        old = [segment_path for _, segment_path in _segments(self.path)]
+        self._file.close()
+        self._segment_first = self._next_lsn
+        self._file = open(self.path / _segment_name(self._next_lsn), "ab")
+        for segment_path in old:
+            try:
+                segment_path.unlink()
+            except FileNotFoundError:
+                pass
+        return self._segment_first
+
+    def close(self) -> None:
+        """Flush and close the active segment file."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        """Context-manager entry: returns the log itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: closes the active segment."""
+        self.close()
+
+
+class WalCursor:
+    """A follower's read position in a WAL directory.
+
+    Cursors are cheap, stateful, and safe against a concurrently appending
+    writer: each :meth:`poll` returns every *complete* record at or beyond
+    the cursor's ``next_lsn`` and advances past them.  An in-flight append is
+    simply absent from this poll and picked up by the next one.  Readers and
+    the writer share no state but the directory.
+    """
+
+    def __init__(self, path: "str | Path", *, start_lsn: int = 1) -> None:
+        if start_lsn < 1:
+            raise WalError(f"start_lsn must be >= 1, got {start_lsn}")
+        self.path = Path(path)
+        self.next_lsn = start_lsn
+        # (segment_first_lsn, byte_offset) of the scan position, so tailing
+        # an active segment re-reads only bytes appended since last poll.
+        self._position: Optional[Tuple[int, int]] = None
+
+    def poll(self, max_records: Optional[int] = None) -> List[Dict[str, object]]:
+        """Return new records in LSN order, advancing the cursor past them.
+
+        Raises :class:`WalGapError` when the cursor's position was compacted
+        away (see :meth:`WriteAheadLog.rotate`).  Returns an empty list when
+        the log has no news — including when the directory does not exist
+        yet, so a replica can start before its writer.
+        """
+        if not self.path.is_dir():
+            return []
+        segments = _segments(self.path)
+        if not segments:
+            return []
+        if self.next_lsn < segments[0][0]:
+            raise WalGapError(self.next_lsn, segments[0][0])
+        records: List[Dict[str, object]] = []
+        for first_lsn, segment_path in segments:
+            if first_lsn > self.next_lsn:
+                # Contiguity check: the next segment may only begin exactly
+                # where the cursor stands; anything else means the writer
+                # rotated past us mid-iteration.
+                raise WalGapError(self.next_lsn, first_lsn)
+            offset = 0
+            if self._position is not None and self._position[0] == first_lsn:
+                offset = self._position[1]
+            try:
+                with open(segment_path, "rb") as handle:
+                    handle.seek(offset)
+                    buffer = handle.read()
+            except FileNotFoundError:
+                # Rotated away between listing and open; re-poll cleanly.
+                self._position = None
+                return records
+            for end_offset, payload in _scan_frames(buffer, offset):
+                record = _decode(payload, str(segment_path))
+                lsn = int(record["lsn"])
+                if lsn >= self.next_lsn:
+                    if lsn != self.next_lsn:
+                        raise WalError(
+                            f"{segment_path}: expected lsn {self.next_lsn}, "
+                            f"found {lsn} — WAL sequence is broken"
+                        )
+                    records.append(record)
+                    self.next_lsn = lsn + 1
+                self._position = (first_lsn, end_offset)
+                if max_records is not None and len(records) >= max_records:
+                    return records
+        return records

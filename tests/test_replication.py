@@ -1,0 +1,403 @@
+"""The replicated tier: WAL replay bit-identity, staleness, failover.
+
+Every test boots real daemons on ephemeral ports (writer, replicas, and —
+where routing is under test — a coordinator) over one shared snapshot and
+one shared WAL directory, and talks to them over real sockets.  The
+contract being pinned, from ``docs/serving.md``:
+
+* a replica's answer at ``applied_lsn`` is **bit-identical** to a serial
+  replay of the same mutation prefix through one
+  :class:`repro.engine.IncrementalEngine` — same members, same radius bits;
+* the coordinator's ``X-Staleness-LSN`` never exceeds ``max_staleness_lsn``
+  on any served read, and mutations only ever land on the writer;
+* killing a replica mid-traffic loses no answers (failover), and a replica
+  that falls behind a compaction resyncs from the fresh snapshot to exactly
+  the state a cold rebuild would reach.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets.geosocial import brightkite_like
+from repro.engine import IncrementalEngine
+from repro.replication import (
+    CoordinatorConfig,
+    ReplicaServer,
+    start_coordinator_in_thread,
+)
+from repro.server import SACClient, ServerConfig, ServerError, start_in_thread
+from repro.service import SACService
+from repro.store import ArtifactStore, WriteAheadLog
+
+K = 4
+EPS = {"epsilon_f": 0.5}
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    """One small geo-social graph shared by every tier in this module."""
+    return brightkite_like(num_vertices=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def snapshot(base_graph, tmp_path_factory):
+    """One LSN-0 snapshot every writer/replica/oracle warm-starts from."""
+    path = tmp_path_factory.mktemp("tier") / "store"
+    service = SACService(engine=IncrementalEngine(base_graph.mutable_copy()))
+    service.save(str(path))
+    service.close()
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def eligible(snapshot):
+    """Labels of six vertices inside the k-core (queries with answers)."""
+    engine = IncrementalEngine.from_store(snapshot)
+    cores = engine.core_numbers()
+    graph = engine.graph
+    labels = [
+        graph.label_of(v) for v in range(graph.num_vertices) if cores[v] >= K
+    ][:6]
+    assert len(labels) == 6, "fixture graph too sparse"
+    return labels
+
+
+def _mutations(labels):
+    """A deterministic interleaved mutation trace over eligible users."""
+    return [
+        {"op": "checkin", "user": labels[0], "x": 0.99, "y": 0.99},
+        {"op": "checkin", "user": labels[1], "x": 0.98, "y": 0.97},
+        {"op": "checkin", "user": labels[0], "x": 0.01, "y": 0.02},
+        {"op": "checkin", "user": labels[2], "x": 0.5, "y": 0.5},
+    ]
+
+
+class _Tier:
+    """Boot writer + replicas (+ coordinator) over one snapshot + WAL dir."""
+
+    def __init__(self, snapshot, wal_dir, *, replicas=1, coordinator=False,
+                 max_staleness_lsn=0, poll_interval_ms=10.0):
+        self.snapshot = snapshot
+        self.wal_dir = str(wal_dir)
+        self.writer = start_in_thread(
+            SACService.open(snapshot),
+            ServerConfig(port=0, max_linger_ms=2.0, wal_dir=self.wal_dir,
+                         snapshot_path=snapshot),
+        )
+        self.replicas = [
+            start_in_thread(
+                SACService.open(snapshot),
+                ServerConfig(port=0, max_linger_ms=2.0, wal_dir=self.wal_dir),
+                server_factory=lambda service, config: ReplicaServer(
+                    service,
+                    config,
+                    writer_url=f"http://127.0.0.1:{self.writer.port}",
+                    poll_interval_ms=poll_interval_ms,
+                ),
+            )
+            for _ in range(replicas)
+        ]
+        self.coordinator = None
+        if coordinator:
+            self.coordinator = start_coordinator_in_thread(
+                CoordinatorConfig(
+                    port=0,
+                    writer=f"127.0.0.1:{self.writer.port}",
+                    replicas=tuple(
+                        f"127.0.0.1:{h.port}" for h in self.replicas
+                    ),
+                    max_staleness_lsn=max_staleness_lsn,
+                    health_interval_ms=50.0,
+                )
+            )
+
+    def client(self):
+        handle = self.coordinator or self.writer
+        return SACClient("127.0.0.1", handle.port)
+
+    def stop(self):
+        if self.coordinator is not None:
+            self.coordinator.stop()
+        for handle in self.replicas:
+            handle.stop()
+        self.writer.stop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+def _wait_applied(handle, lsn, timeout=10.0):
+    """Block until a replica has replayed up to ``lsn``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if handle.server.applied_lsn >= lsn:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"replica stuck at lsn {handle.server.applied_lsn}, wanted {lsn}"
+    )
+
+
+def _expected(engine, label):
+    """The serial-replay oracle's JSON-visible answer for one query."""
+    graph = engine.graph
+    try:
+        result = engine.search(graph.index_of(label), K, **EPS)
+    except Exception:
+        return None
+    return {
+        "members": [graph.label_of(v) for v in sorted(result.members)],
+        "radius": result.circle.radius,
+        "center": [result.circle.center.x, result.circle.center.y],
+    }
+
+
+def _assert_identical(payload, expected, context):
+    if expected is None:
+        assert payload["found"] is False, context
+        return
+    assert payload["found"] is True, context
+    assert payload["members"] == expected["members"], context
+    assert payload["radius"] == expected["radius"], context
+    assert payload["center"] == expected["center"], context
+
+
+class TestWriterWal:
+    def test_mutations_are_logged_with_their_response_lsns(
+        self, base_graph, snapshot, eligible, tmp_path
+    ):
+        # An edge insert needs a non-adjacent pair.
+        u = eligible[0]
+        v = next(
+            label
+            for label in eligible[1:]
+            if not base_graph.has_edge(
+                base_graph.index_of(u), base_graph.index_of(label)
+            )
+        )
+        with _Tier(snapshot, tmp_path / "wal", replicas=0) as tier:
+            with tier.client() as client:
+                first = client.checkin(eligible[0], 0.9, 0.9)
+                second = client.edge(u, v, "insert")
+            assert first["lsn"] == 1
+            assert second["lsn"] == 2
+            stats_client = SACClient("127.0.0.1", tier.writer.port)
+            replication = stats_client.stats()["replication"]
+            stats_client.close()
+        assert replication["role"] == "writer"
+        assert replication["lsn"] == 2
+        from repro.store import WalCursor
+
+        records = WalCursor(tmp_path / "wal").poll()
+        assert [r["op"] for r in records] == ["checkin", "edge"]
+        # Logged as internal indices, in apply order.
+        assert records[0]["lsn"] == 1 and records[1]["lsn"] == 2
+
+    def test_writer_restart_replays_the_outstanding_log(
+        self, snapshot, eligible, tmp_path
+    ):
+        """A restarted writer folds WAL records past the snapshot back in."""
+        wal_dir = tmp_path / "wal"
+        mutations = _mutations(eligible)
+        with _Tier(snapshot, wal_dir, replicas=0) as tier:
+            with tier.client() as client:
+                for mutation in mutations:
+                    client.checkin(mutation["user"], mutation["x"], mutation["y"])
+        # Oracle: serial replay of the same prefix.
+        oracle = IncrementalEngine.from_store(snapshot)
+        for mutation in mutations:
+            oracle.apply_record(dict(mutation))
+        # The writer restarts over the same snapshot + WAL: it must land on
+        # the oracle's exact state before serving, and keep numbering where
+        # the log left off.
+        with _Tier(snapshot, wal_dir, replicas=0) as tier:
+            with tier.client() as client:
+                for label in eligible:
+                    _assert_identical(
+                        client.query(label, K, params=EPS),
+                        _expected(oracle, label),
+                        label,
+                    )
+                assert client.checkin(eligible[3], 0.7, 0.7)["lsn"] == len(
+                    mutations
+                ) + 1
+
+
+class TestReplicaReplay:
+    def test_interleaved_traffic_is_bit_identical_to_serial_replay(
+        self, snapshot, eligible, tmp_path
+    ):
+        """The tentpole contract, end to end over sockets."""
+        oracle = IncrementalEngine.from_store(snapshot)
+        with _Tier(snapshot, tmp_path / "wal", replicas=1) as tier:
+            replica = tier.replicas[0]
+            with tier.client() as writer_client, SACClient(
+                "127.0.0.1", replica.port
+            ) as replica_client:
+                for lsn, mutation in enumerate(_mutations(eligible), start=1):
+                    response = writer_client.checkin(
+                        mutation["user"], mutation["x"], mutation["y"]
+                    )
+                    assert response["lsn"] == lsn
+                    oracle.apply_record(dict(mutation))
+                    _wait_applied(replica, lsn)
+                    for label in eligible:
+                        _assert_identical(
+                            replica_client.query(label, K, params=EPS),
+                            _expected(oracle, label),
+                            (lsn, label),
+                        )
+
+    def test_replica_refuses_mutations_pointing_at_the_writer(
+        self, snapshot, eligible, tmp_path
+    ):
+        with _Tier(snapshot, tmp_path / "wal", replicas=1) as tier:
+            writer_url = f"http://127.0.0.1:{tier.writer.port}"
+            with SACClient("127.0.0.1", tier.replicas[0].port) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.checkin(eligible[0], 0.5, 0.5)
+                assert excinfo.value.status == 403
+                replication = client.stats()["replication"]
+        assert replication["role"] == "replica"
+        assert replication["writer"] == writer_url
+        assert replication["replica"]["mutations_refused"] == 1
+
+    def test_resync_after_compaction_matches_a_cold_rebuild(
+        self, snapshot, eligible, tmp_path
+    ):
+        """A replica that slept through a compaction rebuilds bit-identically.
+
+        The writer mutates, compacts (snapshot + rotate), then mutates more.
+        A replica whose cursor still points before the rotation hits a
+        :class:`WalGapError`, reopens the compacted snapshot, and replays the
+        retained suffix — landing exactly where a cold rebuild (snapshot +
+        remaining WAL) lands.
+        """
+        wal_dir = tmp_path / "wal"
+        store = tmp_path / "compacted-store"
+        # Seed the compacted snapshot from the shared base one.
+        service = SACService.open(snapshot)
+        service.save(str(store))
+        service.close()
+        writer = start_in_thread(
+            SACService.open(str(store)),
+            ServerConfig(
+                port=0, max_linger_ms=2.0, wal_dir=str(wal_dir),
+                snapshot_path=str(store),
+            ),
+        )
+        try:
+            with SACClient("127.0.0.1", writer.port) as client:
+                before = _mutations(eligible)[:2]
+                for mutation in before:
+                    client.checkin(mutation["user"], mutation["x"], mutation["y"])
+                compacted = client.compact()
+                assert compacted["snapshot_lsn"] == len(before)
+                after = _mutations(eligible)[2:]
+                for mutation in after:
+                    client.checkin(mutation["user"], mutation["x"], mutation["y"])
+            # The replica starts only NOW, from the stale pre-compaction view
+            # (snapshot_lsn=0 cursor): its very first poll hits the gap.
+            replica = start_in_thread(
+                SACService.open(str(store)),
+                ServerConfig(port=0, max_linger_ms=2.0, wal_dir=str(wal_dir)),
+                server_factory=lambda service, config: ReplicaServer(
+                    service, config, poll_interval_ms=10.0
+                ),
+            )
+            try:
+                total = len(before) + len(after)
+                _wait_applied(replica, total)
+                assert replica.server.replica_stats.resyncs >= 1
+                # Cold rebuild: compacted snapshot + the retained WAL suffix.
+                cold = IncrementalEngine.from_store(str(store))
+                assert ArtifactStore.open(str(store)).lsn == len(before)
+                for mutation in after:
+                    cold.apply_record(dict(mutation))
+                with SACClient("127.0.0.1", replica.port) as replica_client:
+                    for label in eligible:
+                        _assert_identical(
+                            replica_client.query(label, K, params=EPS),
+                            _expected(cold, label),
+                            label,
+                        )
+            finally:
+                replica.stop()
+        finally:
+            writer.stop()
+
+
+class TestCoordinator:
+    def test_reads_round_robin_within_the_staleness_bound(
+        self, snapshot, eligible, tmp_path
+    ):
+        oracle = IncrementalEngine.from_store(snapshot)
+        with _Tier(
+            snapshot, tmp_path / "wal", replicas=2, coordinator=True
+        ) as tier:
+            with tier.client() as client:
+                served_by = set()
+                for lsn, mutation in enumerate(_mutations(eligible), start=1):
+                    client.checkin(mutation["user"], mutation["x"], mutation["y"])
+                    assert (
+                        client.last_headers["x-served-by"]
+                        == f"127.0.0.1:{tier.writer.port}"
+                    )
+                    oracle.apply_record(dict(mutation))
+                    for label in eligible:
+                        payload = client.query(label, K, params=EPS)
+                        served_by.add(client.last_headers["x-served-by"])
+                        assert int(client.last_headers["x-staleness-lsn"]) == 0
+                        _assert_identical(
+                            payload, _expected(oracle, label), (lsn, label)
+                        )
+                routing = client.stats()["routing"]
+        # Bounded staleness was enforced on every single read...
+        assert routing["max_staleness_observed"] == 0
+        # ...and reads actually spread beyond one backend.
+        assert len(served_by) >= 2
+
+    def test_killing_a_replica_mid_traffic_loses_no_answers(
+        self, snapshot, eligible, tmp_path
+    ):
+        with _Tier(
+            snapshot, tmp_path / "wal", replicas=2, coordinator=True
+        ) as tier:
+            dead = f"127.0.0.1:{tier.replicas[0].port}"
+            with tier.client() as client:
+                for label in eligible:
+                    assert "found" in client.query(label, K, params=EPS)
+                tier.replicas[0].stop()
+                answered = 0
+                for label in eligible * 2:
+                    payload = client.query(label, K, params=EPS)
+                    assert "found" in payload
+                    answered += 1
+                assert answered == len(eligible) * 2
+                health = client.healthz()
+            statuses = {
+                entry["address"]: entry["healthy"]
+                for entry in health["replicas"]
+            }
+        assert statuses[dead] is False
+
+    def test_snapshot_carries_the_covered_lsn(self, snapshot, eligible, tmp_path):
+        """Compaction stamps the snapshot with the WAL position it covers."""
+        store = tmp_path / "store-copy"
+        service = SACService.open(snapshot)
+        service.save(str(store))
+        service.close()
+        with _Tier(str(store), tmp_path / "wal", replicas=0) as tier:
+            with tier.client() as client:
+                for mutation in _mutations(eligible):
+                    client.checkin(mutation["user"], mutation["x"], mutation["y"])
+                outcome = client.compact()
+        assert outcome["snapshot_lsn"] == len(_mutations(eligible))
+        assert ArtifactStore.open(str(store)).lsn == outcome["snapshot_lsn"]
+        assert outcome["wal_starts_at"] == outcome["snapshot_lsn"] + 1

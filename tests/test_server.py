@@ -671,3 +671,149 @@ class TestSloServing:
         for response in answers:
             assert response["found"] is True
             assert response["algorithm_used"] in FULL_LADDER
+
+
+class TestMonotonicDeadlineClock:
+    """Deadline accounting runs on one monotonic clock, end to end.
+
+    The regression these pin: ``deadline_missed`` used to be judged against
+    ``time.time()`` while uptime ran on ``perf_counter`` — an NTP step (or
+    any wall-clock jump) mid-request could flag a fast answer as late or
+    launder a late one.  The daemon now takes an injectable monotonic
+    ``clock`` and never reads the wall clock at all.
+    """
+
+    @staticmethod
+    def _stepped_clock(step_seconds):
+        """A thread-safe fake clock advancing ``step_seconds`` per reading."""
+        lock = threading.Lock()
+        state = {"now": 0.0}
+
+        def clock():
+            with lock:
+                state["now"] += step_seconds
+                return state["now"]
+
+        return clock
+
+    def _serve_with_clock(self, base_graph, clock):
+        # The same fake clock drives BOTH layers: the daemon stamps arrival
+        # and judges lateness, the service meters the remaining budget.
+        service = SACService(
+            engine=IncrementalEngine(base_graph.mutable_copy()), clock=clock
+        )
+        from repro.server.daemon import SACServer
+
+        return start_in_thread(
+            service,
+            ServerConfig(port=0, max_linger_ms=2.0, slo_enabled=True, warm_ks=(K,)),
+            server_factory=lambda svc, cfg: SACServer(svc, cfg, clock=clock),
+        )
+
+    def test_frozen_clock_never_flags_a_deadline_miss(self, base_graph, reference):
+        """Zero elapsed monotonic time == nothing is late, however tight."""
+        label = _eligible_labels(reference, 1)[0]
+        handle = self._serve_with_clock(base_graph, self._stepped_clock(0.0))
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                response = client.query(label, K, deadline_ms=0.01)
+        finally:
+            handle.stop()
+        assert response["found"] is True
+        assert response["deadline_missed"] is False
+
+    def test_stepped_clock_flags_every_deadline_miss(self, base_graph, reference):
+        """A clock stepping 5s per reading makes any real deadline late."""
+        label = _eligible_labels(reference, 1)[0]
+        handle = self._serve_with_clock(base_graph, self._stepped_clock(5.0))
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                response = client.query(label, K, deadline_ms=1_000.0)
+        finally:
+            handle.stop()
+        assert response["found"] is True
+        assert response["deadline_missed"] is True
+
+    def test_daemon_never_reads_the_wall_clock(
+        self, base_graph, reference, monkeypatch
+    ):
+        """``time.time`` is a tripwire: any daemon call to it fails the test."""
+        import repro.server.daemon as daemon_module
+
+        real_time = daemon_module.time
+
+        class _WallClockBomb:
+            """Proxy over :mod:`time` whose ``time()`` detonates."""
+
+            def __getattr__(self, name):
+                if name == "time":
+                    raise AssertionError(
+                        "the daemon read time.time(); deadlines must stay "
+                        "on the monotonic clock"
+                    )
+                return getattr(real_time, name)
+
+        monkeypatch.setattr(daemon_module, "time", _WallClockBomb())
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(base_graph, slo_enabled=True, warm_ks=(K,))
+        try:
+            with SACClient(handle.host, handle.port) as client:
+                answer = client.query(label, K, deadline_ms=5_000.0)
+                assert answer["found"] is True
+                assert "deadline_missed" in answer
+                assert client.checkin(label, 0.99, 0.99)["applied"] is True
+                assert client.healthz()["status"] == "ok"
+                assert client.stats()["uptime_seconds"] >= 0.0
+        finally:
+            handle.stop()
+
+
+class TestRetryAfterAgreement:
+    """The 429 ``Retry-After`` header and JSON payload advertise ONE delay.
+
+    HTTP's ``Retry-After`` is integer-valued (RFC 9110 §10.2.3), so a
+    sub-second ``retry_after_seconds`` is ceiled to 1 in the header; the
+    regression pinned here is the payload reporting the raw float (0.25)
+    while the header said ``1`` — clients honouring one or the other backed
+    off differently.
+    """
+
+    def _raw_429(self, base_graph, reference, retry_after_seconds):
+        import http.client as http_client
+        import json as json_module
+
+        label = _eligible_labels(reference, 1)[0]
+        handle = _serve(
+            base_graph, max_queue_depth=0, retry_after_seconds=retry_after_seconds
+        )
+        try:
+            connection = http_client.HTTPConnection(
+                handle.host, handle.port, timeout=30.0
+            )
+            connection.request(
+                "POST",
+                "/query",
+                body=json_module.dumps({"vertex": label, "k": K}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            header = response.getheader("Retry-After")
+            payload = json_module.loads(response.read())
+            status = response.status
+            connection.close()
+        finally:
+            handle.stop()
+        return status, header, payload
+
+    def test_subsecond_config_header_and_payload_agree(self, base_graph, reference):
+        status, header, payload = self._raw_429(base_graph, reference, 0.25)
+        assert status == 429
+        assert header == "1"  # ceil(0.25) with a floor of one second
+        assert payload["retry_after"] == 1  # equals the header, not the config
+        assert isinstance(payload["retry_after"], int)
+
+    def test_integer_config_header_and_payload_agree(self, base_graph, reference):
+        status, header, payload = self._raw_429(base_graph, reference, 3.0)
+        assert status == 429
+        assert header == "3"
+        assert payload["retry_after"] == 3

@@ -375,3 +375,99 @@ class TestCostModel:
         assert params_for("appfast", PARAMS) == {"epsilon_f": 0.5}
         assert params_for("appacc", PARAMS) == {"epsilon_a": 0.5}
         assert params_for("appinc", PARAMS) == {}
+
+
+class TestObserveWindowClamp:
+    """Feedback can never ratchet coefficients past the calibration window.
+
+    The regression pinned here: :meth:`CostModel.observe` clamped only the
+    per-update ratio (10x), so a *stream* of pathological group latencies
+    compounded — ~9 updates at the default learning rate multiplied a
+    coefficient by 10, and nothing stopped the next 9.  The window clamp
+    bounds total drift to ``[anchor / 10, anchor * 10]`` until the next
+    calibration re-anchors.
+    """
+
+    @staticmethod
+    def _envelope(model, algorithm):
+        anchor = model._window_anchors[algorithm]
+        bounds = []
+        for anchor_value in (anchor.fixed_ms, anchor.per_candidate_ms):
+            low = max(1e-6, anchor_value / model.window_clamp)
+            high = max(1e-6, anchor_value * model.window_clamp)
+            bounds.append((low, high))
+        return bounds
+
+    @given(
+        observations=st.lists(
+            st.tuples(
+                st.sampled_from(sorted(FULL_LADDER)),
+                st.integers(min_value=1, max_value=5_000),      # size
+                st.integers(min_value=1, max_value=64),         # queries
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e12,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),                                              # elapsed_ms
+                st.booleans(),                                  # resident
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adversarial_streams_stay_inside_the_envelope(self, observations):
+        model = CostModel()
+        for algorithm, size, queries, elapsed_ms, resident in observations:
+            model.observe(
+                algorithm,
+                size,
+                queries=queries,
+                elapsed_ms=elapsed_ms,
+                resident=resident,
+            )
+            for name in FULL_LADDER:
+                coefficients = model.rungs[name]
+                (fixed_low, fixed_high), (slope_low, slope_high) = self._envelope(
+                    model, name
+                )
+                assert fixed_low <= coefficients.fixed_ms <= fixed_high, name
+                assert slope_low <= coefficients.per_candidate_ms <= slope_high, name
+
+    def test_sustained_burst_saturates_instead_of_ratcheting(self):
+        """100 absurd observations pin the fit at 10x, not 10^11x."""
+        model = CostModel()
+        anchor_fixed = model._window_anchors["appfast"].fixed_ms
+        anchor_slope = model._window_anchors["appfast"].per_candidate_ms
+        for _ in range(100):
+            model.observe("appfast", 100, queries=1, elapsed_ms=1e9)
+        coefficients = model.rungs["appfast"]
+        assert coefficients.fixed_ms == pytest.approx(anchor_fixed * 10.0)
+        assert coefficients.per_candidate_ms == pytest.approx(anchor_slope * 10.0)
+        assert model.stats.observations_clamped > 0
+        # ...and the same downwards: absurdly fast observations floor at /10.
+        for _ in range(100):
+            model.observe("appfast", 100, queries=1000, elapsed_ms=0.0)
+        assert coefficients.fixed_ms == pytest.approx(anchor_fixed / 10.0)
+        assert coefficients.per_candidate_ms == pytest.approx(anchor_slope / 10.0)
+
+    def test_recalibration_reanchors_the_window(self):
+        """Escaping the envelope requires a real calibration, which re-anchors."""
+        engine = _SyntheticEngine()
+        model = CostModel()
+        for _ in range(50):
+            model.observe("appfast", 100, queries=1, elapsed_ms=1e9)
+        saturated = model.rungs["appfast"].fixed_ms
+        assert saturated == pytest.approx(
+            model._window_anchors["appfast"].fixed_ms * 10.0
+        )
+        model.calibrate(engine, 4, ladder=LADDER, timer=engine.timer)
+        # The anchors now sit at the freshly fitted coefficients...
+        assert model._window_anchors["appfast"].fixed_ms == pytest.approx(
+            model.rungs["appfast"].fixed_ms
+        )
+        # ...so feedback regains a full window around the new fit.
+        before = model.rungs["appfast"].fixed_ms
+        model.observe("appfast", 100, queries=1, elapsed_ms=1e9)
+        assert model.rungs["appfast"].fixed_ms > before

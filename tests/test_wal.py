@@ -1,0 +1,211 @@
+"""The write-ahead log: framing, recovery, rotation, and crash points.
+
+The WAL (:mod:`repro.store.wal`) is what keeps N replicas bit-identical to
+one writer, so its failure modes are the replication tier's failure modes.
+This file pins the crash matrix directly against the on-disk bytes:
+
+* a record is framed ``<length, crc32> + JSON`` with a strictly contiguous
+  LSN sequence — readers reject corruption and gaps loudly;
+* a **torn tail** (writer killed mid-append) is invisible to readers and
+  truncated away on writer reopen, which then resumes at the last durable
+  LSN — no record is ever half-applied or renumbered;
+* rotation (compaction) atomically moves the log's start forward; cursors
+  that already consumed the dropped prefix ride through, lagging cursors
+  get a :class:`repro.store.WalGapError` naming the snapshot they need.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.store import WalCursor, WalError, WalGapError, WriteAheadLog
+from repro.store.wal import _segment_name
+
+
+def _records(n, start=0):
+    return [
+        {"op": "checkin", "user": start + i, "x": 0.5, "y": 0.5} for i in range(n)
+    ]
+
+
+def _append_all(log, records):
+    return [log.append(record) for record in records]
+
+
+def _segment_bytes(path, first_lsn=1):
+    return (path / _segment_name(first_lsn)).read_bytes()
+
+
+class TestFraming:
+    def test_append_assigns_contiguous_lsns_from_one(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as log:
+            lsns = _append_all(log, _records(5))
+        assert lsns == [1, 2, 3, 4, 5]
+
+    def test_cursor_reads_records_back_in_lsn_order(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as log:
+            _append_all(log, _records(5))
+        cursor = WalCursor(tmp_path / "wal")
+        records = cursor.poll()
+        assert [record["lsn"] for record in records] == [1, 2, 3, 4, 5]
+        assert [record["user"] for record in records] == [0, 1, 2, 3, 4]
+        assert cursor.poll() == []  # drained; nothing new
+
+    def test_cursor_tails_appends_incrementally(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal")
+        cursor = WalCursor(tmp_path / "wal")
+        assert cursor.poll() == []
+        log.append({"op": "checkin", "user": 1, "x": 0.1, "y": 0.2})
+        assert [r["lsn"] for r in cursor.poll()] == [1]
+        log.append({"op": "checkin", "user": 2, "x": 0.3, "y": 0.4})
+        log.append({"op": "edge", "u": 1, "v": 2, "action": "insert"})
+        assert [r["lsn"] for r in cursor.poll()] == [2, 3]
+        log.close()
+
+    def test_poll_respects_max_records(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as log:
+            _append_all(log, _records(10))
+        cursor = WalCursor(tmp_path / "wal")
+        assert [r["lsn"] for r in cursor.poll(max_records=4)] == [1, 2, 3, 4]
+        assert [r["lsn"] for r in cursor.poll(max_records=4)] == [5, 6, 7, 8]
+        assert [r["lsn"] for r in cursor.poll()] == [9, 10]
+
+    def test_cursor_on_missing_directory_reports_nothing(self, tmp_path):
+        assert WalCursor(tmp_path / "never-created").poll() == []
+
+
+class TestCrashPoints:
+    """The satellite crash matrix: torn tails, CRC, restart resume."""
+
+    def test_torn_tail_is_invisible_to_readers(self, tmp_path):
+        """A replica killed mid-record must never see the partial frame."""
+        segment = tmp_path / "wal" / _segment_name(1)
+        with WriteAheadLog(tmp_path / "wal") as log:
+            _append_all(log, _records(2))
+            durable = segment.stat().st_size  # appends flush eagerly
+            log.append({"op": "checkin", "user": 2, "x": 0.5, "y": 0.5})
+        whole = segment.read_bytes()
+        # Kill the writer mid-append: chop the third frame anywhere inside
+        # it — inside the header, inside the payload, one byte short.
+        for size in (durable + 1, durable + 4, len(whole) - 1):
+            segment.write_bytes(whole[:size])
+            records = WalCursor(tmp_path / "wal").poll()
+            assert [r["lsn"] for r in records] == [1, 2], size
+
+    def test_crc_rejects_a_corrupted_record(self, tmp_path):
+        """Bit-rot inside a complete frame reads as end-of-durable-log."""
+        with WriteAheadLog(tmp_path / "wal") as log:
+            _append_all(log, _records(3))
+        segment = tmp_path / "wal" / _segment_name(1)
+        data = bytearray(segment.read_bytes())
+        data[-2] ^= 0xFF  # flip a byte inside the last record's payload
+        segment.write_bytes(bytes(data))
+        records = WalCursor(tmp_path / "wal").poll()
+        assert [r["lsn"] for r in records] == [1, 2]
+
+    def test_writer_restart_resumes_at_last_durable_lsn(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as log:
+            _append_all(log, _records(3))
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert reopened.next_lsn == 4
+        assert reopened.append({"op": "edge", "u": 0, "v": 1, "action": "insert"}) == 4
+        reopened.close()
+        assert [r["lsn"] for r in WalCursor(tmp_path / "wal").poll()] == [1, 2, 3, 4]
+
+    def test_writer_restart_truncates_the_torn_tail_and_reuses_its_lsn(
+        self, tmp_path
+    ):
+        """Recovery physically removes the torn bytes, then re-issues the LSN."""
+        with WriteAheadLog(tmp_path / "wal") as log:
+            _append_all(log, _records(3))
+        segment = tmp_path / "wal" / _segment_name(1)
+        whole = segment.read_bytes()
+        segment.write_bytes(whole[:-3])  # record 3 is torn
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert reopened.next_lsn == 3  # LSN 3 was never durable
+        assert len(segment.read_bytes()) < len(whole) - 3  # tail gone
+        lsn = reopened.append({"op": "checkin", "user": 9, "x": 0.9, "y": 0.9})
+        reopened.close()
+        assert lsn == 3
+        records = WalCursor(tmp_path / "wal").poll()
+        assert [r["lsn"] for r in records] == [1, 2, 3]
+        assert records[-1]["user"] == 9  # the re-issued LSN 3, not the torn one
+
+    def test_oversized_and_garbage_headers_read_as_torn(self, tmp_path):
+        """A frame header announcing nonsense stops the scan, loudly or softly."""
+        wal_dir = tmp_path / "wal"
+        with WriteAheadLog(wal_dir) as log:
+            _append_all(log, _records(2))
+        segment = wal_dir / _segment_name(1)
+        good = segment.read_bytes()
+        # A length beyond the record bound cannot be a real frame.
+        segment.write_bytes(good + struct.pack("<II", 1 << 30, 0))
+        assert [r["lsn"] for r in WalCursor(wal_dir).poll()] == [1, 2]
+
+    def test_valid_frame_with_wrong_lsn_is_a_hard_error(self, tmp_path):
+        """Contiguity violations are corruption, not staleness — refuse loudly."""
+        wal_dir = tmp_path / "wal"
+        with WriteAheadLog(wal_dir) as log:
+            _append_all(log, _records(2))
+        payload = json.dumps({"lsn": 9, "op": "checkin"}).encode("utf-8")
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        segment = wal_dir / _segment_name(1)
+        segment.write_bytes(segment.read_bytes() + frame)
+        with pytest.raises(WalError):
+            WalCursor(wal_dir).poll()
+
+
+class TestRotation:
+    def test_rotate_starts_a_fresh_segment_and_drops_the_old(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        log = WriteAheadLog(wal_dir)
+        _append_all(log, _records(4))
+        first = log.rotate()
+        assert first == 5
+        assert [p.name for p in sorted(wal_dir.glob("*.seg"))] == [
+            _segment_name(5)
+        ]
+        assert log.append({"op": "checkin", "user": 5, "x": 0.5, "y": 0.5}) == 5
+        log.close()
+
+    def test_caught_up_cursor_rides_through_rotation(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        log = WriteAheadLog(wal_dir)
+        _append_all(log, _records(4))
+        cursor = WalCursor(wal_dir)
+        assert len(cursor.poll()) == 4  # fully consumed before the rotate
+        log.rotate()
+        assert cursor.poll() == []
+        log.append({"op": "checkin", "user": 7, "x": 0.1, "y": 0.1})
+        assert [r["lsn"] for r in cursor.poll()] == [5]
+        log.close()
+
+    def test_lagging_cursor_gets_a_gap_error_naming_the_bounds(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        log = WriteAheadLog(wal_dir)
+        _append_all(log, _records(4))
+        cursor = WalCursor(wal_dir)
+        assert len(cursor.poll(max_records=2)) == 2  # stops at LSN 2
+        log.rotate()  # drops LSNs 1..4
+        log.append({"op": "checkin", "user": 8, "x": 0.2, "y": 0.2})
+        with pytest.raises(WalGapError) as excinfo:
+            cursor.poll()
+        assert excinfo.value.needed_lsn == 3
+        assert excinfo.value.available_lsn == 5
+        log.close()
+
+    def test_fresh_cursor_from_snapshot_lsn_resumes_after_rotation(self, tmp_path):
+        """The resync contract: snapshot LSN + 1 lands exactly on the new log."""
+        wal_dir = tmp_path / "wal"
+        log = WriteAheadLog(wal_dir)
+        _append_all(log, _records(4))
+        snapshot_lsn = log.last_lsn  # what compaction stamps on the snapshot
+        log.rotate()
+        log.append({"op": "checkin", "user": 9, "x": 0.3, "y": 0.3})
+        cursor = WalCursor(wal_dir, start_lsn=snapshot_lsn + 1)
+        assert [r["lsn"] for r in cursor.poll()] == [5]
+        log.close()

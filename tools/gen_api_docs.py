@@ -33,7 +33,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "docs" / "api.md"
 
 #: The documented layers, in stack order (lowest first).
-MODULES = ["repro.store", "repro.engine", "repro.service", "repro.server"]
+MODULES = [
+    "repro.store",
+    "repro.engine",
+    "repro.service",
+    "repro.server",
+    "repro.replication",
+]
 
 HEADER = """\
 # Public API reference
