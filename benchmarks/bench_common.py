@@ -59,6 +59,23 @@ def _caller_benchmark_name() -> str:
     return "unknown"
 
 
+def peak_rss_mb() -> Optional[float]:
+    """This process's peak resident set size in MiB (``None`` off-POSIX).
+
+    ``ru_maxrss`` is the high-water mark since process start (kilobytes on
+    Linux, bytes on macOS), so one reading at result-writing time captures
+    the benchmark's true peak regardless of when it occurred.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak /= 1024.0
+    return round(peak / 1024.0, 1)
+
+
 def write_json_result(
     benchmark: str,
     section: str,
@@ -80,6 +97,14 @@ def write_json_result(
             except (ValueError, KeyError, OSError):
                 sections = {}
         _JSON_SECTIONS[benchmark] = sections
+    # Every section records the writing process's peak RSS, so
+    # tools/compare_bench.py can gate memory regressions alongside timing
+    # ones.  Callers may override by passing their own peak_rss_mb (e.g. a
+    # parent aggregating subprocess peaks).
+    extra = dict(extra or {})
+    rss = peak_rss_mb()
+    if rss is not None:
+        extra.setdefault("peak_rss_mb", rss)
     sections[section] = {
         "title": title,
         "rows": rows,

@@ -155,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer batch queries one by one instead of through the "
         "factorised batch plan",
     )
+    _add_resident_budget_argument(batch)
 
     serve = subparsers.add_parser(
         "serve-batch",
@@ -218,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-round deadline budget: answer each batch through the SLO "
         "algorithm ladder, --algorithm becoming the quality ceiling",
     )
+    _add_resident_budget_argument(serve)
 
     daemon = subparsers.add_parser(
         "serve",
@@ -377,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend /healthz probe period, the failover detection latency "
         "(coordinator role only)",
     )
+    _add_resident_budget_argument(daemon)
 
     track = subparsers.add_parser(
         "track", help="replay a check-in stream and track users' communities"
@@ -428,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration-days", type=float, default=40.0, help="synthetic stream duration"
     )
     track.add_argument("--seed", type=int, default=13, help="synthetic stream seed")
+    _add_resident_budget_argument(track)
 
     stats = subparsers.add_parser("stats", help="print summary statistics of a graph file")
     stats.add_argument("graph", help="graph .npz file")
@@ -453,24 +457,51 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_resident_budget_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--max-resident-mb`` residency-budget flag."""
+    parser.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        help="byte budget (in MiB) for resident artifact bundles: with "
+        "--store, bundles materialise lazily from the mmap'd snapshot and "
+        "an LRU evicts cold ones back to it; without a budget every "
+        "touched bundle stays resident",
+    )
+
+
+def _resident_budget_bytes(args: argparse.Namespace) -> "int | None":
+    """``--max-resident-mb`` converted to bytes (``None`` when unset)."""
+    budget_mb = getattr(args, "max_resident_mb", None)
+    if budget_mb is None:
+        return None
+    if budget_mb <= 0:
+        raise InvalidParameterError(
+            f"--max-resident-mb must be positive, got {budget_mb!r}"
+        )
+    return int(budget_mb * 1024 * 1024)
+
+
 def _load_engine(args: argparse.Namespace, engine_cls):
     """Build the engine of a graph-or-store subcommand.
 
     ``--store`` warm-starts ``engine_cls`` memory-mapped from a snapshot;
     otherwise the positional graph file is loaded and a cold engine built.
-    Exactly one of the two sources must be given.
+    Exactly one of the two sources must be given.  ``--max-resident-mb``
+    (when the subcommand has it) bounds the engine's resident bundle set.
     """
+    budget = _resident_budget_bytes(args)
     if args.store is not None:
         if args.graph is not None:
             raise InvalidParameterError(
                 "pass either a graph file or --store, not both"
             )
-        return engine_cls.from_store(args.store)
+        return engine_cls.from_store(args.store, max_resident_bytes=budget)
     if args.graph is None:
         raise InvalidParameterError(
             "pass a graph .npz file or --store SNAPSHOT_DIR"
         )
-    return engine_cls(load_graph_npz(args.graph))
+    return engine_cls(load_graph_npz(args.graph), max_resident_bytes=budget)
 
 
 def _command_snapshot(args: argparse.Namespace) -> int:
@@ -668,6 +699,16 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         f"engine         : {stats.engine.components_materialised} bundles built, "
         f"{stats.engine.core_decompositions} core decomposition(s)"
     )
+    residency = engine.residency_info()
+    budget = residency["max_resident_bytes"]
+    budget_text = f"{budget / (1024 * 1024):g} MiB budget" if budget else "no budget"
+    print(
+        f"residency      : {residency['resident_bundles']} resident "
+        f"({residency['resident_bytes'] / (1024 * 1024):.1f} MiB, {budget_text}), "
+        f"{stats.engine.bundles_materialised} store-materialised, "
+        f"{stats.engine.bundles_evicted} evicted, "
+        f"{residency['pinned_dirty']} pinned dirty"
+    )
     if not args.no_plan:
         print(
             f"plan           : {stats.engine.batches_planned} batches planned, "
@@ -779,6 +820,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         wal_dir=args.wal_dir if args.role in ("writer", "replica") else None,
         wal_fsync=args.wal_fsync,
         snapshot_lsn=snapshot_lsn,
+        max_resident_bytes=_resident_budget_bytes(args),
     )
 
     async def _run() -> None:

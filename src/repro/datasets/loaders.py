@@ -14,13 +14,15 @@ in :mod:`repro.datasets.registry`.
 
 from __future__ import annotations
 
+import os
 from collections import Counter, defaultdict
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro.datasets.registry import CACHE_ENV
 from repro.exceptions import DatasetError
 from repro.graph.builder import GraphBuilder
-from repro.graph.io import load_graph_npz, normalize_locations, read_edge_list, save_graph_npz
+from repro.graph.io import iter_edge_list, load_graph_npz, normalize_locations, save_graph_npz
 from repro.graph.spatial_graph import SpatialGraph
 
 
@@ -35,14 +37,26 @@ def load_snap_dataset(
 
     Users without any check-in are dropped (as the paper does for users
     without locations); each remaining user is placed at the location they
-    check into most frequently.  When ``cache`` names a ``.npz`` path, the
-    parsed graph is persisted there in the manifest-versioned store format
-    and reloaded on subsequent calls — parsing the multi-hundred-megabyte
-    SNAP dumps happens once per machine instead of once per process.  The
-    two coordinate treatments cache separately (``normalize=False`` derives
-    a ``-raw`` sibling of ``cache``), so a cached normalized graph can never
-    be served to a caller asking for raw coordinates or vice versa.
+    check into most frequently.  The edge list is **streamed** into the
+    builder rather than materialised as a list of pairs — on the full-scale
+    SNAP dumps (Gowalla: 950k edges, Brightkite: 214k) the pair list used
+    to peak at several times the final graph's size.
+
+    When ``cache`` names a ``.npz`` path, the parsed graph is persisted
+    there in the manifest-versioned store format and reloaded on subsequent
+    calls — parsing the multi-hundred-megabyte SNAP dumps happens once per
+    machine instead of once per process.  With ``cache=None`` and the
+    ``REPRO_DATASET_CACHE`` environment variable set (the same knob
+    :func:`repro.datasets.load_dataset` honours), a cache path is derived
+    inside that directory from the edge file's name.  The two coordinate
+    treatments cache separately (``normalize=False`` derives a ``-raw``
+    sibling of ``cache``), so a cached normalized graph can never be served
+    to a caller asking for raw coordinates or vice versa.
     """
+    if cache is None:
+        cache_dir = os.environ.get(CACHE_ENV)
+        if cache_dir:
+            cache = Path(cache_dir) / f"snap-{Path(edges_path).stem}.npz"
     if cache is not None:
         cache = Path(cache)
         if not normalize:
@@ -56,7 +70,6 @@ def load_snap_dataset(
     if not checkins_path.exists():
         raise DatasetError(f"check-in file not found: {checkins_path}")
 
-    edges = read_edge_list(edges_path)
     locations = most_frequent_locations(checkins_path)
     if not locations:
         raise DatasetError(f"no usable check-ins found in {checkins_path}")
@@ -66,7 +79,7 @@ def load_snap_dataset(
     builder = GraphBuilder()
     for user, (x, y) in locations.items():
         builder.add_vertex(user, x, y)
-    builder.add_edges(edges)
+    builder.add_edges(iter_edge_list(edges_path))
     graph = builder.build(drop_unlocated=True)
     if cache is not None:
         cache.parent.mkdir(parents=True, exist_ok=True)

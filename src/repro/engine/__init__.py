@@ -19,6 +19,12 @@ Batch traffic adds a third concern — redundancy *within* one batch — and
 a :class:`BatchPlan` (queries grouped by k-ĉore component, duplicates
 deduped, cache hits pruned) that the engine, the sharded executor, and the
 service all execute with the shared per-group work paid once.
+
+Memory is the fourth concern at million-vertex scale, owned by
+:mod:`repro.engine.residency`: warm-started engines keep the mmap'd store
+as the source of truth and materialise bundles lazily behind a
+:class:`BundleResidency` LRU with a configurable byte budget, so resident
+memory tracks the hot working set instead of the whole key space.
 """
 
 from repro.engine.engine import EngineStats, QueryEngine
@@ -30,6 +36,7 @@ from repro.engine.plan import (
     execute_plan,
     plan_batch,
 )
+from repro.engine.residency import BundleResidency
 
 __all__ = [
     "QueryEngine",
@@ -40,4 +47,5 @@ __all__ = [
     "plan_batch",
     "execute_group",
     "execute_plan",
+    "BundleResidency",
 ]

@@ -40,6 +40,7 @@ from repro.core.base import CandidateArtifacts, QueryContext, validate_query
 from repro.core.result import SACResult
 from repro.core.searcher import ALGORITHMS
 from repro.engine.plan import BatchPlan, execute_plan, plan_batch
+from repro.engine.residency import BundleResidency
 from repro.exceptions import InvalidParameterError, NoCommunityError, VertexNotFoundError
 from repro.graph.spatial_graph import Label, SpatialGraph
 from repro.kcore.decomposition import core_numbers, gather_neighbors
@@ -90,10 +91,22 @@ class EngineStats:
         Edge insertions/deletions applied via
         :meth:`IncrementalEngine.apply_edge`.
     bundles_loaded:
-        Artifact bundles installed ready-made from an
-        :class:`repro.store.ArtifactStore` snapshot by
-        :meth:`QueryEngine.from_store` (not counted in
+        Artifact bundles installed ready-made and eagerly via
+        :meth:`QueryEngine.install_state` (not counted in
         ``components_materialised`` — nothing was built).
+    bundles_materialised:
+        Artifact bundles attached **lazily** from the backing
+        :class:`repro.store.ArtifactStore` on first touch — the residency
+        layer's store misses.  Distinct from ``components_materialised``
+        (bundles *built* from the live graph) and ``bundles_loaded``
+        (eager installs): a warm-started engine answering queries entirely
+        from its snapshot moves only this counter.
+    bundles_evicted:
+        Resident bundles dropped by the residency layer's LRU to get back
+        under the configured byte budget.
+    resident_bytes:
+        Current resident-byte estimate of the bundle working set (arrays
+        plus Python-container overhead) — a gauge, not a counter.
     bundles_thawed:
         Memory-mapped (read-only) bundles replaced with private writable
         copies the first time a mutation needed to patch them —
@@ -124,6 +137,9 @@ class EngineStats:
     core_decompositions: int = 0
     ks_labelled: List[int] = field(default_factory=list)
     bundles_loaded: int = 0
+    bundles_materialised: int = 0
+    bundles_evicted: int = 0
+    resident_bytes: int = 0
     bundles_thawed: int = 0
     location_updates: int = 0
     edge_updates: int = 0
@@ -141,6 +157,10 @@ class QueryEngine:
     ----------
     graph:
         The spatial graph to serve queries against.
+    max_resident_bytes:
+        Byte budget for the resident artifact-bundle working set (see
+        :class:`repro.engine.residency.BundleResidency`); ``None`` (the
+        default) keeps every touched bundle resident.
 
     Examples
     --------
@@ -153,9 +173,15 @@ class QueryEngine:
     artifacts and grid index as well.
     """
 
-    def __init__(self, graph: SpatialGraph) -> None:
+    def __init__(
+        self, graph: SpatialGraph, *, max_resident_bytes: Optional[int] = None
+    ) -> None:
         self.graph = graph
         self.stats = EngineStats()
+        #: Resident-byte budget this engine was configured with (``None`` =
+        #: unlimited); recorded here so outer layers (replica resync, CLI
+        #: footers) can rebuild an equivalent engine.
+        self.max_resident_bytes = max_resident_bytes
         #: Process-unique identity of this engine, used by
         #: :class:`repro.service.AnswerCache` to namespace cached answers.
         self.cache_token: int = next(_CACHE_TOKENS)
@@ -165,10 +191,13 @@ class QueryEngine:
         # k -> per-component representative (minimum member vertex); aligned
         # with the component ids of self._labels[k] and dropped with it.
         self._reps: Dict[int, np.ndarray] = {}
-        # (k, representative) -> bundle.  Keyed by representative, not
-        # component id, so bundles survive a labelling rebuild (see module
-        # docstring).
-        self._artifacts: Dict[Tuple[int, int], CandidateArtifacts] = {}
+        # (k, representative) -> bundle, behind the residency layer: LRU
+        # over resident bundles with lazy store materialisation and a byte
+        # budget.  Keyed by representative, not component id, so bundles
+        # survive a labelling rebuild (see module docstring).
+        self._artifacts = BundleResidency(
+            max_bytes=max_resident_bytes, stats=self.stats
+        )
         # (k, representative) -> monotone version, bumped by the incremental
         # engine whenever the component's bundle is patched in place or
         # dropped.  Answer caches record the version an answer was computed
@@ -178,24 +207,30 @@ class QueryEngine:
 
     # ------------------------------------------------------------ warm start
     @classmethod
-    def from_store(cls, store) -> "QueryEngine":
+    def from_store(
+        cls, store, *, max_resident_bytes: Optional[int] = None
+    ) -> "QueryEngine":
         """Warm-start an engine from an :class:`repro.store.ArtifactStore`.
 
         ``store`` is an open store or a snapshot path.  The returned engine's
-        graph and caches are zero-copy views over the snapshot's memory maps,
-        so readiness costs milliseconds instead of a cold build's parse +
-        decomposition + labelling + per-component index construction — with
-        **bit-identical** answers, because the snapshot holds exactly the
-        arrays a cold build computes.  Works for this class and for
-        :class:`~repro.engine.IncrementalEngine` (which copies mapped
-        artifacts on first mutation, leaving the snapshot untouched).
+        graph, core vector, and labellings are zero-copy views over the
+        snapshot's memory maps; artifact bundles stay in the store and
+        materialise **lazily on first touch** through the residency layer
+        (bounded by ``max_resident_bytes`` when given), so readiness costs
+        milliseconds and resident memory tracks the hot working set instead
+        of the whole key space — with **bit-identical** answers, because the
+        snapshot holds exactly the arrays a cold build computes.  Works for
+        this class and for :class:`~repro.engine.IncrementalEngine` (which
+        copies mapped artifacts on first mutation, leaving the snapshot
+        untouched).
         """
         from repro.store import ArtifactStore
 
         if not isinstance(store, ArtifactStore):
             store = ArtifactStore.open(store)
-        engine = cls(store.graph())
-        engine.install_state(store.engine_state())
+        engine = cls(store.graph(), max_resident_bytes=max_resident_bytes)
+        engine.install_state(store.engine_state(include_bundles=False))
+        engine._artifacts.bind_store(store)
         return engine
 
     def export_state(self) -> Dict[str, object]:
@@ -205,8 +240,12 @@ class QueryEngine:
         :meth:`repro.store.ArtifactStore.save` consumes: the core-number
         vector (``None`` when never computed), per-``k`` labellings as
         ``(labels, count, representatives)`` triples, and the
-        ``(k, representative) -> CandidateArtifacts`` bundle cache.  The
-        returned arrays are the live internals — callers must not mutate
+        ``(k, representative) -> CandidateArtifacts`` bundle cache.  Under
+        lazy residency the bundle dict carries resident bundles live and
+        clean non-resident store-backed ones as raw
+        :meth:`repro.store.ArtifactStore.bundle_state` dicts (zero-copy;
+        :meth:`~repro.store.ArtifactStore.save` writes them back verbatim).
+        The returned arrays are the live internals — callers must not mutate
         them.
         """
         return {
@@ -215,7 +254,7 @@ class QueryEngine:
                 k: (labels, count, self._reps[k])
                 for k, (labels, count) in self._labels.items()
             },
-            "bundles": dict(self._artifacts),
+            "bundles": self._artifacts.export_bundles(),
         }
 
     def install_state(self, state: Dict[str, object]) -> None:
@@ -233,6 +272,12 @@ class QueryEngine:
             self._reps[int(k)] = reps
         bundles = state.get("bundles", {})
         for (k, representative), bundle in bundles.items():
+            if isinstance(bundle, dict):
+                # A raw bundle_state() dict (an export from a lazy engine
+                # whose cold tail never materialised): build it live here.
+                from repro.store.artifact_store import bundle_from_state
+
+                bundle = bundle_from_state(bundle)
             self._artifacts[(int(k), int(representative))] = bundle
         self.stats.bundles_loaded += len(bundles)
 
@@ -330,14 +375,33 @@ class QueryEngine:
         return self._bundle_versions.get((k, int(representative)), 0)
 
     def bundle_resident(self, k: int, representative: int) -> bool:
-        """Whether the ``(k, representative)`` artifact bundle is materialised.
+        """Whether the ``(k, representative)`` artifact bundle is **resident**.
 
-        A pure cache probe — never builds anything.  The SLO cost model
-        (:mod:`repro.service.slo`) reads this to charge a bundle-build
-        surcharge to groups whose artifacts a query would have to
-        materialise first.
+        A pure cache probe — never builds, loads, or LRU-touches anything.
+        The SLO cost model (:mod:`repro.service.slo`) reads this to charge a
+        materialisation surcharge to groups whose artifacts a query would
+        have to attach (or rebuild) first; under an eviction-pressured
+        budget that surcharge is what steers deadline-bound queries onto
+        cheaper rungs.
         """
         return (int(k), int(representative)) in self._artifacts
+
+    def notify_snapshot(self, store) -> None:
+        """Re-anchor the residency layer on a freshly written snapshot.
+
+        Called by :meth:`repro.service.SACService.save` after
+        :meth:`repro.store.ArtifactStore.save`: dirty (patched) bundles are
+        now persisted, so their eviction pins release and the store becomes
+        the reload source for the whole resident set.
+        """
+        self._artifacts.notify_snapshot(store)
+
+    def residency_info(self) -> Dict[str, object]:
+        """Operator view of the bundle residency layer (see ``GET /stats``)."""
+        info = self._artifacts.describe()
+        info["bundles_materialised"] = self.stats.bundles_materialised
+        info["bundles_evicted"] = self.stats.bundles_evicted
+        return info
 
     def component_size(self, k: int, component: int) -> int:
         """Member count of one k-ĉore component in the current labelling.
@@ -365,7 +429,7 @@ class QueryEngine:
         """
         labels, _ = self.component_labels(k)
         key = (k, int(self._reps[k][component]))
-        artifacts = self._artifacts.get(key)
+        artifacts = self._artifacts.fetch(key)
         if artifacts is None:
             members = np.flatnonzero(labels == component)
             artifacts = CandidateArtifacts.from_candidates(

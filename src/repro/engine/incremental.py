@@ -72,7 +72,7 @@ class IncrementalEngine(QueryEngine):
         user = int(user)
         x, y = float(x), float(y)
         self.graph.update_location(user, x, y)  # validates the vertex
-        for key, bundle in self._artifacts.items():
+        for key, bundle in list(self._artifacts.items()):
             candidates = bundle.candidate_array
             position = int(np.searchsorted(candidates, user))
             if position < candidates.size and candidates[position] == user:
@@ -85,6 +85,21 @@ class IncrementalEngine(QueryEngine):
                 # future distance vectors will read.
                 bundle.grid.move_point(position, x, y)
                 self.stats.bundles_patched += 1
+                # Patched state diverges from the snapshot: pin the bundle
+                # (its arrays are the only copy) until the next snapshot.
+                self._artifacts.mark_dirty(key)
+                self._bump_version(key)
+        # Non-resident bundles cannot be patched, but any that contain the
+        # user are now stale relative to the snapshot: mark them dirty so
+        # the next touch rebuilds from the live graph instead of loading
+        # the old coordinates, and bump their versions so cached answers
+        # and shard segments retire.  The ghost member arrays make this one
+        # binary search per known bundle — no materialisation.
+        for key in self._artifacts.ghost_keys():
+            members = self._artifacts.ghost_members(key)
+            position = int(np.searchsorted(members, user))
+            if position < members.size and int(members[position]) == user:
+                self._artifacts.mark_dirty(key)
                 self._bump_version(key)
         self.stats.location_updates += 1
 
@@ -222,15 +237,31 @@ class IncrementalEngine(QueryEngine):
             touched_by_change = np.zeros(0, dtype=np.int64)
         endpoints = np.array(sorted((u, v)), dtype=np.int64)
 
-        for key in list(self._artifacts):
-            k, _rep = key
+        def probes_for(k: int):
             probes = []
             if k <= edge_level:
                 probes.append(endpoints)
             if changed.size and k == changed_level:
                 probes.append(touched_by_change)
+            return probes
+
+        for key in list(self._artifacts):
+            probes = probes_for(key[0])
             if probes and self._bundle_contains_any(key, np.concatenate(probes)):
                 del self._artifacts[key]
+                self.stats.bundles_invalidated += 1
+                self._bump_version(key)
+
+        # Non-resident bundles are invalidated through their ghost member
+        # arrays: the member set (or induced adjacency) may have changed, so
+        # the ghost itself is stale and is dropped along with any trust in
+        # the snapshot copy — the next touch rebuilds from the live graph.
+        for key in self._artifacts.ghost_keys():
+            probes = probes_for(key[0])
+            if probes and _members_contain_any(
+                self._artifacts.ghost_members(key), np.concatenate(probes)
+            ):
+                self._artifacts.invalidate(key)
                 self.stats.bundles_invalidated += 1
                 self._bump_version(key)
 
@@ -290,7 +321,11 @@ class IncrementalEngine(QueryEngine):
 
     def _bundle_contains_any(self, key: Tuple[int, int], vertices: np.ndarray) -> bool:
         """Whether the bundle's sorted candidate array intersects ``vertices``."""
-        candidates = self._artifacts[key].candidate_array
-        positions = np.searchsorted(candidates, vertices)
-        inside = positions < candidates.size
-        return bool((candidates[positions[inside]] == vertices[inside]).any())
+        return _members_contain_any(self._artifacts[key].candidate_array, vertices)
+
+
+def _members_contain_any(candidates: np.ndarray, vertices: np.ndarray) -> bool:
+    """Whether a sorted member array intersects ``vertices`` (binary search)."""
+    positions = np.searchsorted(candidates, vertices)
+    inside = positions < candidates.size
+    return bool((candidates[positions[inside]] == vertices[inside]).any())

@@ -43,9 +43,18 @@ class Checkin:
     y: float
 
 
-def read_edge_list(path: str | Path, *, comment: str = "#") -> List[Tuple[int, int]]:
-    """Read an undirected edge list of integer vertex ids."""
-    edges: List[Tuple[int, int]] = []
+def iter_edge_list(
+    path: str | Path, *, comment: str = "#"
+) -> Iterator[Tuple[int, int]]:
+    """Stream an undirected edge list of integer vertex ids, one pair at a time.
+
+    The generator form of :func:`read_edge_list`: consumers that only need
+    one pass (notably :class:`~repro.graph.builder.GraphBuilder.add_edges`)
+    avoid materialising the whole file as a Python list — on the full-scale
+    SNAP dumps that list of tuples peaks at several times the final graph's
+    size.  Malformed lines raise :class:`~repro.exceptions.DatasetError` at
+    the point they are reached.
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"edge list file not found: {path}")
@@ -57,8 +66,12 @@ def read_edge_list(path: str | Path, *, comment: str = "#") -> List[Tuple[int, i
             parts = line.split()
             if len(parts) < 2:
                 raise DatasetError(f"malformed edge line: {line!r}")
-            edges.append((int(parts[0]), int(parts[1])))
-    return edges
+            yield (int(parts[0]), int(parts[1]))
+
+
+def read_edge_list(path: str | Path, *, comment: str = "#") -> List[Tuple[int, int]]:
+    """Read an undirected edge list of integer vertex ids."""
+    return list(iter_edge_list(path, comment=comment))
 
 
 def read_locations(path: str | Path, *, comment: str = "#") -> Dict[int, Tuple[float, float]]:

@@ -193,7 +193,13 @@ class ReplicaServer(SACServer):
                     "replica cannot resync: the service was not opened from a "
                     "store and no service_factory was provided"
                 )
-            factory = lambda: SACService.open(store_path)  # noqa: E731
+            # Carry the residency budget across the resync: the fresh
+            # engine replays under the same memory bound the replica was
+            # started with.
+            budget = self.service.engine.max_resident_bytes
+            factory = lambda: SACService.open(  # noqa: E731
+                store_path, max_resident_bytes=budget
+            )
 
         def run() -> Tuple[int, int]:
             fresh = factory()

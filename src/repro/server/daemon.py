@@ -161,6 +161,10 @@ class ServerConfig:
         snapshot's :attr:`repro.store.ArtifactStore.lsn`.  On start the
         writer replays any retained WAL records beyond it before accepting
         traffic, so a restart resumes exactly at the last durable LSN.
+    max_resident_bytes:
+        Byte budget of the engine's artifact-bundle residency layer (set by
+        the CLI's ``--max-resident-mb``; informational here — the budget is
+        applied when the engine is opened).  ``None`` means unlimited.
     """
 
     host: str = "127.0.0.1"
@@ -179,6 +183,7 @@ class ServerConfig:
     wal_dir: Optional[str] = None
     wal_fsync: bool = False
     snapshot_lsn: int = 0
+    max_resident_bytes: Optional[int] = None
 
 
 @dataclass
@@ -1178,6 +1183,7 @@ class SACServer:
                 "queries_factorised": engine_stats.queries_factorised,
             },
             "engine": asdict(service_stats.engine),
+            "residency": self.service.engine.residency_info(),
             "executor": asdict(service_stats.executor),
             "cache": asdict(service_stats.cache) if service_stats.cache is not None else None,
             "slo": {
@@ -1211,6 +1217,7 @@ class SACServer:
                 "max_batch_queries": self.config.max_batch_queries,
                 "max_queue_depth": self.config.max_queue_depth,
                 "retry_after_seconds": self.config.retry_after_seconds,
+                "max_resident_bytes": self.config.max_resident_bytes,
             },
         }
 

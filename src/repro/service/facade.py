@@ -157,10 +157,16 @@ class SACService:
         millisecond warm start.  ``lsn`` stamps the snapshot with the WAL
         sequence number it covers (the replication writer passes its last
         durable LSN; see :attr:`repro.store.ArtifactStore.lsn`).
+
+        The engine's residency layer is re-anchored on the written snapshot
+        afterwards: dirty (patched) bundles are now persisted, so their
+        eviction pins release and the new store becomes the lazy-reload
+        source.
         """
         from repro.store import ArtifactStore
 
-        ArtifactStore.save(path, self.engine, lsn=lsn)
+        store = ArtifactStore.save(path, self.engine, lsn=lsn)
+        self.engine.notify_snapshot(store)
 
     @classmethod
     def open(
@@ -175,6 +181,7 @@ class SACService:
         use_plan: bool = True,
         pool_factory: Callable[[int], object] = default_pool_factory,
         clock: Optional[Callable[[], float]] = None,
+        max_resident_bytes: Optional[int] = None,
     ) -> "SACService":
         """Open a service over a snapshot written by :meth:`save`.
 
@@ -182,13 +189,16 @@ class SACService:
         (:class:`~repro.engine.IncrementalEngine` by default, so
         :meth:`apply_checkin` / :meth:`apply_edge` work out of the box; pass
         ``incremental=False`` for a plain read-only
-        :class:`~repro.engine.QueryEngine`).  All other parameters match the
+        :class:`~repro.engine.QueryEngine`).  ``max_resident_bytes`` bounds
+        the engine's resident artifact-bundle working set (see
+        :class:`repro.engine.residency.BundleResidency`); ``None`` keeps
+        every touched bundle resident.  All other parameters match the
         constructor.  The opened path is remembered as :attr:`store_path`
         so the replication tier can reopen the snapshot in place.
         """
         engine_cls = IncrementalEngine if incremental else QueryEngine
         service = cls(
-            engine=engine_cls.from_store(path),
+            engine=engine_cls.from_store(path, max_resident_bytes=max_resident_bytes),
             workers=workers,
             use_cache=use_cache,
             cache_capacity=cache_capacity,

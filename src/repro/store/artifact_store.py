@@ -62,6 +62,78 @@ _NPY_HEADER = re.compile(
     rb"'shape': \(([0-9, ]*)\), \}"
 )
 
+def _narrow_ints(array: np.ndarray) -> np.ndarray:
+    """Compress a non-negative int64 array to int32 when every value fits.
+
+    Bundle integer arrays (members, local CSR, grid order/starts) are all
+    non-negative indices; on million-vertex graphs int32 halves their pack
+    footprint and the resident cost of cold pages.  The narrow form is a
+    *storage* layout only — :meth:`ArtifactStore.load_bundle` widens back to
+    the engine's canonical int64 before any kernel sees the data.
+    """
+    if array.dtype == np.int64 and (
+        array.size == 0 or int(array.max()) <= np.iinfo(np.int32).max
+    ):
+        return array.astype(np.int32)
+    return array
+
+
+def _narrow_coords(array: np.ndarray) -> np.ndarray:
+    """Compress float64 coordinates to float32 only when exactly lossless.
+
+    Narrowing is refused unless every value round-trips bit-identically
+    through float32 — distance comparisons and MEC radii must not move, the
+    store's contract is byte-identical answers after a reopen.
+    """
+    if array.dtype != np.float64 or array.size == 0:
+        return array
+    narrow = array.astype(np.float32)
+    if np.array_equal(narrow.astype(np.float64), array):
+        return narrow
+    return array
+
+
+def _widen(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Return ``array`` in the engine's canonical ``dtype`` (view when already there)."""
+    if array.dtype == dtype:
+        return array
+    return array.astype(dtype)
+
+
+def bundle_from_state(state: Mapping[str, object]):
+    """Build one live ``CandidateArtifacts`` from raw persisted bundle arrays.
+
+    ``state`` has the :meth:`ArtifactStore.bundle_state` shape.  Arrays
+    already at full width attach as-is (zero-copy for mmap views);
+    compressed (int32/float32) arrays widen into private int64/float64
+    copies, so every kernel downstream sees the canonical layout a cold
+    build produces and answers stay bit-identical regardless of the storage
+    dtype.  The coordinate matrix is shared between the bundle and its grid,
+    preserving the in-place-patch invariant of
+    :meth:`repro.geometry.grid.GridIndex.move_point`.
+    """
+    # Imported here, not at module level: repro.core.base sits above the
+    # graph layer, which (via repro.graph.io's manifest sharing) imports
+    # this package — a top-level import would be circular.
+    from repro.core.base import CandidateArtifacts
+
+    members = _widen(np.asarray(state["members"]), np.dtype(np.int64))
+    coords = _widen(np.asarray(state["coords"]), np.dtype(np.float64))
+    grid_state = dict(state["grid"])
+    grid_state["order"] = np.asarray(grid_state["order"])
+    grid_state["starts"] = np.asarray(grid_state["starts"])
+    grid = GridIndex.from_state(coords, grid_state)
+    candidate_list = members.tolist()
+    return CandidateArtifacts(
+        candidates=frozenset(candidate_list),
+        candidate_list=candidate_list,
+        candidate_array=members,
+        candidate_coords=coords,
+        grid=grid,
+        local_indptr=_widen(np.asarray(state["local_indptr"]), np.dtype(np.int64)),
+        local_indices=_widen(np.asarray(state["local_indices"]), np.dtype(np.int64)),
+    )
+
 
 class _BlobPack:
     """Zero-copy read-only views over one uncompressed ``.npz`` pack.
@@ -124,6 +196,31 @@ class _BlobPack:
                 f"{self._path}: blob {name!r} is corrupt: {error}"
             ) from None
 
+    def release(self, names) -> None:
+        """Advise the kernel to drop the named members' resident pages.
+
+        ``MADV_DONTNEED`` on a read-only shared file mapping discards the
+        page-cache references held through this map; a later access simply
+        faults the bytes back in from the file.  This is what keeps evicting
+        a store-backed bundle an actual RSS reduction rather than a Python
+        bookkeeping exercise.  Platforms without ``madvise`` no-op.
+        """
+        if not hasattr(self._map, "madvise") or not hasattr(mmap, "MADV_DONTNEED"):
+            return
+        page = mmap.PAGESIZE
+        for name in names:
+            member = self._members.get(name)
+            if member is None:
+                continue
+            header_offset, size = member
+            start = (header_offset // page) * page
+            length = header_offset + 30 + size - start  # header + data, roughly
+            length = min(length, len(self._map) - start)
+            try:
+                self._map.madvise(mmap.MADV_DONTNEED, start, length)
+            except (OSError, ValueError):
+                return
+
     def _parse_npy_header(self, name: str, blob: memoryview):
         """Parse one member's ``.npy`` header: ``(shape, fortran, dtype, offset)``.
 
@@ -176,6 +273,7 @@ class ArtifactStore:
         self.path = Path(path)
         self.manifest = manifest
         self._pack: Optional[_BlobPack] = None
+        self._bundle_index: Optional[Dict[Tuple[int, int], Dict[str, object]]] = None
 
     # ------------------------------------------------------------------ open
     @classmethod
@@ -218,7 +316,7 @@ class ArtifactStore:
         labels = self._array(section["labels"]).tolist() if "labels" in section else None
         return SpatialGraph.attach_arrays(arrays, labels=labels)
 
-    def engine_state(self) -> Dict[str, object]:
+    def engine_state(self, *, include_bundles: bool = True) -> Dict[str, object]:
         """Reattach the snapshot's engine caches, memory-mapped.
 
         Returns the dict shape :meth:`repro.engine.QueryEngine.install_state`
@@ -226,13 +324,11 @@ class ArtifactStore:
         as ``(labels, count, representatives)``, and per-``(k,
         representative)`` :class:`~repro.core.base.CandidateArtifacts`
         bundles whose grids are rebuilt from persisted state rather than
-        re-sorted.
+        re-sorted.  With ``include_bundles=False`` the bundle dict is left
+        empty — the lazy-residency warm start installs cores and labellings
+        eagerly (both are O(n) vectors needed for component lookup) and
+        materialises bundles one at a time through :meth:`load_bundle`.
         """
-        # Imported here, not at module level: repro.core.base sits above the
-        # graph layer, which (via repro.graph.io's manifest sharing) imports
-        # this package — a top-level import would be circular.
-        from repro.core.base import CandidateArtifacts
-
         cores_entry = self.manifest.get("cores")
         cores = self._array(cores_entry) if cores_entry else None
 
@@ -246,35 +342,124 @@ class ArtifactStore:
             )
 
         bundles: Dict[Tuple[int, int], object] = {}
-        for item in self.manifest.get("bundles", []):
-            k = int(item["k"])
-            representative = int(item["representative"])
-            members = self._array(item["members"])
-            coords = self._array(item["coords"])
-            grid_section = item["grid"]
-            grid = GridIndex.from_state(
-                coords,
-                {
-                    "min_x": grid_section["min_x"],
-                    "min_y": grid_section["min_y"],
-                    "cell": grid_section["cell"],
-                    "cols": grid_section["cols"],
-                    "rows": grid_section["rows"],
-                    "order": self._array(grid_section["order"]),
-                    "starts": self._array(grid_section["starts"]),
-                },
-            )
-            candidate_list = members.tolist()
-            bundles[(k, representative)] = CandidateArtifacts(
-                candidates=frozenset(candidate_list),
-                candidate_list=candidate_list,
-                candidate_array=members,
-                candidate_coords=coords,
-                grid=grid,
-                local_indptr=self._array(item["local_indptr"]),
-                local_indices=self._array(item["local_indices"]),
-            )
+        if include_bundles:
+            for key in self.bundle_keys():
+                bundles[key] = self.load_bundle(*key)
         return {"cores": cores, "labellings": labellings, "bundles": bundles}
+
+    # --------------------------------------------------------------- bundles
+    def _bundle_entry(self, k: int, representative: int) -> Dict[str, object]:
+        """Manifest entry of one bundle, or raise :class:`StoreError`."""
+        if self._bundle_index is None:
+            self._bundle_index = {
+                (int(item["k"]), int(item["representative"])): item
+                for item in self.manifest.get("bundles", [])
+            }
+        entry = self._bundle_index.get((int(k), int(representative)))
+        if entry is None:
+            raise StoreError(
+                f"{self.path}: snapshot holds no bundle (k={k}, rep={representative})"
+            )
+        return entry
+
+    def bundle_keys(self) -> Tuple[Tuple[int, int], ...]:
+        """All ``(k, representative)`` bundle keys present in the snapshot."""
+        return tuple(
+            (int(item["k"]), int(item["representative"]))
+            for item in self.manifest.get("bundles", [])
+        )
+
+    def has_bundle(self, k: int, representative: int) -> bool:
+        """Whether the snapshot persists a bundle for ``(k, representative)``."""
+        try:
+            self._bundle_entry(k, representative)
+        except StoreError:
+            return False
+        return True
+
+    def bundle_members(self, k: int, representative: int) -> np.ndarray:
+        """The bundle's sorted member-vertex array, mapped (possibly int32).
+
+        This is the cheap membership probe the residency layer keeps for
+        *non-resident* bundles: one blob view, no grid or CSR attach, so
+        mutation routing can test whether an update touches a bundle without
+        materialising it.
+        """
+        return self._array(self._bundle_entry(k, representative)["members"])
+
+    def bundle_nbytes(self, k: int, representative: int) -> int:
+        """Pack bytes of one bundle's blobs, computed from the manifest alone."""
+        entry = self._bundle_entry(k, representative)
+        arrays = [
+            entry["members"],
+            entry["coords"],
+            entry["local_indptr"],
+            entry["local_indices"],
+            entry["grid"]["order"],
+            entry["grid"]["starts"],
+        ]
+        total = 0
+        for spec in arrays:
+            count = 1
+            for dim in spec["shape"]:
+                count *= int(dim)
+            total += count * np.dtype(str(spec["dtype"])).itemsize
+        return total
+
+    def load_bundle(self, k: int, representative: int):
+        """Materialise exactly one bundle from the pack, canonically typed.
+
+        Blobs stored at full width attach as zero-copy views over the map;
+        compressed (int32/float32) blobs widen into private int64/float64
+        arrays here, so every kernel downstream sees the same layout a cold
+        build produces and answers stay bit-identical regardless of the
+        storage dtype.  Nothing else in the pack is touched.
+        """
+        return bundle_from_state(self.bundle_state(k, representative))
+
+    def bundle_state(self, k: int, representative: int) -> Dict[str, object]:
+        """One bundle's raw persisted arrays, zero-copy, for re-saving.
+
+        :meth:`save` accepts these dicts in place of live
+        :class:`~repro.core.base.CandidateArtifacts`, which lets
+        ``export_state`` carry *clean, non-resident* bundles from the old
+        snapshot into a new one without materialising (or widening) them.
+        """
+        entry = self._bundle_entry(k, representative)
+        grid_section = entry["grid"]
+        return {
+            "members": self._array(entry["members"]),
+            "coords": self._array(entry["coords"]),
+            "local_indptr": self._array(entry["local_indptr"]),
+            "local_indices": self._array(entry["local_indices"]),
+            "grid": {
+                "min_x": grid_section["min_x"],
+                "min_y": grid_section["min_y"],
+                "cell": grid_section["cell"],
+                "cols": grid_section["cols"],
+                "rows": grid_section["rows"],
+                "order": self._array(grid_section["order"]),
+                "starts": self._array(grid_section["starts"]),
+            },
+        }
+
+    def release_bundle(self, k: int, representative: int) -> None:
+        """Drop one bundle's resident pack pages (see :meth:`_BlobPack.release`)."""
+        if self._pack is None:
+            return
+        try:
+            entry = self._bundle_entry(k, representative)
+        except StoreError:
+            return
+        names = [
+            str(entry["members"]["file"]),
+            str(entry["coords"]["file"]),
+            str(entry["local_indptr"]["file"]),
+            str(entry["local_indices"]["file"]),
+            str(entry["grid"]["order"]["file"]),
+            str(entry["grid"]["starts"]["file"]),
+        ]
+        self._pack.release(names)
 
     # ------------------------------------------------------------------ save
     @classmethod
@@ -352,23 +537,41 @@ class ArtifactStore:
         bundle_entries = []
         for (k, representative), bundle in sorted(state.get("bundles", {}).items()):
             prefix = f"k{k}_r{representative}"
-            grid_state = bundle.grid.export_state()
+            if isinstance(bundle, dict):
+                # A raw bundle_state() dict carried over from the previous
+                # snapshot: the arrays are already in storage layout
+                # (possibly compressed) — write them back byte-for-byte.
+                grid_state = bundle["grid"]
+                members = bundle["members"]
+                coords = bundle["coords"]
+                indptr = bundle["local_indptr"]
+                indices = bundle["local_indices"]
+                order = grid_state["order"]
+                starts = grid_state["starts"]
+            else:
+                grid_state = bundle.grid.export_state()
+                members = _narrow_ints(bundle.candidate_array)
+                coords = _narrow_coords(bundle.candidate_coords)
+                indptr = _narrow_ints(bundle.local_indptr)
+                indices = _narrow_ints(bundle.local_indices)
+                order = _narrow_ints(grid_state["order"])
+                starts = _narrow_ints(grid_state["starts"])
             bundle_entries.append(
                 {
                     "k": int(k),
                     "representative": int(representative),
-                    "members": _blob(f"{prefix}_members", bundle.candidate_array),
-                    "coords": _blob(f"{prefix}_coords", bundle.candidate_coords),
-                    "local_indptr": _blob(f"{prefix}_indptr", bundle.local_indptr),
-                    "local_indices": _blob(f"{prefix}_indices", bundle.local_indices),
+                    "members": _blob(f"{prefix}_members", members),
+                    "coords": _blob(f"{prefix}_coords", coords),
+                    "local_indptr": _blob(f"{prefix}_indptr", indptr),
+                    "local_indices": _blob(f"{prefix}_indices", indices),
                     "grid": {
                         "min_x": grid_state["min_x"],
                         "min_y": grid_state["min_y"],
                         "cell": grid_state["cell"],
                         "cols": grid_state["cols"],
                         "rows": grid_state["rows"],
-                        "order": _blob(f"{prefix}_grid_order", grid_state["order"]),
-                        "starts": _blob(f"{prefix}_grid_starts", grid_state["starts"]),
+                        "order": _blob(f"{prefix}_grid_order", order),
+                        "starts": _blob(f"{prefix}_grid_starts", starts),
                     },
                 }
             )

@@ -242,3 +242,23 @@ class TestSnapLoader:
         second = load_snap_dataset(edges, checkins, cache=cache)
         assert second.num_vertices == first.num_vertices
         assert sorted(second.edges()) == sorted(first.edges())
+
+    def test_cache_env_variable_derives_path(self, tmp_path, monkeypatch):
+        from repro.datasets.registry import CACHE_ENV
+
+        edges = tmp_path / "edges.txt"
+        edges.write_text("0 1\n1 2\n2 0\n")
+        checkins = tmp_path / "checkins.txt"
+        checkins.write_text(
+            "0 t 30.23 -97.79 a\n1 t 30.26 -97.74 b\n2 t 37.77 -122.41 c\n"
+        )
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv(CACHE_ENV, str(cache_dir))
+        first = load_snap_dataset(edges, checkins)
+        assert (cache_dir / "snap-edges.npz").exists()
+        # The derived cache now serves loads even without the source files.
+        edges.unlink()
+        checkins.unlink()
+        second = load_snap_dataset(edges, checkins)
+        assert second.num_vertices == first.num_vertices
+        assert sorted(second.edges()) == sorted(first.edges())

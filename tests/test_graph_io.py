@@ -8,6 +8,7 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.io import (
     Checkin,
     graph_from_files,
+    iter_edge_list,
     load_graph_npz,
     normalize_locations,
     read_checkins,
@@ -45,6 +46,19 @@ class TestReaders:
         path.write_text("justone\n")
         with pytest.raises(DatasetError):
             read_edge_list(path)
+
+    def test_iter_edge_list_streams_lazily(self, edge_file):
+        iterator = iter_edge_list(edge_file)
+        assert next(iterator) == (0, 1)
+        assert list(iterator) == [(1, 2), (2, 0), (2, 3)]
+
+    def test_iter_edge_list_raises_at_the_bad_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\njustone\n2 3\n")
+        iterator = iter_edge_list(path)
+        assert next(iterator) == (0, 1)
+        with pytest.raises(DatasetError, match="malformed"):
+            next(iterator)
 
     def test_read_locations(self, location_file):
         locations = read_locations(location_file)

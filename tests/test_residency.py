@@ -1,0 +1,394 @@
+"""Residency layer: lazy loads, LRU eviction, dirty pinning, bit-identity.
+
+The budget is a *memory* knob, never a *semantics* knob — the property this
+suite pins down from every direction:
+
+* **Starved parity** — an engine warm-started with a one-byte budget (so
+  almost nothing stays resident and bundles churn through the LRU) must
+  return bit-identical answers to the fully-resident cold build, across all
+  five algorithms, and keep doing so while interleaved check-ins and edge
+  flips mutate the graph underneath.
+* **Eviction mechanics** — LRU order, the newest-entry exemption, the
+  ``resident_bytes`` gauge, and store re-materialisation counters.
+* **Dirty pinning** — a patched bundle is the only copy of its state, so it
+  must survive any amount of cache pressure until a snapshot folds it in;
+  after ``notify_snapshot`` the pin releases and the bundle is evictable
+  (and reloadable) again.
+* **Storage compression** — int32/float32 narrowing in the pack is invisible
+  at query time, and never applied to coordinates that would lose bits.
+* **Snapshot carry-over** — re-saving a warm engine moves clean non-resident
+  bundles between snapshots as raw mmap views, without materialising them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BundleResidency, IncrementalEngine, QueryEngine
+from repro.exceptions import NoCommunityError
+from repro.graph.builder import GraphBuilder
+from repro.service import SACService
+from repro.store import ArtifactStore
+from repro.testing.strategies import random_spatial_graph
+
+ALGOS = {
+    "exact": {},
+    "exact+": {"epsilon_a": 0.5},
+    "appinc": {},
+    "appfast": {"epsilon_f": 0.5},
+    "appacc": {"epsilon_a": 0.5},
+}
+
+
+def _assert_identical(first, second, context=()):
+    assert (first is None) == (second is None), context
+    if first is None:
+        return
+    assert first.members == second.members, context
+    assert first.circle.radius == second.circle.radius, context
+    assert first.circle.center.x == second.circle.center.x, context
+    assert first.circle.center.y == second.circle.center.y, context
+
+
+def _search_or_none(engine, query, k, algorithm="appfast", params=None):
+    try:
+        return engine.search(query, k, algorithm=algorithm, **(params or {}))
+    except NoCommunityError:
+        return None
+
+
+def _warm_engine(rng_seed, n=None, edges=None):
+    """Cold engine over a random graph with every k=2,3 bundle materialised."""
+    rng = np.random.default_rng(rng_seed)
+    n = n or int(rng.integers(16, 32))
+    graph, _ = random_spatial_graph(rng, n, edges or int(rng.integers(2 * n, 4 * n)))
+    engine = QueryEngine(graph)
+    for k in (2, 3):
+        for component in range(engine.prepare(k)):
+            engine.component_artifacts(k, component)
+    return graph, engine
+
+
+def _two_triangles():
+    """A graph whose k=2 ĉore splits into two components (reps 0 and 3).
+
+    Coordinates are small dyadic fractions so the snapshot's float32
+    narrowing kicks in and both storage layouts get exercised.
+    """
+    builder = GraphBuilder()
+    for vertex, (x, y) in enumerate(
+        [(0.0, 0.0), (0.25, 0.0), (0.0, 0.25), (1.0, 1.0), (0.75, 1.0), (1.0, 0.75)]
+    ):
+        builder.add_vertex(vertex, x, y)
+    builder.add_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    return builder.build()
+
+
+def _saved_triangles(tmp_path):
+    graph = _two_triangles()
+    cold = QueryEngine(graph)
+    for component in range(cold.prepare(2)):
+        cold.component_artifacts(2, component)
+    ArtifactStore.save(tmp_path / "snap", cold)
+    return graph, cold, tmp_path / "snap"
+
+
+class TestStarvedParity:
+    """A one-byte budget changes memory, never answers."""
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_all_algorithms_bitwise_identical(self, seed, tmp_path_factory):
+        graph, cold = _warm_engine(seed)
+        path = tmp_path_factory.mktemp("store") / "snap"
+        ArtifactStore.save(path, cold)
+        starved = QueryEngine.from_store(path, max_resident_bytes=1)
+        assert starved.max_resident_bytes == 1
+        for k in (2, 3):
+            for query in range(graph.num_vertices):
+                for algorithm, params in ALGOS.items():
+                    _assert_identical(
+                        _search_or_none(cold, query, k, algorithm, params),
+                        _search_or_none(starved, query, k, algorithm, params),
+                        (seed, k, query, algorithm),
+                    )
+        # Everything was served from the store, nothing from a live build,
+        # and the budget actually bit: at most one clean bundle stays
+        # resident, so touching a second key must have evicted the first.
+        assert starved.stats.components_materialised == 0
+        if len(cold.export_state()["bundles"]) > 1:
+            assert starved.stats.bundles_evicted > 0
+            assert starved.stats.bundles_materialised > len(
+                starved._artifacts
+            )
+        assert len(starved._artifacts) <= 1
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_mutations_under_starvation(self, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(16, 28))
+        graph, edges = random_spatial_graph(rng, n, int(rng.integers(2 * n, 3 * n)))
+        cold_source = QueryEngine(graph)
+        for k in (2, 3):
+            for component in range(cold_source.prepare(k)):
+                cold_source.component_artifacts(k, component)
+        path = tmp_path_factory.mktemp("store") / "snap"
+        ArtifactStore.save(path, cold_source)
+
+        starved = IncrementalEngine.from_store(path, max_resident_bytes=1)
+        cold = IncrementalEngine(graph.mutable_copy())
+        for _step in range(12):
+            op = rng.integers(0, 3)
+            if op == 0:
+                user = int(rng.integers(0, n))
+                x, y = (float(c) for c in rng.uniform(0.0, 1.0, size=2))
+                starved.apply_checkin(user, x, y)
+                cold.apply_checkin(user, x, y)
+            elif op == 1:
+                u, v = (int(a) for a in rng.integers(0, n, size=2))
+                if u == v:
+                    continue
+                edge = (min(u, v), max(u, v))
+                if edge in edges:
+                    edges.discard(edge)
+                    starved.apply_edge(*edge, "delete")
+                    cold.apply_edge(*edge, "delete")
+                else:
+                    edges.add(edge)
+                    starved.apply_edge(*edge, "insert")
+                    cold.apply_edge(*edge, "insert")
+            query = int(rng.integers(0, n))
+            k = int(rng.integers(2, 4))
+            _assert_identical(
+                _search_or_none(cold, query, k),
+                _search_or_none(starved, query, k),
+                (seed, _step, query, k),
+            )
+
+    def test_service_batch_parity_across_budgets(self, tmp_path):
+        graph, cold = _warm_engine(11, n=24, edges=80)
+        service = SACService(engine=cold, use_cache=False)
+        service.save(tmp_path / "snap")
+        unlimited = SACService.open(tmp_path / "snap", use_cache=True)
+        starved = SACService.open(
+            tmp_path / "snap", use_cache=True, max_resident_bytes=1
+        )
+        queries = list(range(graph.num_vertices))
+        full_batch = unlimited.submit_batch(queries, 2)
+        lean_batch = starved.submit_batch(queries, 2)
+        assert set(full_batch.results) == set(lean_batch.results)
+        for query, result in full_batch.results.items():
+            _assert_identical(result, lean_batch.results[query], (query,))
+
+
+class TestEvictionMechanics:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            BundleResidency(max_bytes=0)
+        with pytest.raises(ValueError, match="positive"):
+            BundleResidency(max_bytes=-5)
+
+    def test_lru_evicts_oldest_and_reloads(self, tmp_path):
+        _graph, cold, path = _saved_triangles(tmp_path)
+        starved = QueryEngine.from_store(path, max_resident_bytes=1)
+        starved.search(0, 2)
+        assert starved.bundle_resident(2, 0)
+        assert starved.stats.bundles_materialised == 1
+        # Touching the second component evicts the first (budget of one
+        # byte keeps only the newest entry).
+        starved.search(3, 2)
+        assert starved.bundle_resident(2, 3)
+        assert not starved.bundle_resident(2, 0)
+        assert starved.stats.bundles_evicted == 1
+        # The evicted bundle re-materialises from the store on return —
+        # never rebuilt from the graph — and the answer is unchanged.
+        _assert_identical(starved.search(0, 2), cold.search(0, 2))
+        assert starved.stats.bundles_materialised == 3
+        assert starved.stats.components_materialised == 0
+
+    def test_resident_bytes_gauge_tracks_the_working_set(self, tmp_path):
+        _graph, _cold, path = _saved_triangles(tmp_path)
+        warm = QueryEngine.from_store(path)
+        assert warm.stats.resident_bytes == 0
+        warm.search(0, 2)
+        after_one = warm.stats.resident_bytes
+        assert after_one > 0
+        assert after_one == warm._artifacts.total_bytes
+        warm.search(3, 2)
+        assert warm.stats.resident_bytes > after_one
+        info = warm.residency_info()
+        assert info["resident_bundles"] == 2
+        assert info["resident_bytes"] == warm.stats.resident_bytes
+        assert info["max_resident_bytes"] is None
+
+    def test_unlimited_budget_never_evicts(self, tmp_path):
+        _graph, _cold, path = _saved_triangles(tmp_path)
+        warm = QueryEngine.from_store(path)
+        for query in (0, 3, 0, 3):
+            warm.search(query, 2)
+        assert warm.stats.bundles_evicted == 0
+        assert warm.stats.bundles_materialised == 2
+        assert len(warm._artifacts) == 2
+
+
+class TestDirtyPinning:
+    def test_patched_bundle_survives_pressure(self, tmp_path):
+        graph, _cold, path = _saved_triangles(tmp_path)
+        starved = IncrementalEngine.from_store(path, max_resident_bytes=1)
+        starved.search(0, 2)
+        # Patch the resident bundle: it is now the only copy of the moved
+        # coordinate, so the LRU must refuse to evict it.
+        starved.apply_checkin(0, 0.1, 0.1)
+        assert starved._artifacts.is_dirty((2, 0))
+        assert starved._artifacts.is_pinned((2, 0))
+        starved.search(3, 2)
+        assert starved.bundle_resident(2, 0), "pinned dirty bundle was evicted"
+        assert starved.bundle_resident(2, 3)
+        # Answers reflect the patch, identically to a cold engine that
+        # absorbed the same check-in.
+        cold = IncrementalEngine(graph.mutable_copy())
+        cold.apply_checkin(0, 0.1, 0.1)
+        _assert_identical(starved.search(0, 2), cold.search(0, 2))
+        assert starved.residency_info()["pinned_dirty"] == 1
+
+    def test_pin_releases_after_snapshot(self, tmp_path):
+        graph, _cold, path = _saved_triangles(tmp_path)
+        starved = IncrementalEngine.from_store(path, max_resident_bytes=1)
+        starved.search(0, 2)
+        starved.apply_checkin(0, 0.1, 0.1)
+        starved.search(3, 2)
+        assert len(starved._artifacts) == 2  # pinned + newest
+        store = ArtifactStore.save(tmp_path / "next", starved)
+        starved.notify_snapshot(store)
+        # The snapshot owns the patched state now: the pin is gone and the
+        # one-byte budget immediately shrinks the resident set back to one.
+        assert not starved._artifacts.is_pinned((2, 0))
+        assert not starved._artifacts.is_dirty((2, 0))
+        assert len(starved._artifacts) == 1
+        # Reloading the evicted bundle from the *new* snapshot serves the
+        # patched coordinates.
+        cold = IncrementalEngine(graph.mutable_copy())
+        cold.apply_checkin(0, 0.1, 0.1)
+        for query in range(graph.num_vertices):
+            _assert_identical(
+                _search_or_none(starved, query, 2),
+                _search_or_none(cold, query, 2),
+                (query,),
+            )
+
+    def test_dirty_ghost_rebuilds_from_graph_not_store(self, tmp_path):
+        graph, _cold, path = _saved_triangles(tmp_path)
+        starved = IncrementalEngine.from_store(path, max_resident_bytes=1)
+        # Check-in lands on a *non-resident* bundle: its ghost is marked
+        # dirty, so the stale snapshot copy must never be served again.
+        starved.apply_checkin(0, 0.1, 0.1)
+        assert starved._artifacts.is_dirty((2, 0))
+        result = starved.search(0, 2)
+        assert starved.stats.components_materialised == 1
+        assert starved.stats.bundles_materialised == 0
+        cold = IncrementalEngine(graph.mutable_copy())
+        cold.apply_checkin(0, 0.1, 0.1)
+        _assert_identical(result, cold.search(0, 2))
+
+
+class TestStorageCompression:
+    def test_pack_narrows_ints_and_dyadic_coords(self, tmp_path):
+        _graph, _cold, path = _saved_triangles(tmp_path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        entry = manifest["bundles"][0]
+        assert entry["members"]["dtype"] == "int32"
+        assert entry["local_indptr"]["dtype"] == "int32"
+        assert entry["local_indices"]["dtype"] == "int32"
+        assert entry["grid"]["order"]["dtype"] == "int32"
+        # Dyadic coordinates round-trip through float32 exactly: narrowed.
+        assert entry["coords"]["dtype"] == "float32"
+        # Loaded bundles are widened back to the canonical layout.
+        store = ArtifactStore.open(path)
+        bundle = store.load_bundle(2, 0)
+        assert bundle.candidate_array.dtype == np.int64
+        assert bundle.candidate_coords.dtype == np.float64
+        assert bundle.local_indptr.dtype == np.int64
+        assert bundle.local_indices.dtype == np.int64
+
+    def test_lossy_coords_stay_float64(self, tmp_path):
+        # Irrational-ish random coordinates do not survive a float32 round
+        # trip; the narrowing must refuse rather than move a single bit.
+        _graph, engine = _warm_engine(23, n=18, edges=60)
+        ArtifactStore.save(tmp_path / "snap", engine)
+        manifest = json.loads((tmp_path / "snap" / "manifest.json").read_text())
+        assert manifest["bundles"], "expected at least one bundle"
+        for entry in manifest["bundles"]:
+            assert entry["coords"]["dtype"] == "float64"
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_compressed_round_trip_is_bitwise_identical(self, seed, tmp_path_factory):
+        # Snap coordinates to dyadic fractions so the float32 path engages,
+        # then require bit-identical answers through the narrow pack.
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(16, 28))
+        builder = GraphBuilder()
+        for vertex in range(n):
+            x, y = (float(c) / 64.0 for c in rng.integers(0, 65, size=2))
+            builder.add_vertex(vertex, x, y)
+        seen = set()
+        for _ in range(3 * n):
+            u, v = (int(a) for a in rng.integers(0, n, size=2))
+            if u != v:
+                seen.add((min(u, v), max(u, v)))
+        builder.add_edges(sorted(seen))
+        graph = builder.build()
+        cold = QueryEngine(graph)
+        for k in (2, 3):
+            for component in range(cold.prepare(k)):
+                cold.component_artifacts(k, component)
+        path = tmp_path_factory.mktemp("store") / "snap"
+        ArtifactStore.save(path, cold)
+        warm = QueryEngine.from_store(path)
+        for k in (2, 3):
+            for query in range(n):
+                for algorithm, params in ALGOS.items():
+                    _assert_identical(
+                        _search_or_none(cold, query, k, algorithm, params),
+                        _search_or_none(warm, query, k, algorithm, params),
+                        (seed, k, query, algorithm),
+                    )
+
+
+class TestSnapshotCarryOver:
+    def test_resave_carries_cold_bundles_without_materialising(self, tmp_path):
+        graph, cold, path = _saved_triangles(tmp_path)
+        warm = QueryEngine.from_store(path)
+        # Snapshot the warm engine before any query: every bundle is still
+        # cold, so export must hand the store's raw views straight through.
+        ArtifactStore.save(tmp_path / "resaved", warm)
+        assert warm.stats.bundles_materialised == 0
+        assert len(warm._artifacts) == 0
+        manifest = json.loads((tmp_path / "resaved" / "manifest.json").read_text())
+        assert len(manifest["bundles"]) == 2
+        # Raw carry-over preserves the compressed storage layout verbatim.
+        assert manifest["bundles"][0]["members"]["dtype"] == "int32"
+        again = QueryEngine.from_store(tmp_path / "resaved")
+        for query in range(graph.num_vertices):
+            _assert_identical(
+                _search_or_none(cold, query, 2),
+                _search_or_none(again, query, 2),
+                (query,),
+            )
+        assert again.stats.bundles_materialised == 2

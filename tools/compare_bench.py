@@ -101,6 +101,22 @@ def compare_payloads(
                         tolerance,
                     )
                 )
+        # Memory gate: the "extra" payload is otherwise free-form and
+        # ignored, but a peak-RSS recording present in both the baseline
+        # and the current run must stay within the band — a benchmark whose
+        # memory high-water multiplies is a regression even when its
+        # timings hold.
+        base_rss = (base_body.get("extra") or {}).get("peak_rss_mb")
+        curr_rss = (curr_sections[section].get("extra") or {}).get("peak_rss_mb")
+        if base_rss is not None and curr_rss is not None:
+            problems.extend(
+                _compare_cell(
+                    f"{name}: {section}.extra.peak_rss_mb",
+                    float(base_rss),
+                    float(curr_rss),
+                    tolerance,
+                )
+            )
     return problems
 
 
