@@ -326,6 +326,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(integer-valued per RFC 9110: sub-second values advertise 1)",
     )
     daemon.add_argument(
+        "--poll-timeout-ms",
+        type=float,
+        default=30000.0,
+        help="longest a GET /subscribe long-poll parks before answering "
+        "empty (also the streaming heartbeat cadence)",
+    )
+    daemon.add_argument(
+        "--subscription-backlog",
+        type=int,
+        default=64,
+        help="per-subscription pending-delta bound; a consumer that falls "
+        "further behind gets one full-snapshot resync instead",
+    )
+    daemon.add_argument(
+        "--subscription-idle-seconds",
+        type=float,
+        default=300.0,
+        help="expire subscriptions with no poll/stream contact for this "
+        "long (0 disables idle GC)",
+    )
+    daemon.add_argument(
         "--role",
         choices=("writer", "replica", "coordinator"),
         default=None,
@@ -821,6 +842,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         wal_fsync=args.wal_fsync,
         snapshot_lsn=snapshot_lsn,
         max_resident_bytes=_resident_budget_bytes(args),
+        poll_timeout_ms=args.poll_timeout_ms,
+        subscription_backlog=args.subscription_backlog,
+        subscription_idle_seconds=(
+            args.subscription_idle_seconds
+            if args.subscription_idle_seconds > 0
+            else None
+        ),
     )
 
     async def _run() -> None:

@@ -9,6 +9,13 @@ replica's read micro-batches exactly as first-hand mutations interleave on
 the writer — pending reads are flushed before a record applies — so every
 answer a replica produces equals the writer's answer at the replica's
 ``applied_lsn``.
+
+Standing queries are served from replicas too: ``/subscribe`` is *not* on
+the refused mutation list, so clients may register subscriptions against a
+replica and receive deltas driven by WAL replay, each stamped with the
+replica's ``applied_lsn`` at evaluation time.  A post-compaction resync
+keeps subscriptions alive — the registry is re-pointed at the fresh service
+and every subscription re-resolves its component on the next pass.
 """
 
 from __future__ import annotations
@@ -215,6 +222,11 @@ class ReplicaServer(SACServer):
                 )
             stale = self.service
             self.service = fresh
+            # Standing queries survive the swap: the registry re-resolves
+            # every subscription against the fresh engine on the next
+            # evaluation pass (the one this same barrier job triggers) and
+            # delivers a delta only where the answer actually moved.
+            self.subscriptions.rebind(fresh)
             self._cursor = WalCursor(
                 self.config.wal_dir, start_lsn=snapshot_lsn + 1
             )

@@ -8,12 +8,16 @@ with **micro-batching** (concurrent single queries coalesce into one
 edge updates are serialised with query batches, so answers are bit-identical
 to applying the same request sequence serially), warm start from an
 :class:`repro.store.ArtifactStore` snapshot, snapshot-on-signal, and a
-graceful drain.  :class:`SACClient` is the stdlib client; ``repro-sac
-serve`` the CLI front end.
+graceful drain.  **Standing queries** ride the same daemon: ``/subscribe``
+registers a continuous query with the
+:class:`repro.service.subscriptions.SubscriptionRegistry` and deltas are
+collected by long-poll or chunked streaming.  :class:`SACClient` is the
+stdlib client; ``repro-sac serve`` the CLI front end.
 
 Endpoints: ``POST /query``, ``POST /batch``, ``POST /checkin``,
-``POST /edge``, ``GET /stats``, ``GET /healthz`` — request/response schemas
-in ``docs/serving.md``.
+``POST /edge``, ``POST /compact``, ``POST /subscribe``,
+``GET /subscribe``, ``POST /unsubscribe``, ``GET /stats``,
+``GET /healthz`` — request/response schemas in ``docs/serving.md``.
 """
 
 from repro.server.client import SACClient, ServerError

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
+from urllib.parse import urlencode
 
 
 class ServerError(Exception):
@@ -200,6 +201,108 @@ class SACClient:
         400); see the Replication section of ``docs/serving.md``.
         """
         return self._request("POST", "/compact", {})
+
+    # ---------------------------------------------------------- subscriptions
+    def subscribe(
+        self,
+        vertex: object,
+        k: int = 4,
+        *,
+        algorithm: Optional[str] = None,
+        params: Optional[Dict[str, float]] = None,
+    ) -> dict:
+        """``POST /subscribe`` — register a standing query.
+
+        Returns the initial community snapshot (``type: "snapshot"``) whose
+        ``id`` addresses every later :meth:`poll` / :meth:`stream` /
+        :meth:`unsubscribe` call.
+        """
+        body: dict = {"vertex": vertex, "k": k}
+        if algorithm is not None:
+            body["algorithm"] = algorithm
+        if params:
+            body["params"] = dict(params)
+        return self._request("POST", "/subscribe", body)
+
+    def poll(self, sub_id: str, *, timeout_ms: Optional[float] = None) -> dict:
+        """``GET /subscribe`` — long-poll one subscription for deltas.
+
+        Returns ``{"id", "messages", "draining"}``; ``messages`` may be
+        empty when the park timed out.  The HTTP socket timeout is widened
+        past the requested park so a quiet subscription never reads as a
+        dead server; a ``timeout_ms`` beyond the server's configured cap is
+        silently capped server-side.
+        """
+        query = {"id": sub_id}
+        if timeout_ms is not None:
+            query["timeout_ms"] = repr(float(timeout_ms))
+        path = f"/subscribe?{urlencode(query)}"
+        budget = (timeout_ms or 30000.0) / 1000.0 + 10.0
+        if budget <= self.timeout:
+            return self._request("GET", path)
+        # A park longer than the client's socket timeout needs a dedicated
+        # wider-timeout connection — the shared keep-alive one would abort
+        # the poll early.
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=budget)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        decoded = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            raise ServerError(
+                response.status, decoded.get("error", raw.decode("utf-8", "replace"))
+            )
+        return decoded
+
+    def unsubscribe(self, sub_id: str) -> dict:
+        """``POST /unsubscribe`` — drop a standing query."""
+        return self._request("POST", "/unsubscribe", {"id": sub_id})
+
+    def stream(
+        self, sub_id: str, *, timeout: Optional[float] = None
+    ) -> Iterator[dict]:
+        """``GET /subscribe?stream=1`` — yield messages from a chunked stream.
+
+        A generator over the subscription's pushed messages (deltas,
+        resyncs, heartbeats, and the final ``drain``/``closed``), each a
+        parsed JSON object.  The stream ends — and the generator returns —
+        when the server delivers its terminal message or closes the
+        connection; ``http.client`` de-chunks transparently, so a torn
+        stream surfaces as :class:`http.client.IncompleteRead` rather than
+        silently truncated JSON.  The dedicated connection uses ``timeout``
+        (default: the server is expected to heartbeat within its
+        ``poll_timeout_ms``; pass a comfortably larger value).
+        """
+        path = f"/subscribe?{urlencode({'id': sub_id, 'stream': 1})}"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                decoded = json.loads(raw) if raw else {}
+                raise ServerError(
+                    response.status,
+                    decoded.get("error", raw.decode("utf-8", "replace")),
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                message = json.loads(line)
+                yield message
+                if message.get("type") in ("drain", "closed"):
+                    return
+        finally:
+            connection.close()
 
     def stats(self) -> dict:
         """``GET /stats`` — endpoint, batcher, engine, executor, cache counters."""

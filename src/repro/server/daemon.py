@@ -34,6 +34,15 @@ network server.  Three ideas organise it:
   lanes: each lane admits at most ``max_queue_depth`` unanswered queries
   and refuses the rest with ``429`` + ``Retry-After`` — so overload sheds
   quality first (the ladder), then admission, and never latency-by-hanging.
+* **Standing queries** — ``POST /subscribe`` registers a continuous query
+  ``(vertex, k, algorithm, params)`` with the
+  :class:`repro.service.subscriptions.SubscriptionRegistry`; after every
+  mutation clears the write barrier the registry re-evaluates exactly the
+  subscriptions whose component version moved and queues a delta per
+  changed answer.  Clients collect deltas with ``GET /subscribe`` —
+  long-poll (parks up to ``poll_timeout_ms``) or chunked streaming
+  (``stream=1``) — with bounded per-subscription backlogs that overflow to
+  a full-snapshot resync instead of dropping updates silently.
 * **Operability** — warm start from an :class:`repro.store.ArtifactStore`
   snapshot (``SACService.open``), snapshot-to-store on ``SIGUSR1`` and on
   shutdown, graceful drain (pending queries are flushed and answered, the
@@ -51,6 +60,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import math
 import signal
 import sys
@@ -58,19 +68,24 @@ import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs
 
 from repro.core.searcher import ALGORITHMS
 from repro.engine import IncrementalEngine
 from repro.exceptions import ReproError
 from repro.server.http import (
+    LAST_CHUNK,
     ConnectionClosed,
     HttpError,
     Request,
+    encode_chunk,
+    encode_stream_head,
     error_payload,
     read_request,
     write_response,
 )
 from repro.service import SACService
+from repro.service.subscriptions import SubscriptionRegistry
 from repro.service.results import BatchResult
 from repro.store.wal import WalCursor, WriteAheadLog
 from repro.service.slo import (
@@ -165,6 +180,20 @@ class ServerConfig:
         Byte budget of the engine's artifact-bundle residency layer (set by
         the CLI's ``--max-resident-mb``; informational here — the budget is
         applied when the engine is opened).  ``None`` means unlimited.
+    poll_timeout_ms:
+        Upper bound on how long one ``GET /subscribe`` long-poll parks
+        before answering with an empty delta list (a request may ask for
+        less via ``timeout_ms``, never more).  Streaming connections emit a
+        heartbeat chunk at the same cadence while idle.
+    subscription_backlog:
+        Per-subscription delta-queue bound.  A consumer that falls further
+        behind has its queue dropped and receives one full-snapshot
+        ``resync`` message on its next poll instead (overflow-to-resync).
+    subscription_idle_seconds:
+        Subscriptions with no poll/stream contact for this long are expired
+        at the next mutation.  Keep it above ``poll_timeout_ms`` (a parked
+        poller only counts as contact when its poll arrives); ``None``
+        disables idle GC.
     """
 
     host: str = "127.0.0.1"
@@ -184,6 +213,9 @@ class ServerConfig:
     wal_fsync: bool = False
     snapshot_lsn: int = 0
     max_resident_bytes: Optional[int] = None
+    poll_timeout_ms: float = 30000.0
+    subscription_backlog: int = 64
+    subscription_idle_seconds: Optional[float] = 300.0
 
 
 @dataclass
@@ -257,6 +289,18 @@ class _PendingQuery:
     future: "asyncio.Future[BatchResult]"
     deadline_ms: Optional[float] = None
     arrived: float = 0.0
+
+
+@dataclass
+class _SubscriptionStream:
+    """Handler sentinel: switch this connection to chunked delta streaming.
+
+    ``GET /subscribe?stream=1`` returns this instead of a JSON payload; the
+    connection loop spots it and hands the socket to
+    :meth:`SACServer._stream_subscription` instead of writing one response.
+    """
+
+    sub_id: str
 
 
 @dataclass
@@ -399,12 +443,27 @@ class SACServer:
         self._draining = False
         self._stopped: Optional[asyncio.Event] = None
         self._engine_thread = None  # created lazily inside the loop
+        # Standing queries: the registry re-evaluates on the engine thread
+        # (inside the write barrier); pollers park on per-subscription
+        # events and are woken via call_soon_threadsafe.
+        self.subscriptions = SubscriptionRegistry(
+            service,
+            backlog=self.config.subscription_backlog,
+            idle_seconds=self.config.subscription_idle_seconds,
+            clock=self._clock,
+        )
+        self._sub_events: Dict[str, asyncio.Event] = {}
+        self._streams: set = set()
+        self._parked = 0
         self._routes: Dict[Tuple[str, str], Handler] = {
             ("POST", "/query"): self._handle_query,
             ("POST", "/batch"): self._handle_batch,
             ("POST", "/checkin"): self._handle_checkin,
             ("POST", "/edge"): self._handle_edge,
             ("POST", "/compact"): self._handle_compact,
+            ("POST", "/subscribe"): self._handle_subscribe,
+            ("GET", "/subscribe"): self._handle_subscribe_poll,
+            ("POST", "/unsubscribe"): self._handle_unsubscribe,
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/healthz"): self._handle_healthz,
         }
@@ -575,6 +634,11 @@ class SACServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Wake every parked subscription poller/stream first: they observe
+        # _draining, answer with a final drain message, and release their
+        # in-flight slot — otherwise the idle wait below would stall on
+        # connections that are parked, not working.
+        self._release_pollers()
         self._flush_all(reason="drain")
         await self._jobs.join()
         with contextlib.suppress(asyncio.TimeoutError):
@@ -591,6 +655,11 @@ class SACServer:
         self._engine_thread.shutdown(wait=True)
         if self._wal is not None:
             self._wal.close()
+        # Streaming connections were woken above and are writing their final
+        # drain chunk + terminator; give them a bounded window to finish so
+        # no client ever sees a torn chunk, then cancel whatever remains.
+        if self._streams:
+            await asyncio.wait(list(self._streams), timeout=2.0)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -633,6 +702,11 @@ class SACServer:
                     )
                 return
             status, payload, headers = await self._dispatch(request)
+            if isinstance(payload, _SubscriptionStream):
+                # The subscription switches this socket to chunked
+                # streaming; the connection is dedicated to it from here on.
+                await self._stream_subscription(writer, payload)
+                return
             keep_alive = request.keep_alive and not self._draining
             try:
                 await write_response(
@@ -850,11 +924,76 @@ class SACServer:
                 self._flush(key, reason="linger")
 
     async def _run_mutation(self, run: Callable[[], object]) -> object:
-        """Write barrier: flush pending queries, then run ``run`` serialised."""
+        """Write barrier: flush pending queries, then run ``run`` serialised.
+
+        After ``run`` succeeds — still inside the same serialised job, on
+        the engine thread — the subscription registry re-evaluates the
+        standing queries the mutation may have touched, so every delta is
+        computed against exactly the post-mutation state and no query can
+        slip between the mutation and its notification.
+        """
         self._flush_all(reason="mutation")
+
+        def mutate_then_notify() -> object:
+            outcome = run()
+            self._notify_subscribers()
+            return outcome
+
         future: "asyncio.Future[object]" = self._loop.create_future()
-        self._jobs.put_nowait(_Job(kind="mutate", run=run, future=future))
+        self._jobs.put_nowait(_Job(kind="mutate", run=mutate_then_notify, future=future))
         return await future
+
+    def _delta_lsn(self) -> Optional[int]:
+        """The LSN stamped on subscription deltas (None without a WAL).
+
+        Read *after* the mutation ran in the same serialised job, so it
+        names exactly the mutation the delta reflects: the writer stamps
+        its durable LSN, replicas (via the :attr:`applied_lsn` override)
+        their replay position.
+        """
+        return self.applied_lsn
+
+    def _notify_subscribers(self) -> None:
+        """Post-mutation half of the write barrier (engine thread).
+
+        Expires idle subscriptions, re-evaluates the ones whose component
+        version moved, and wakes the parked pollers of every subscription
+        that now has a deliverable message.  Failures are contained — a
+        broken evaluation must not fail the mutation that triggered it.
+        """
+        if not len(self.subscriptions):
+            return
+        try:
+            expired = self.subscriptions.expire_idle()
+            woken = self.subscriptions.evaluate(lsn=self._delta_lsn())
+        except Exception as error:  # noqa: BLE001 - never fail the mutation
+            print(f"server: subscription evaluation failed: {error!r}", file=sys.stderr)
+            return
+        if woken or expired:
+            self._loop.call_soon_threadsafe(
+                lambda live=woken, dead=expired: self._wake_subscribers(live, drop=dead)
+            )
+
+    def _wake_subscribers(self, sub_ids: List[str], drop: Sequence[str] = ()) -> None:
+        """Release parked pollers (event-loop thread).
+
+        ``drop`` names subscriptions that no longer exist (expired or
+        unsubscribed): their waiters are woken too — they observe the
+        missing id and answer ``closed`` — and their events are discarded.
+        """
+        for sub_id in sub_ids:
+            event = self._sub_events.get(sub_id)
+            if event is not None:
+                event.set()
+        for sub_id in drop:
+            event = self._sub_events.pop(sub_id, None)
+            if event is not None:
+                event.set()
+
+    def _release_pollers(self) -> None:
+        """Wake every parked poller/stream (drain: they answer and exit)."""
+        for event in self._sub_events.values():
+            event.set()
 
     # ------------------------------------------------------------ request parsing
     def _resolve_vertex(self, label: object, field_name: str) -> int:
@@ -1159,6 +1298,160 @@ class SACServer:
         self._jobs.put_nowait(_Job(kind="snapshot", run=run, future=future))
         return 200, await future
 
+    # ------------------------------------------------------------ subscriptions
+    async def _handle_subscribe(self, request: Request) -> Tuple[int, dict]:
+        """``POST /subscribe`` — register a standing query.
+
+        The initial community state is computed through a serialised
+        engine job (the same barrier mutations use), so the returned
+        snapshot and the subscription's version stamp are consistent: no
+        mutation can land between "compute the answer" and "start watching
+        its version".
+        """
+        body = request.json()
+        if "vertex" not in body:
+            raise HttpError(400, "missing required field 'vertex'")
+        vertex = self._resolve_vertex(body["vertex"], "vertex")
+        k = self._parse_k(body)
+        algorithm, params = self._parse_params(body)
+
+        def run(vertex=vertex, k=k, algorithm=algorithm, params=params):
+            _sub, snapshot = self.subscriptions.register(
+                vertex, k, algorithm=algorithm, params=dict(params)
+            )
+            return snapshot
+
+        snapshot = await self._run_mutation(run)
+        snapshot["poll_timeout_ms"] = self.config.poll_timeout_ms
+        snapshot["backlog"] = self.subscriptions.backlog
+        return 200, snapshot
+
+    async def _handle_unsubscribe(self, request: Request) -> Tuple[int, dict]:
+        """``POST /unsubscribe`` — drop a standing query, waking its pollers."""
+        body = request.json()
+        sub_id = body.get("id")
+        if not isinstance(sub_id, str) or not sub_id:
+            raise HttpError(400, "'id' must be a subscription id string")
+        if not self.subscriptions.unsubscribe(sub_id):
+            raise HttpError(404, f"no such subscription: {sub_id}")
+        # Parked pollers wake, observe the missing id, and answer "closed".
+        self._wake_subscribers([], drop=[sub_id])
+        return 200, {"unsubscribed": True, "id": sub_id}
+
+    async def _handle_subscribe_poll(self, request: Request) -> Tuple[int, dict]:
+        """``GET /subscribe?id=...`` — collect deltas: long-poll or stream.
+
+        Long-poll (the default): drains and returns the subscription's
+        pending messages immediately when there are any, otherwise parks up
+        to ``timeout_ms`` (capped by the server's ``poll_timeout_ms``) and
+        answers with whatever arrived — possibly an empty list.  With
+        ``stream=1`` the connection switches to chunked streaming instead:
+        one JSON message per chunk, heartbeats while idle, a final ``drain``
+        or ``closed`` message plus a clean terminator when the server drains
+        or the subscription goes away.
+        """
+        args = parse_qs(request.query)
+        sub_id = (args.get("id") or [""])[0]
+        if not sub_id:
+            raise HttpError(400, "missing required query parameter 'id'")
+        stream_flag = (args.get("stream") or ["0"])[0].lower()
+        if stream_flag not in ("", "0", "false", "no"):
+            try:
+                self.subscriptions.pending(sub_id)
+            except KeyError:
+                raise HttpError(404, f"no such subscription: {sub_id}") from None
+            return 200, _SubscriptionStream(sub_id=sub_id)
+        raw_timeout = (args.get("timeout_ms") or [None])[0]
+        if raw_timeout is None:
+            timeout_ms = self.config.poll_timeout_ms
+        else:
+            try:
+                timeout_ms = float(raw_timeout)
+            except ValueError:
+                raise HttpError(
+                    400, f"'timeout_ms' must be a number, got {raw_timeout!r}"
+                ) from None
+            if timeout_ms < 0:
+                raise HttpError(400, "'timeout_ms' must be non-negative")
+            timeout_ms = min(timeout_ms, self.config.poll_timeout_ms)
+        deadline = self._clock() + timeout_ms / 1000.0
+        while True:
+            try:
+                messages = self.subscriptions.poll(sub_id)
+            except KeyError:
+                raise HttpError(404, f"no such subscription: {sub_id}") from None
+            if messages:
+                return 200, {"id": sub_id, "messages": messages, "draining": self._draining}
+            if self._draining:
+                return 200, {
+                    "id": sub_id,
+                    "messages": [{"type": "drain", "id": sub_id}],
+                    "draining": True,
+                }
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                return 200, {"id": sub_id, "messages": [], "draining": False}
+            event = self._sub_events.setdefault(sub_id, asyncio.Event())
+            event.clear()
+            self._parked += 1
+            try:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(event.wait(), timeout=remaining)
+            finally:
+                self._parked -= 1
+
+    async def _stream_subscription(
+        self, writer: asyncio.StreamWriter, stream: _SubscriptionStream
+    ) -> None:
+        """Own one streaming connection until drain/unsubscribe/disconnect.
+
+        Every frame is a complete chunked-encoding chunk holding one JSON
+        message terminated by ``\\n``; the stream always ends with a final
+        ``drain``/``closed`` message and the last-chunk terminator, so a
+        client never observes a torn chunk on an orderly shutdown.
+        """
+        task = asyncio.current_task()
+        self._streams.add(task)
+        sub_id = stream.sub_id
+        try:
+            writer.write(encode_stream_head())
+            await writer.drain()
+            while True:
+                try:
+                    messages = self.subscriptions.poll(sub_id)
+                except KeyError:
+                    await self._write_chunk(writer, {"type": "closed", "id": sub_id})
+                    break
+                for message in messages:
+                    await self._write_chunk(writer, message)
+                if self._draining:
+                    await self._write_chunk(writer, {"type": "drain", "id": sub_id})
+                    break
+                event = self._sub_events.setdefault(sub_id, asyncio.Event())
+                event.clear()
+                self._parked += 1
+                try:
+                    await asyncio.wait_for(
+                        event.wait(), timeout=self.config.poll_timeout_ms / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    # Idle heartbeat: keeps dead-peer detection bounded on
+                    # both sides without delivering any data.
+                    await self._write_chunk(writer, {"type": "heartbeat", "id": sub_id})
+                finally:
+                    self._parked -= 1
+            writer.write(LAST_CHUNK)
+            await writer.drain()
+        except ConnectionError:
+            pass  # the client went away mid-stream; nothing left to tell it
+        finally:
+            self._streams.discard(task)
+
+    async def _write_chunk(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        """Write one newline-terminated JSON message as one chunk."""
+        writer.write(encode_chunk((json.dumps(message) + "\n").encode("utf-8")))
+        await writer.drain()
+
     async def _handle_stats(self, request: Request) -> Tuple[int, dict]:
         """``GET /stats`` — endpoint, batcher, plan, and service counters."""
         service_stats = self.service.stats()
@@ -1183,6 +1476,13 @@ class SACServer:
                 "queries_factorised": engine_stats.queries_factorised,
             },
             "engine": asdict(service_stats.engine),
+            "subscriptions": {
+                **self.subscriptions.stats_dict(),
+                "parked_pollers": self._parked,
+                "streams": len(self._streams),
+                "poll_timeout_ms": self.config.poll_timeout_ms,
+                "idle_seconds": self.config.subscription_idle_seconds,
+            },
             "residency": self.service.engine.residency_info(),
             "executor": asdict(service_stats.executor),
             "cache": asdict(service_stats.cache) if service_stats.cache is not None else None,

@@ -4,9 +4,12 @@ The daemon (:mod:`repro.server.daemon`) speaks plain HTTP so any stock
 client — ``curl``, ``http.client``, a load balancer's health prober — can
 talk to it, but it deliberately implements only the slice of the protocol a
 JSON API needs: request line + headers + ``Content-Length`` body in,
-``application/json`` responses out, keep-alive connections.  No chunked
-transfer encoding, no multipart, no TLS — a reverse proxy owns those
-concerns in any real deployment (see ``docs/serving.md``).
+``application/json`` responses out, keep-alive connections.  Chunked
+transfer encoding exists only on the *response* side, and only for the
+subscription streaming endpoint (``GET /subscribe?stream=1`` — one JSON
+message per chunk, see :func:`encode_stream_head` / :func:`encode_chunk`);
+chunked request bodies, multipart, and TLS stay out of scope — a reverse
+proxy owns those concerns in any real deployment (see ``docs/serving.md``).
 
 Everything here is transport framing; routing and request semantics live in
 the daemon.  Parsing failures raise :class:`HttpError` carrying the HTTP
@@ -64,10 +67,17 @@ class HttpError(Exception):
 
 @dataclass
 class Request:
-    """One parsed HTTP request: method, path, headers, raw body."""
+    """One parsed HTTP request: method, path, query, headers, raw body.
+
+    ``path`` never carries the query string — the daemon routes on the bare
+    path — so handlers that take URL parameters (the subscription poll
+    endpoint) read the raw ``query`` and parse it with
+    :func:`urllib.parse.parse_qs`.
+    """
 
     method: str
     path: str
+    query: str = ""
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
 
@@ -160,9 +170,16 @@ async def read_request(reader: StreamReader, *, max_body_bytes: int) -> Request:
         except IncompleteReadError:
             raise HttpError(400, "connection closed inside the request body") from None
 
-    # The target may carry a query string; the daemon routes on the path only.
-    path = target.decode("latin-1").split("?", 1)[0]
-    return Request(method=method.decode("latin-1").upper(), path=path, headers=headers, body=body)
+    # The daemon routes on the bare path; the query string (if any) is kept
+    # alongside for handlers that take URL parameters.
+    path, _, query = target.decode("latin-1").partition("?")
+    return Request(
+        method=method.decode("latin-1").upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
 
 
 def encode_response(
@@ -197,6 +214,39 @@ async def write_response(
         )
     )
     await writer.drain()
+
+
+#: Terminates a chunked response: the zero-length last chunk + final CRLF.
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+def encode_stream_head(
+    status: int = 200, *, extra_headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    """Response head of a chunked (streaming) reply.
+
+    The body that follows is a sequence of :func:`encode_chunk` frames ended
+    by :data:`LAST_CHUNK`.  Streaming responses always close the connection
+    afterwards — a parked stream cannot be multiplexed with keep-alive
+    request/response traffic on the same socket.
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """Frame one chunk of a chunked response (empty data is a no-op frame)."""
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
 
 
 def error_payload(status: int, message: str) -> Tuple[int, dict]:

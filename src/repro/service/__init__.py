@@ -21,6 +21,14 @@ quality/latency ladder predicted to fit the remaining budget
 approximation bound (:func:`approximation_bound`) and flagging late
 answers instead of dropping them.
 
+**Standing queries** (:mod:`repro.service.subscriptions`) turn the reuse
+stack into a push surface: a :class:`SubscriptionRegistry` indexes
+continuous queries by ``(k, component representative)`` and, after every
+mutation, re-evaluates only the ones whose component version moved —
+batched through the planner so N subscriptions on one component cost one
+candidate fetch — delivering members-added/removed deltas with bounded
+backlogs and overflow-to-resync recovery.
+
 :class:`SACService` fronts all three — and persists them:
 :meth:`SACService.save` snapshots the engine into an
 :class:`repro.store.ArtifactStore`, :meth:`SACService.open` warm-starts a
@@ -53,6 +61,11 @@ from repro.service.slo import (
     params_for,
     select_rung,
 )
+from repro.service.subscriptions import (
+    Subscription,
+    SubscriptionRegistry,
+    SubscriptionStats,
+)
 
 __all__ = [
     "AnswerCache",
@@ -72,6 +85,9 @@ __all__ = [
     "ShardTask",
     "ShardedExecutor",
     "SloStats",
+    "Subscription",
+    "SubscriptionRegistry",
+    "SubscriptionStats",
     "algorithm_parameter_names",
     "approximation_bound",
     "ladder_from",

@@ -1,0 +1,615 @@
+"""Standing SAC queries: a version-driven pub/sub subscription registry.
+
+A *subscription* is a standing query ``(vertex, k, algorithm, params)``: the
+client registers it once and is pushed a **delta** (members added/removed,
+new MEC radius, ``algorithm_used``, version stamp) whenever its community
+actually changes, instead of polling ``/query`` and diffing answers itself.
+
+The registry turns the engine's incremental-maintenance bookkeeping into the
+continuous-query dirty set.  :class:`repro.engine.IncrementalEngine` bumps a
+per-``(k, representative)`` version counter exactly when a mutation touches a
+component's artifacts (:meth:`repro.engine.QueryEngine.component_version`),
+so after every mutation the registry only has to
+
+1. probe one version counter per **distinct** subscribed ``(k, rep)`` key,
+2. re-evaluate the subscriptions whose counter moved — batched through the
+   planner (:func:`repro.engine.plan.plan_batch` /
+   :func:`repro.engine.plan.execute_group`) so N subscriptions sharing one
+   component cost one candidate fetch, and
+3. queue a delta only for subscriptions whose *observable answer* changed
+   (identical re-computed answers are suppressed, never delivered).
+
+Representatives are re-resolved on every evaluation pass: after a merge or
+split the subscription is silently re-indexed under its component's fresh
+``(k, rep)`` key, and a vertex that falls out of every k-core (or re-enters
+one) produces a ``found`` transition delta.
+
+Delivery semantics
+------------------
+Each subscription owns a bounded delta queue (``backlog`` messages).  When a
+slow consumer overflows it, the queue is dropped and the subscription enters
+*resync* mode: the next poll receives one ``{"type": "resync"}`` message
+carrying the **full current community snapshot** (members, radius, center,
+version) instead of the missed deltas, then delta flow resumes.  A consumer
+therefore never needs a side-channel re-query to recover.
+
+Threading contract
+------------------
+``register``, ``evaluate``, ``rebind`` and ``expire_idle`` touch the engine
+and MUST run serialized on the daemon's single-writer barrier (the engine
+thread).  ``poll``, ``pending``, ``unsubscribe``, ``touch``, ``ids`` and
+``stats_dict`` are safe from any thread (the daemon's event loop calls them
+while mutations run): all queue/state handoff happens under one internal
+lock, held only for dict/deque work — never during a search.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.engine.plan import execute_group, plan_batch
+from repro.exceptions import NoCommunityError
+from repro.service.slo import approximation_bound, params_for
+
+__all__ = ["Subscription", "SubscriptionRegistry", "SubscriptionStats"]
+
+ParamsKey = Tuple[Tuple[str, float], ...]
+
+
+@dataclass
+class Subscription:
+    """One standing query and its last-observed community state.
+
+    Attributes
+    ----------
+    sub_id:
+        Registry-unique identifier handed to the client at registration.
+    vertex / k / algorithm / params:
+        The standing query, in internal vertex indices.
+    key:
+        The ``(k, representative)`` index key of the component currently
+        answering the query, or ``None`` while the vertex is in no k-core
+        (or immediately after a replica resync, before re-resolution).
+    last_version:
+        The component artifact version the last evaluation observed
+        (:meth:`repro.engine.QueryEngine.component_version`).
+    found / members / radius / center / algorithm_used / bound:
+        The last-observed observable answer; deltas are emitted exactly when
+        a re-evaluation changes any of these.
+    seq:
+        Per-subscription message counter; every queued message (delta or
+        resync) carries the next value, so a consumer can detect reordering.
+    queue:
+        Pending undelivered messages, bounded by the registry backlog.
+    needs_resync:
+        Set when the queue overflowed; the next poll gets a full snapshot.
+    last_seen:
+        Monotonic stamp of the last client contact, for idle GC.
+    """
+
+    sub_id: str
+    vertex: int
+    k: int
+    algorithm: str
+    params: Dict[str, float]
+    key: Optional[Tuple[int, int]] = None
+    last_version: int = -1
+    found: bool = False
+    members: FrozenSet[int] = frozenset()
+    radius: Optional[float] = None
+    center: Optional[Tuple[float, float]] = None
+    algorithm_used: Optional[str] = None
+    bound: Optional[float] = None
+    seq: int = 0
+    queue: List[dict] = field(default_factory=list)
+    needs_resync: bool = False
+    last_seen: float = 0.0
+    lsn: Optional[int] = None
+
+    def params_key(self) -> ParamsKey:
+        """Canonical grouping key of this subscription's parameters."""
+        return tuple(sorted(self.params.items()))
+
+
+@dataclass
+class SubscriptionStats:
+    """Registry-lifetime counters, surfaced in the daemon's ``/stats``."""
+
+    registered: int = 0
+    unsubscribed: int = 0
+    expired: int = 0
+    evaluations: int = 0
+    subscriptions_evaluated: int = 0
+    groups_executed: int = 0
+    deltas_queued: int = 0
+    deltas_delivered: int = 0
+    suppressed: int = 0
+    overflows: int = 0
+    resyncs: int = 0
+    evaluation_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counters as a plain JSON-ready dict."""
+        return {
+            "registered": self.registered,
+            "unsubscribed": self.unsubscribed,
+            "expired": self.expired,
+            "evaluations": self.evaluations,
+            "subscriptions_evaluated": self.subscriptions_evaluated,
+            "groups_executed": self.groups_executed,
+            "deltas_queued": self.deltas_queued,
+            "deltas_delivered": self.deltas_delivered,
+            "suppressed": self.suppressed,
+            "overflows": self.overflows,
+            "resyncs": self.resyncs,
+            "evaluation_seconds": self.evaluation_seconds,
+        }
+
+
+class SubscriptionRegistry:
+    """Standing queries indexed by ``(k, component representative)``.
+
+    Parameters
+    ----------
+    service:
+        The :class:`repro.service.SACService` whose engine answers the
+        standing queries.  Replaceable via :meth:`rebind` (replica resync).
+    backlog:
+        Per-subscription queue bound; overflowing it switches the
+        subscription to resync-snapshot delivery.
+    idle_seconds:
+        Subscriptions not polled/streamed for this long are expired by
+        :meth:`expire_idle`.  ``None`` disables idle GC.  Keep it longer
+        than the server's long-poll park timeout — a parked poller counts
+        as contact only when its poll *arrives*.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        backlog: int = 64,
+        idle_seconds: Optional[float] = 300.0,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if backlog < 1:
+            raise ValueError(f"subscription backlog must be >= 1, got {backlog}")
+        self._service = service
+        self._backlog = int(backlog)
+        self._idle_seconds = idle_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._subs: Dict[str, Subscription] = {}
+        self._by_key: Dict[Tuple[int, int], Set[str]] = {}
+        self._unkeyed: Set[str] = set()
+        self._next_id = 0
+        self.stats = SubscriptionStats()
+
+    # ------------------------------------------------------------- properties
+    @property
+    def backlog(self) -> int:
+        """Per-subscription queue bound."""
+        return self._backlog
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def ids(self) -> List[str]:
+        """Snapshot of the live subscription ids (any thread)."""
+        with self._lock:
+            return list(self._subs)
+
+    # ------------------------------------------------- engine-thread surface
+    def register(
+        self,
+        vertex: int,
+        k: int,
+        *,
+        algorithm: str = "appfast",
+        params: Optional[Dict[str, float]] = None,
+    ) -> Tuple[Subscription, dict]:
+        """Create a subscription and compute its initial community state.
+
+        Runs the query through the planner exactly like a one-query batch
+        (validating ``k``, ``vertex`` and ``algorithm`` the same way), so the
+        returned snapshot is bit-identical to what ``/query`` would answer at
+        this version.  Returns ``(subscription, snapshot_payload)``; the
+        snapshot is the registration response body (minus transport fields).
+
+        Engine thread only.
+        """
+        params = dict(params or {})
+        engine = self._service.engine
+        state = self._evaluate_states(engine, [(vertex,)], k, algorithm, params)[0]
+        if isinstance(state, Exception):
+            raise state
+        with self._lock:
+            self._next_id += 1
+            sub = Subscription(
+                sub_id=f"sub-{self._next_id}",
+                vertex=int(vertex),
+                k=int(k),
+                algorithm=algorithm,
+                params=params,
+                last_seen=self._clock(),
+            )
+            self._apply_state(sub, state, lsn=None, queue_delta=False)
+            self._subs[sub.sub_id] = sub
+            if sub.key is not None:
+                self._by_key.setdefault(sub.key, set()).add(sub.sub_id)
+            else:
+                self._unkeyed.add(sub.sub_id)
+            self.stats.registered += 1
+            return sub, self._snapshot_message(sub, kind="snapshot")
+
+    def evaluate(self, *, lsn: Optional[int] = None) -> List[str]:
+        """Re-evaluate every subscription whose component version moved.
+
+        The post-mutation hook of the daemon's single-writer barrier.  Costs
+        one ``component_version`` probe per distinct live ``(k, rep)`` key;
+        only moved keys (plus unkeyed subscriptions needing re-resolution)
+        are re-executed, grouped per ``(k, algorithm, params)`` through the
+        batch planner.  Returns the ids of subscriptions that now have a
+        deliverable message (delta queued or resync pending) so the caller
+        can wake their parked pollers.
+
+        Engine thread only.
+        """
+        engine = self._service.engine
+        start = monotonic()
+        due = self._collect_due(engine)
+        woken: List[str] = []
+        if due:
+            groups: Dict[Tuple[int, str, ParamsKey], List[Subscription]] = {}
+            for sub in due:
+                groups.setdefault(
+                    (sub.k, sub.algorithm, sub.params_key()), []
+                ).append(sub)
+            for (k, algorithm, _pkey), subs in sorted(groups.items()):
+                states = self._evaluate_states(
+                    engine,
+                    [(sub.vertex,) for sub in subs],
+                    k,
+                    algorithm,
+                    subs[0].params,
+                )
+                with self._lock:
+                    for sub, state in zip(subs, states):
+                        if sub.sub_id not in self._subs:
+                            continue  # unsubscribed while we computed
+                        if isinstance(state, Exception):
+                            continue  # defensive; vertex validated at register
+                        old_key = sub.key
+                        delivered = self._apply_state(
+                            sub, state, lsn=lsn, queue_delta=True
+                        )
+                        self._reindex(sub, old_key)
+                        if delivered:
+                            woken.append(sub.sub_id)
+        self.stats.evaluations += 1
+        self.stats.subscriptions_evaluated += len(due)
+        self.stats.evaluation_seconds += monotonic() - start
+        return woken
+
+    def rebind(self, service) -> None:
+        """Point the registry at a fresh service (replica snapshot resync).
+
+        Component ids, representatives and version counters all restart with
+        the new engine, so every subscription is unkeyed and marked dirty;
+        the next :meth:`evaluate` re-resolves and re-executes each one,
+        delivering a delta only where the observable answer differs from the
+        pre-resync state (an unchanged community stays silent).
+
+        Engine thread only.
+        """
+        with self._lock:
+            self._service = service
+            self._by_key.clear()
+            self._unkeyed = set(self._subs)
+            for sub in self._subs.values():
+                sub.key = None
+                sub.last_version = -1
+
+    def expire_idle(self) -> List[str]:
+        """Drop subscriptions with no client contact for ``idle_seconds``.
+
+        Returns the expired ids so the caller can wake (and thereby close)
+        any parked pollers.  Engine thread only (runs with :meth:`evaluate`).
+        """
+        if self._idle_seconds is None:
+            return []
+        cutoff = self._clock() - self._idle_seconds
+        with self._lock:
+            stale = [s.sub_id for s in self._subs.values() if s.last_seen < cutoff]
+            for sub_id in stale:
+                self._drop(sub_id)
+                self.stats.expired += 1
+        return stale
+
+    # --------------------------------------------------- any-thread surface
+    def unsubscribe(self, sub_id: str) -> bool:
+        """Remove a subscription; ``False`` when the id is unknown."""
+        with self._lock:
+            if sub_id not in self._subs:
+                return False
+            self._drop(sub_id)
+            self.stats.unsubscribed += 1
+            return True
+
+    def pending(self, sub_id: str) -> bool:
+        """Whether a poll would return at least one message right now."""
+        with self._lock:
+            sub = self._subs.get(sub_id)
+            if sub is None:
+                raise KeyError(sub_id)
+            return bool(sub.queue) or sub.needs_resync
+
+    def poll(self, sub_id: str, *, limit: Optional[int] = None) -> List[dict]:
+        """Drain the subscription's pending messages (may be empty).
+
+        A pending resync is delivered first, as one full-snapshot message
+        replacing everything the overflow dropped.  Raises :class:`KeyError`
+        for unknown (unsubscribed/expired) ids.  Any thread.
+        """
+        with self._lock:
+            sub = self._subs.get(sub_id)
+            if sub is None:
+                raise KeyError(sub_id)
+            sub.last_seen = self._clock()
+            messages: List[dict] = []
+            if sub.needs_resync:
+                sub.needs_resync = False
+                sub.seq += 1
+                self.stats.resyncs += 1
+                messages.append(self._snapshot_message(sub, kind="resync"))
+            take = len(sub.queue) if limit is None else max(0, int(limit))
+            if take:
+                messages.extend(sub.queue[:take])
+                del sub.queue[:take]
+            self.stats.deltas_delivered += len(messages)
+            return messages
+
+    def touch(self, sub_id: str) -> None:
+        """Refresh the idle-GC stamp (streaming delivery counts as contact)."""
+        with self._lock:
+            sub = self._subs.get(sub_id)
+            if sub is not None:
+                sub.last_seen = self._clock()
+
+    def snapshot(self, sub_id: str) -> dict:
+        """The subscription's current full state as a snapshot message."""
+        with self._lock:
+            sub = self._subs.get(sub_id)
+            if sub is None:
+                raise KeyError(sub_id)
+            return self._snapshot_message(sub, kind="snapshot")
+
+    def stats_dict(self) -> Dict[str, float]:
+        """JSON-ready stats block for the daemon's ``/stats``."""
+        with self._lock:
+            payload = self.stats.as_dict()
+            payload["active"] = len(self._subs)
+            payload["queued"] = sum(len(s.queue) for s in self._subs.values())
+            payload["backlog"] = self._backlog
+            return payload
+
+    # -------------------------------------------------------------- internals
+    def _collect_due(self, engine) -> List[Subscription]:
+        """Subscriptions whose answer may have changed since last observed.
+
+        One ``component_version`` probe per distinct ``(k, rep)`` bucket —
+        the whole keyed population of an untouched component is skipped
+        without ever looking at the individual subscriptions.
+        """
+        with self._lock:
+            buckets = {
+                key: [self._subs[i] for i in ids]
+                for key, ids in self._by_key.items()
+            }
+            unkeyed = [self._subs[i] for i in self._unkeyed]
+        due: List[Subscription] = []
+        for key, subs in buckets.items():
+            version = engine.component_version(*key)
+            due.extend(sub for sub in subs if sub.last_version != version)
+        for sub in unkeyed:
+            if not sub.found:
+                # Still community-less unless the vertex re-entered a
+                # k-core; probe the labelling instead of planning.
+                try:
+                    engine.component_of(sub.vertex, sub.k)
+                except NoCommunityError:
+                    continue
+            due.append(sub)
+        return due
+
+    def _evaluate_states(
+        self,
+        engine,
+        vertices: List[Tuple[int]],
+        k: int,
+        algorithm: str,
+        params: Dict[str, float],
+    ) -> List[object]:
+        """Batch-execute the standing queries; one state tuple per vertex.
+
+        Returns, aligned with ``vertices``, either an exception (invalid
+        vertex) or a state tuple ``(found, members, radius, center,
+        algorithm_used, key, version)``.  Shared-component subscriptions ride
+        one :class:`repro.engine.plan.PlanGroup` and hence one candidate
+        fetch, which is the whole point of batching here.
+        """
+        flat = [v[0] for v in vertices]
+        plan = plan_batch(engine, flat, k, algorithm=algorithm, params=params)
+        errors: Dict[int, str] = {}
+        failed: List[int] = []
+        results = {}
+        for group in plan.groups:
+            results.update(
+                execute_group(engine, plan, group, errors=errors, failed=failed)
+            )
+            self.stats.groups_executed += 1
+        group_info = {
+            (k, group.representative): group.version for group in plan.groups
+        }
+        states: List[object] = []
+        for vertex in flat:
+            if vertex in plan.errors:
+                states.append(plan.errors[vertex])
+                continue
+            result = results.get(vertex)
+            if result is None:
+                # In no k-core (planned into `failed`, or the community
+                # evaporated between planning and execution).
+                states.append((False, frozenset(), None, None, None, None, -1))
+                continue
+            try:
+                component, rep = engine.component_of(vertex, k)
+                key = (k, rep)
+                version = group_info.get(key)
+                if version is None:
+                    version = engine.component_version(k, rep)
+            except NoCommunityError:  # pragma: no cover - raced evaporation
+                key, version = None, -1
+            states.append(
+                (
+                    True,
+                    frozenset(int(m) for m in result.members),
+                    float(result.radius),
+                    (
+                        float(result.circle.center.x),
+                        float(result.circle.center.y),
+                    ),
+                    result.algorithm,
+                    key,
+                    int(version),
+                )
+            )
+        return states
+
+    def _apply_state(
+        self, sub: Subscription, state, *, lsn: Optional[int], queue_delta: bool
+    ) -> bool:
+        """Install a freshly computed state; queue a delta if it changed.
+
+        Caller holds the lock.  Returns ``True`` when the subscription now
+        has a deliverable message (new delta or overflow-triggered resync).
+        """
+        found, members, radius, center, algorithm_used, key, version = state
+        changed = (
+            found != sub.found
+            or members != sub.members
+            or radius != sub.radius
+            or center != sub.center
+            or algorithm_used != sub.algorithm_used
+        )
+        added = sorted(members - sub.members)
+        removed = sorted(sub.members - members)
+        sub.found = found
+        sub.members = members
+        sub.radius = radius
+        sub.center = center
+        sub.algorithm_used = algorithm_used
+        sub.bound = (
+            approximation_bound(
+                algorithm_used, params_for(algorithm_used, dict(sub.params))
+            )
+            if algorithm_used is not None
+            else None
+        )
+        sub.key = key
+        sub.last_version = version
+        if lsn is not None:
+            sub.lsn = lsn
+        if not changed:
+            if queue_delta:
+                self.stats.suppressed += 1
+            return bool(sub.queue) or sub.needs_resync
+        if not queue_delta:
+            return False
+        if sub.needs_resync:
+            # Already in resync mode: the eventual snapshot covers this
+            # change too, nothing further to queue.
+            return True
+        if len(sub.queue) >= self._backlog:
+            sub.queue.clear()
+            sub.needs_resync = True
+            self.stats.overflows += 1
+            return True
+        sub.seq += 1
+        graph = self._service.graph
+        sub.queue.append(
+            {
+                "type": "delta",
+                "id": sub.sub_id,
+                "seq": sub.seq,
+                "found": sub.found,
+                "query": graph.label_of(sub.vertex),
+                "k": sub.k,
+                "added": [graph.label_of(v) for v in added],
+                "removed": [graph.label_of(v) for v in removed],
+                "size": len(sub.members),
+                "radius": sub.radius,
+                "center": list(sub.center) if sub.center is not None else None,
+                "algorithm_used": sub.algorithm_used,
+                "bound": sub.bound,
+                "version": sub.last_version,
+                "lsn": sub.lsn,
+            }
+        )
+        self.stats.deltas_queued += 1
+        return True
+
+    def _snapshot_message(self, sub: Subscription, *, kind: str) -> dict:
+        """Full-state message (registration response body or resync)."""
+        graph = self._service.graph
+        return {
+            "type": kind,
+            "id": sub.sub_id,
+            "seq": sub.seq,
+            "found": sub.found,
+            "query": graph.label_of(sub.vertex),
+            "k": sub.k,
+            "algorithm": sub.algorithm,
+            "size": len(sub.members),
+            "members": [graph.label_of(v) for v in sorted(sub.members)],
+            "radius": sub.radius,
+            "center": list(sub.center) if sub.center is not None else None,
+            "algorithm_used": sub.algorithm_used,
+            "bound": sub.bound,
+            "version": sub.last_version,
+            "lsn": sub.lsn,
+        }
+
+    def _reindex(self, sub: Subscription, old_key: Optional[Tuple[int, int]]) -> None:
+        """Move the subscription between ``(k, rep)`` buckets.  Lock held."""
+        if old_key == sub.key:
+            return
+        if old_key is not None:
+            bucket = self._by_key.get(old_key)
+            if bucket is not None:
+                bucket.discard(sub.sub_id)
+                if not bucket:
+                    del self._by_key[old_key]
+        else:
+            self._unkeyed.discard(sub.sub_id)
+        if sub.key is not None:
+            self._by_key.setdefault(sub.key, set()).add(sub.sub_id)
+        else:
+            self._unkeyed.add(sub.sub_id)
+
+    def _drop(self, sub_id: str) -> None:
+        """Remove a subscription from both indexes.  Lock held."""
+        sub = self._subs.pop(sub_id)
+        if sub.key is not None:
+            bucket = self._by_key.get(sub.key)
+            if bucket is not None:
+                bucket.discard(sub_id)
+                if not bucket:
+                    del self._by_key[sub.key]
+        else:
+            self._unkeyed.discard(sub_id)

@@ -12,7 +12,11 @@ The shared hypothesis strategies (random edge lists, point clouds, spatial
 graphs) live in the :mod:`repro.testing.strategies` submodule, which is
 deliberately **not** imported here: strategies require ``hypothesis``, a
 test-only dependency, while this module must stay importable in a
-production install.
+production install.  The real-socket server harness shared by the
+serving-tier suites (:func:`~repro.testing.serverharness.serve`,
+:class:`~repro.testing.serverharness.Tier`, the payload oracles and drain
+assertions) lives in :mod:`repro.testing.serverharness`, likewise not
+imported here — it pulls in the whole serving stack.
 """
 
 from __future__ import annotations

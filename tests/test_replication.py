@@ -17,23 +17,23 @@ contract being pinned, from ``docs/serving.md``:
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.datasets.geosocial import brightkite_like
 from repro.engine import IncrementalEngine
-from repro.replication import (
-    CoordinatorConfig,
-    ReplicaServer,
-    start_coordinator_in_thread,
-)
+from repro.replication import ReplicaServer
 from repro.server import SACClient, ServerConfig, ServerError, start_in_thread
 from repro.service import SACService
-from repro.store import ArtifactStore, WriteAheadLog
-
-K = 4
-EPS = {"epsilon_f": 0.5}
+from repro.store import ArtifactStore
+from repro.testing.serverharness import (
+    EPS,
+    K,
+    Tier as _Tier,
+    assert_payload_identical as _assert_identical,
+    mutation_trace as _mutations,
+    oracle_payload as _expected,
+    wait_applied as _wait_applied,
+)
 
 
 @pytest.fixture(scope="module")
@@ -63,109 +63,6 @@ def eligible(snapshot):
     ][:6]
     assert len(labels) == 6, "fixture graph too sparse"
     return labels
-
-
-def _mutations(labels):
-    """A deterministic interleaved mutation trace over eligible users."""
-    return [
-        {"op": "checkin", "user": labels[0], "x": 0.99, "y": 0.99},
-        {"op": "checkin", "user": labels[1], "x": 0.98, "y": 0.97},
-        {"op": "checkin", "user": labels[0], "x": 0.01, "y": 0.02},
-        {"op": "checkin", "user": labels[2], "x": 0.5, "y": 0.5},
-    ]
-
-
-class _Tier:
-    """Boot writer + replicas (+ coordinator) over one snapshot + WAL dir."""
-
-    def __init__(self, snapshot, wal_dir, *, replicas=1, coordinator=False,
-                 max_staleness_lsn=0, poll_interval_ms=10.0):
-        self.snapshot = snapshot
-        self.wal_dir = str(wal_dir)
-        self.writer = start_in_thread(
-            SACService.open(snapshot),
-            ServerConfig(port=0, max_linger_ms=2.0, wal_dir=self.wal_dir,
-                         snapshot_path=snapshot),
-        )
-        self.replicas = [
-            start_in_thread(
-                SACService.open(snapshot),
-                ServerConfig(port=0, max_linger_ms=2.0, wal_dir=self.wal_dir),
-                server_factory=lambda service, config: ReplicaServer(
-                    service,
-                    config,
-                    writer_url=f"http://127.0.0.1:{self.writer.port}",
-                    poll_interval_ms=poll_interval_ms,
-                ),
-            )
-            for _ in range(replicas)
-        ]
-        self.coordinator = None
-        if coordinator:
-            self.coordinator = start_coordinator_in_thread(
-                CoordinatorConfig(
-                    port=0,
-                    writer=f"127.0.0.1:{self.writer.port}",
-                    replicas=tuple(
-                        f"127.0.0.1:{h.port}" for h in self.replicas
-                    ),
-                    max_staleness_lsn=max_staleness_lsn,
-                    health_interval_ms=50.0,
-                )
-            )
-
-    def client(self):
-        handle = self.coordinator or self.writer
-        return SACClient("127.0.0.1", handle.port)
-
-    def stop(self):
-        if self.coordinator is not None:
-            self.coordinator.stop()
-        for handle in self.replicas:
-            handle.stop()
-        self.writer.stop()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc_info):
-        self.stop()
-
-
-def _wait_applied(handle, lsn, timeout=10.0):
-    """Block until a replica has replayed up to ``lsn``."""
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if handle.server.applied_lsn >= lsn:
-            return
-        time.sleep(0.01)
-    raise AssertionError(
-        f"replica stuck at lsn {handle.server.applied_lsn}, wanted {lsn}"
-    )
-
-
-def _expected(engine, label):
-    """The serial-replay oracle's JSON-visible answer for one query."""
-    graph = engine.graph
-    try:
-        result = engine.search(graph.index_of(label), K, **EPS)
-    except Exception:
-        return None
-    return {
-        "members": [graph.label_of(v) for v in sorted(result.members)],
-        "radius": result.circle.radius,
-        "center": [result.circle.center.x, result.circle.center.y],
-    }
-
-
-def _assert_identical(payload, expected, context):
-    if expected is None:
-        assert payload["found"] is False, context
-        return
-    assert payload["found"] is True, context
-    assert payload["members"] == expected["members"], context
-    assert payload["radius"] == expected["radius"], context
-    assert payload["center"] == expected["center"], context
 
 
 class TestWriterWal:

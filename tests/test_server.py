@@ -29,10 +29,14 @@ from repro.datasets.geosocial import brightkite_like
 from repro.engine import IncrementalEngine, QueryEngine
 from repro.server import SACClient, ServerConfig, ServerError, start_in_thread
 from repro.server.client import parallel_queries
-from repro.service import FULL_LADDER, SACService, approximation_bound
-
-K = 4
-EPS = {"epsilon_f": 0.5}
+from repro.service import FULL_LADDER, SACService
+from repro.testing.serverharness import (
+    EPS,
+    K,
+    eligible_labels as _eligible_labels,
+    expected_payload as _expected,
+    serve as _serve,
+)
 
 
 @pytest.fixture(scope="module")
@@ -45,14 +49,6 @@ def base_graph():
 def reference(base_graph):
     """The serial engine whose answers the server must reproduce exactly."""
     return QueryEngine(base_graph)
-
-
-def _serve(base_graph, **config_kwargs):
-    """Start a fresh incremental-engine server over a private graph copy."""
-    service = SACService(engine=IncrementalEngine(base_graph.mutable_copy()))
-    defaults = dict(port=0, max_linger_ms=2.0)
-    defaults.update(config_kwargs)
-    return start_in_thread(service, ServerConfig(**defaults))
 
 
 @pytest.fixture(scope="module")
@@ -68,29 +64,6 @@ def client(server):
     """A client bound to the shared read-only server."""
     with SACClient(server.host, server.port) as shared:
         yield shared
-
-
-def _expected(graph, result, params=EPS):
-    """The JSON fields a correct response carries for an engine result."""
-    return {
-        "found": True,
-        "algorithm": result.algorithm,
-        "algorithm_used": result.algorithm,
-        "bound": approximation_bound(result.algorithm, params),
-        "size": result.size,
-        "radius": result.circle.radius,
-        "center": [result.circle.center.x, result.circle.center.y],
-        "members": [graph.label_of(v) for v in sorted(result.members)],
-    }
-
-
-def _eligible_labels(reference, count, k=K):
-    """Labels of the first ``count`` vertices inside some k-core."""
-    cores = reference.core_numbers()
-    graph = reference.graph
-    picked = [graph.label_of(v) for v in range(graph.num_vertices) if cores[v] >= k]
-    assert len(picked) >= count, "test graph too sparse for the requested k"
-    return picked[:count]
 
 
 class TestQueryEndpoint:

@@ -38,6 +38,7 @@ from repro.service.slo import (
     params_for,
     select_rung,
 )
+from repro.testing.serverharness import assert_results_identical as _assert_identical
 
 pytestmark = pytest.mark.slo
 
@@ -46,17 +47,6 @@ pytestmark = pytest.mark.slo
 SLACK = 1.0 + 1e-6
 
 PARAMS = {"epsilon_a": 0.5, "epsilon_f": 0.5}
-
-
-def _assert_identical(first, second, context=()):
-    assert (first is None) == (second is None), context
-    if first is None:
-        return
-    assert first.members == second.members, context
-    assert first.circle.radius == second.circle.radius, context
-    assert first.circle.center.x == second.circle.center.x, context
-    assert first.circle.center.y == second.circle.center.y, context
-    assert first.stats == second.stats, context
 
 
 class TestBoundedAnswers:
